@@ -1,0 +1,141 @@
+package cfsmdiag
+
+import (
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/testgen"
+)
+
+// Model types, re-exported from the implementation packages so that library
+// users need a single import.
+type (
+	// State identifies a state of a machine, e.g. "s0".
+	State = cfsm.State
+	// Symbol is an input or output symbol.
+	Symbol = cfsm.Symbol
+	// Transition is one labeled transition of a machine; Dest selects the
+	// machine's own port (DestEnv) or a peer machine index.
+	Transition = cfsm.Transition
+	// Machine is one deterministic partial FSM of a system.
+	Machine = cfsm.Machine
+	// System is a validated system of communicating machines.
+	System = cfsm.System
+	// Ref names a transition globally (machine index + transition name).
+	Ref = cfsm.Ref
+	// Config is a global configuration (one state per machine).
+	Config = cfsm.Config
+	// Input is one test step: a symbol applied at a port.
+	Input = cfsm.Input
+	// Observation is the visible effect of one input.
+	Observation = cfsm.Observation
+	// TestCase is a named input sequence.
+	TestCase = cfsm.TestCase
+
+	// Fault is a single-transition fault (output, transfer, or both).
+	Fault = fault.Fault
+	// FaultKind classifies a fault.
+	FaultKind = fault.Kind
+
+	// Analysis is the Steps 1–5 result: symptoms, conflict sets, candidate
+	// sets, verified hypotheses and diagnoses.
+	Analysis = core.Analysis
+	// Localization is the Step 6 result.
+	Localization = core.Localization
+	// Verdict is the outcome of a localization.
+	Verdict = core.Verdict
+	// Oracle executes test cases against the implementation under test.
+	Oracle = core.Oracle
+	// SystemOracle is an Oracle backed by a system, with cost counters.
+	SystemOracle = core.SystemOracle
+)
+
+// Distinguished symbols and constants.
+const (
+	// Null is the reset output, written "-" in the paper.
+	Null = cfsm.Null
+	// Epsilon is observed when an input is undefined in the current state.
+	Epsilon = cfsm.Epsilon
+	// ResetSymbol resets every machine to its initial state.
+	ResetSymbol = cfsm.ResetSymbol
+	// DestEnv marks an external-output transition.
+	DestEnv = cfsm.DestEnv
+)
+
+// Fault kinds.
+const (
+	KindOutput   = fault.KindOutput
+	KindTransfer = fault.KindTransfer
+	KindBoth     = fault.KindBoth
+)
+
+// Localization verdicts.
+const (
+	VerdictNoFault      = core.VerdictNoFault
+	VerdictLocalized    = core.VerdictLocalized
+	VerdictAmbiguous    = core.VerdictAmbiguous
+	VerdictInconsistent = core.VerdictInconsistent
+)
+
+// NewMachine builds and validates one machine of a system.
+func NewMachine(name string, initial State, states []State, transitions []Transition) (*Machine, error) {
+	return cfsm.NewMachine(name, initial, states, transitions)
+}
+
+// NewSystem assembles machines into a validated system.
+func NewSystem(machines ...*Machine) (*System, error) {
+	return cfsm.NewSystem(machines...)
+}
+
+// ParseSystem decodes a system from its JSON representation.
+func ParseSystem(data []byte) (*System, error) {
+	return cfsm.ParseSystem(data)
+}
+
+// Reset returns the reset input.
+func Reset() Input { return cfsm.Reset() }
+
+// Analyze performs Steps 1–5 of the diagnostic algorithm: it compares the
+// observed outputs with the specification's expectations and derives the
+// surviving fault hypotheses.
+func Analyze(spec *System, suite []TestCase, observed [][]Observation) (*Analysis, error) {
+	return core.Analyze(spec, suite, observed)
+}
+
+// Localize performs Step 6: it adaptively generates additional diagnostic
+// tests against the oracle until the fault is localized.
+func Localize(a *Analysis, oracle Oracle) (*Localization, error) {
+	return core.Localize(a, oracle)
+}
+
+// Diagnose runs the complete algorithm: suite execution, analysis and
+// adaptive localization.
+func Diagnose(spec *System, suite []TestCase, oracle Oracle) (*Localization, error) {
+	return core.Diagnose(spec, suite, oracle)
+}
+
+// GenerateTour builds a transition-tour test suite covering every reachable
+// transition; maxLen bounds the inputs per test case (0 = unbounded). The
+// second result lists unreachable (hence uncovered) transitions.
+func GenerateTour(sys *System, maxLen int) ([]TestCase, []Ref) {
+	return testgen.Tour(sys, maxLen)
+}
+
+// EnumerateFaults returns every single-transition fault of the specification
+// under the paper's fault model.
+func EnumerateFaults(spec *System) []Fault {
+	return fault.Enumerate(spec)
+}
+
+// InjectFault applies a fault to the specification, returning the mutant
+// implementation.
+func InjectFault(spec *System, f Fault) (*System, error) {
+	return f.Apply(spec)
+}
+
+// FormatInputs renders an input sequence in the paper's notation,
+// e.g. "R, a^1, c'^3".
+func FormatInputs(inputs []Input) string { return cfsm.FormatInputs(inputs) }
+
+// FormatObs renders an observation sequence, e.g. "-, c'^1, a^3".
+func FormatObs(obs []Observation) string { return cfsm.FormatObs(obs) }

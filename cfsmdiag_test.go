@@ -1,0 +1,104 @@
+package cfsmdiag_test
+
+import (
+	"testing"
+
+	"cfsmdiag"
+	"cfsmdiag/internal/paper"
+)
+
+// TestFacadeEndToEnd drives the paper's scenario entirely through the public
+// API: build the spec, inject the fault, generate a suite, diagnose.
+func TestFacadeEndToEnd(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := cfsmdiag.InjectFault(spec, cfsmdiag.Fault{
+		Ref:  paper.FaultRef,
+		Kind: cfsmdiag.KindTransfer,
+		To:   "s0",
+	})
+	if err != nil {
+		t.Fatalf("InjectFault: %v", err)
+	}
+	oracle := &cfsmdiag.SystemOracle{Sys: iut}
+	result, err := cfsmdiag.Diagnose(spec, paper.TestSuite(), oracle)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if result.Verdict != cfsmdiag.VerdictLocalized {
+		t.Fatalf("verdict = %v", result.Verdict)
+	}
+	if result.Fault.Ref != paper.FaultRef || result.Fault.To != "s0" {
+		t.Fatalf("fault = %+v", result.Fault)
+	}
+}
+
+func TestFacadeBuildAndTour(t *testing.T) {
+	a, err := cfsmdiag.NewMachine("A", "s0", []cfsmdiag.State{"s0", "s1"}, []cfsmdiag.Transition{
+		{Name: "t1", From: "s0", Input: "x", Output: "y", To: "s1", Dest: cfsmdiag.DestEnv},
+		{Name: "t2", From: "s1", Input: "x", Output: "z", To: "s0", Dest: cfsmdiag.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := cfsmdiag.NewSystem(a)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	suite, uncovered := cfsmdiag.GenerateTour(sys, 0)
+	if len(uncovered) != 0 || len(suite) == 0 {
+		t.Fatalf("tour: %v / %v", suite, uncovered)
+	}
+	faults := cfsmdiag.EnumerateFaults(sys)
+	if len(faults) == 0 {
+		t.Fatal("no faults enumerated")
+	}
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	back, err := cfsmdiag.ParseSystem(data)
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	if back.N() != 1 {
+		t.Fatalf("round trip lost machines")
+	}
+}
+
+func TestFacadeAnalyzeLocalize(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := cfsmdiag.Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(a.Diagnoses) != 3 {
+		t.Fatalf("diagnoses = %d, want 3", len(a.Diagnoses))
+	}
+	loc, err := cfsmdiag.Localize(a, &cfsmdiag.SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != cfsmdiag.VerdictLocalized {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+}
+
+func TestFacadeFormatting(t *testing.T) {
+	ins := []cfsmdiag.Input{cfsmdiag.Reset(), {Port: 0, Sym: "a"}}
+	if got := cfsmdiag.FormatInputs(ins); got != "R, a^1" {
+		t.Errorf("FormatInputs = %q", got)
+	}
+	obs := []cfsmdiag.Observation{{Sym: cfsmdiag.Null, Port: 0}}
+	if got := cfsmdiag.FormatObs(obs); got != "-" {
+		t.Errorf("FormatObs = %q", got)
+	}
+}

@@ -1,0 +1,537 @@
+// Command cfsmdiag validates, simulates, mutates and diagnoses systems of
+// communicating finite state machines stored as JSON files.
+//
+// Usage:
+//
+//	cfsmdiag validate    <system.json>                    stats + warnings
+//	cfsmdiag dot         <system.json>                    Graphviz rendering
+//	cfsmdiag seq         <system.json> -inputs "R, a^1"   Mermaid sequence diagram
+//	cfsmdiag simulate    <system.json> -inputs "R, a^1, c'^3"
+//	cfsmdiag tour        <system.json> [-maxlen N]        transition-tour suite
+//	cfsmdiag verifysuite <system.json> [-minimize]        fault-model-complete suite
+//	cfsmdiag detect      <system.json> [-suite s] [-address]  detection report
+//	cfsmdiag mutants     <system.json>                    enumerate faults
+//	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
+//	cfsmdiag diagnose    -spec s.json -iut i.json [-suite t.json] [-report] [-trace]
+//	cfsmdiag record      <system.json> -suite t.json      observation log
+//	cfsmdiag analyze     -spec s.json -suite t.json -obs o.json   offline analysis
+//	cfsmdiag serve       [-addr host:port]                JSON-over-HTTP service
+//
+// The diagnose subcommand runs the full algorithm of the paper: it executes
+// the suite (a generated transition tour when -suite is omitted) against the
+// IUT, analyzes the symptoms, and adaptively localizes the fault, printing
+// the Section 4-style walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/report"
+	"cfsmdiag/internal/server"
+	"cfsmdiag/internal/testgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cfsmdiag:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|inject|diagnose> ...")
+	}
+	switch args[0] {
+	case "validate":
+		return cmdValidate(args[1:], out)
+	case "dot":
+		return cmdDot(args[1:], out)
+	case "simulate":
+		return cmdSimulate(args[1:], out)
+	case "tour":
+		return cmdTour(args[1:], out)
+	case "mutants":
+		return cmdMutants(args[1:], out)
+	case "inject":
+		return cmdInject(args[1:], out)
+	case "diagnose":
+		return cmdDiagnose(args[1:], out)
+	case "seq":
+		return cmdSeq(args[1:], out)
+	case "verifysuite":
+		return cmdVerifySuite(args[1:], out)
+	case "detect":
+		return cmdDetect(args[1:], out)
+	case "analyze":
+		return cmdAnalyze(args[1:], out)
+	case "record":
+		return cmdRecord(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadSystem(path string) (*cfsm.System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return cfsm.ParseSystem(data)
+}
+
+func cmdValidate(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cfsmdiag validate <system.json>")
+	}
+	sys, err := loadSystem(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ok: %d machines, %d transitions\n", sys.N(), sys.NumTransitions())
+	for i := 0; i < sys.N(); i++ {
+		m := sys.Machine(i)
+		fmt.Fprintf(out, "  %s: %d states, %d transitions, IEO=%v IIO=%v\n",
+			m.Name(), len(m.States()), m.NumTransitions(), sys.IEO(i), sys.IIO(i))
+	}
+	for _, w := range core.CheckAssumptions(sys) {
+		fmt.Fprintf(out, "  warning %s\n", w)
+	}
+	return nil
+}
+
+func cmdDot(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cfsmdiag dot <system.json>")
+	}
+	sys, err := loadSystem(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, sys.DOT())
+	return nil
+}
+
+func cmdSimulate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	inputs := fs.String("inputs", "", "comma-separated inputs, e.g. \"R, a^1, c'^3\"")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *inputs == "" {
+		return fmt.Errorf("usage: cfsmdiag simulate <system.json> -inputs \"R, a^1\"")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ins, err := parseInputs(*inputs)
+	if err != nil {
+		return err
+	}
+	tc := cfsm.TestCase{Name: "cli", Inputs: ins}
+	obs, steps, err := sys.RunTrace(tc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "inputs:  %s\n", cfsm.FormatInputs(ins))
+	fmt.Fprintf(out, "outputs: %s\n", cfsm.FormatObs(obs))
+	for i, ex := range steps {
+		names := "-"
+		for k, e := range ex {
+			if k == 0 {
+				names = e.Trans.String()
+			} else {
+				names += " ; " + e.Trans.String()
+			}
+		}
+		fmt.Fprintf(out, "  %-8s -> %-8s via %s\n", ins[i], obs[i], names)
+	}
+	return nil
+}
+
+func cmdTour(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tour", flag.ContinueOnError)
+	maxLen := fs.Int("maxlen", 0, "maximum inputs per test case (0 = unbounded)")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cfsmdiag tour <system.json> [-maxlen N]")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	suite, uncovered := testgen.Tour(sys, *maxLen)
+	data, err := marshalSuite(suite)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, string(data))
+	if len(uncovered) > 0 {
+		fmt.Fprintf(out, "// uncovered (unreachable) transitions: %v\n", uncovered)
+	}
+	return nil
+}
+
+func cmdMutants(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cfsmdiag mutants <system.json>")
+	}
+	sys, err := loadSystem(args[0])
+	if err != nil {
+		return err
+	}
+	faults := fault.Enumerate(sys)
+	for _, f := range faults {
+		fmt.Fprintln(out, f.Describe(sys))
+	}
+	fmt.Fprintf(out, "total: %d single-transition faults\n", len(faults))
+	return nil
+}
+
+func cmdInject(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inject", flag.ContinueOnError)
+	faultSpec := fs.String("fault", "", "fault specifier, e.g. \"M1.t7:output=c'\" or \"M3.t\\\"4:to=s0\"")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *faultSpec == "" {
+		return fmt.Errorf("usage: cfsmdiag inject <system.json> -fault \"M.t:output=o,to=s\"")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ref, output, to, err := parseFault(sys, *faultSpec)
+	if err != nil {
+		return err
+	}
+	mutant, err := sys.Rewire(ref, output, to)
+	if err != nil {
+		return err
+	}
+	data, err := mutant.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, string(data))
+	return nil
+}
+
+func cmdDiagnose(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "specification system JSON")
+	iutPath := fs.String("iut", "", "implementation-under-test system JSON")
+	suitePath := fs.String("suite", "", "test suite JSON (default: generated transition tour)")
+	asMarkdown := fs.Bool("report", false, "emit a Markdown diagnosis report instead of the plain walkthrough")
+	trace := fs.Bool("trace", false, "narrate the adaptive localization as it runs")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if *specPath == "" || *iutPath == "" {
+		return fmt.Errorf("usage: cfsmdiag diagnose -spec <spec.json> -iut <iut.json> [-suite <suite.json>]")
+	}
+	spec, err := loadSystem(*specPath)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	iut, err := loadSystem(*iutPath)
+	if err != nil {
+		return fmt.Errorf("iut: %w", err)
+	}
+	var suite []cfsm.TestCase
+	if *suitePath != "" {
+		data, err := os.ReadFile(*suitePath)
+		if err != nil {
+			return err
+		}
+		suite, err = parseSuite(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		var uncovered []cfsm.Ref
+		suite, uncovered = testgen.Tour(spec, 0)
+		if len(uncovered) > 0 {
+			fmt.Fprintf(out, "note: %d unreachable transitions not covered by the generated tour\n", len(uncovered))
+		}
+	}
+	oracle := &core.SystemOracle{Sys: iut}
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		obs, err := oracle.Execute(tc)
+		if err != nil {
+			return err
+		}
+		observed[i] = obs
+	}
+	a, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		return err
+	}
+	var opts []core.Option
+	if *trace {
+		opts = append(opts, core.WithTracer(&core.TextTracer{W: out, Spec: spec}))
+	}
+	loc, err := core.Localize(a, oracle, opts...)
+	if err != nil {
+		return err
+	}
+	if *asMarkdown {
+		md, err := report.Markdown(loc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, md)
+		return nil
+	}
+	fmt.Fprint(out, a.Report())
+	fmt.Fprint(out, loc.Report())
+	fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", oracle.Tests, oracle.Inputs, len(suite))
+	return nil
+}
+
+func cmdSeq(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("seq", flag.ContinueOnError)
+	inputs := fs.String("inputs", "", "comma-separated inputs, e.g. \"R, a^1, c'^3\"")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *inputs == "" {
+		return fmt.Errorf("usage: cfsmdiag seq <system.json> -inputs \"R, a^1\"")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ins, err := parseInputs(*inputs)
+	if err != nil {
+		return err
+	}
+	diag, err := sys.SequenceDiagram(cfsm.TestCase{Name: "cli", Inputs: ins})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, diag)
+	return nil
+}
+
+func cmdVerifySuite(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verifysuite", flag.ContinueOnError)
+	minimize := fs.Bool("minimize", false, "greedily drop test cases that add no detection power")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cfsmdiag verifysuite <system.json> [-minimize]")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	suite, undetectable := testgen.VerificationSuite(sys)
+	if *minimize {
+		suite, err = testgen.MinimizeSuite(sys, suite)
+		if err != nil {
+			return err
+		}
+	}
+	data, err := marshalSuite(suite)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, string(data))
+	for _, f := range undetectable {
+		fmt.Fprintf(out, "// undetectable: %s\n", f.Describe(sys))
+	}
+	return nil
+}
+
+func cmdDetect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	suitePath := fs.String("suite", "", "test suite JSON (default: generated transition tour)")
+	address := fs.Bool("address", false, "include the addressing-fault extension")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cfsmdiag detect <system.json> [-suite s.json] [-address]")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var suite []cfsm.TestCase
+	if *suitePath != "" {
+		data, err := os.ReadFile(*suitePath)
+		if err != nil {
+			return err
+		}
+		suite, err = parseSuite(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		suite, _ = testgen.Tour(sys, 0)
+	}
+	report, err := testgen.Detection(sys, suite, *address, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fault space: %d; detected: %d; missed: %d; undetectable: %d; rate: %.1f%%\n",
+		report.Faults, len(report.Detected), len(report.Missed),
+		len(report.Undetectable), 100*report.DetectionRate())
+	for _, f := range report.Missed {
+		fmt.Fprintf(out, "  missed: %s\n", f.Describe(sys))
+	}
+	for _, f := range report.Undetectable {
+		fmt.Fprintf(out, "  undetectable: %s\n", f.Describe(sys))
+	}
+	return nil
+}
+
+// cmdAnalyze performs offline diagnosis: Steps 1–5 against a recorded
+// observation log (no interactive oracle), then prints the planned next
+// diagnostic tests with per-hypothesis predictions.
+func cmdAnalyze(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "specification system JSON")
+	suitePath := fs.String("suite", "", "test suite JSON")
+	obsPath := fs.String("obs", "", "recorded observations JSON")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if *specPath == "" || *suitePath == "" || *obsPath == "" {
+		return fmt.Errorf("usage: cfsmdiag analyze -spec <spec.json> -suite <suite.json> -obs <obs.json>")
+	}
+	spec, err := loadSystem(*specPath)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	suiteData, err := os.ReadFile(*suitePath)
+	if err != nil {
+		return err
+	}
+	suite, err := parseSuite(suiteData)
+	if err != nil {
+		return err
+	}
+	obsData, err := os.ReadFile(*obsPath)
+	if err != nil {
+		return err
+	}
+	observed, err := parseObservations(obsData)
+	if err != nil {
+		return err
+	}
+	a, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, a.Report())
+	planned := core.SuggestNextTests(a)
+	if len(planned) == 0 {
+		if len(a.Diagnoses) == 1 {
+			fmt.Fprintf(out, "Single diagnosis — no further tests needed: %s\n",
+				a.Diagnoses[0].Describe(spec))
+		}
+		return nil
+	}
+	fmt.Fprintln(out, "Suggested next diagnostic tests:")
+	for _, p := range planned {
+		fmt.Fprintf(out, "  target %s: apply \"%s\"\n",
+			spec.RefString(p.Target), cfsm.FormatInputs(p.Test.Inputs))
+		for _, pred := range p.Predictions {
+			label := "if correct"
+			if pred.Fault != nil {
+				label = "if " + pred.Fault.Describe(spec)
+			}
+			fmt.Fprintf(out, "    %-60s -> \"%s\"\n", label, cfsm.FormatObs(pred.Expected))
+		}
+	}
+	return nil
+}
+
+// cmdRecord executes a suite against a system and writes the observation
+// log — the producer side of the offline workflow (and a convenient way to
+// build fixtures from mutants).
+func cmdRecord(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	suitePath := fs.String("suite", "", "test suite JSON")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *suitePath == "" {
+		return fmt.Errorf("usage: cfsmdiag record <system.json> -suite <suite.json>")
+	}
+	sys, err := loadSystem(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	suiteData, err := os.ReadFile(*suitePath)
+	if err != nil {
+		return err
+	}
+	suite, err := parseSuite(suiteData)
+	if err != nil {
+		return err
+	}
+	observed, err := sys.RunSuite(suite)
+	if err != nil {
+		return err
+	}
+	data, err := marshalObservations(observed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, string(data))
+	return nil
+}
+
+// cmdServe runs the JSON-over-HTTP diagnosis service (internal/server):
+// /api/validate, /api/diagnose, /api/analyze.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cfsmdiag service listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(ln)
+}
+
+// parseArgs parses flags that may appear before or after the positional
+// argument (flag.FlagSet stops at the first non-flag).
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	var positional []string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		positional = append(positional, args[0])
+		args = args[1:]
+	}
+	return fs.Parse(positional)
+}

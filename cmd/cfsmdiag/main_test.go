@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/paper"
+)
+
+func writeSystem(t *testing.T, sys *cfsm.System, name string) string {
+	t.Helper()
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestParseInput(t *testing.T) {
+	tests := []struct {
+		tok     string
+		want    cfsm.Input
+		wantErr bool
+	}{
+		{tok: "R", want: cfsm.Reset()},
+		{tok: "a^1", want: cfsm.Input{Port: 0, Sym: "a"}},
+		{tok: "c'^3", want: cfsm.Input{Port: 2, Sym: "c'"}},
+		{tok: " b^2 ", want: cfsm.Input{Port: 1, Sym: "b"}},
+		{tok: "a", wantErr: true},
+		{tok: "a^", wantErr: true},
+		{tok: "^1", wantErr: true},
+		{tok: "a^zero", wantErr: true},
+		{tok: "a^0", wantErr: true},
+	}
+	for _, tc := range tests {
+		got, err := parseInput(tc.tok)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseInput(%q): want error", tc.tok)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("parseInput(%q) = %v, %v; want %v", tc.tok, got, err, tc.want)
+		}
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	ins, err := parseInputs("R, a^1, c'^3")
+	if err != nil || len(ins) != 3 {
+		t.Fatalf("parseInputs = %v, %v", ins, err)
+	}
+	if _, err := parseInputs("  , "); err == nil {
+		t.Error("want error for empty sequence")
+	}
+	if _, err := parseInputs("R, bogus"); err == nil {
+		t.Error("want error for bad token")
+	}
+}
+
+func TestParseAndMarshalSuite(t *testing.T) {
+	suite := paper.TestSuite()
+	data, err := marshalSuite(suite)
+	if err != nil {
+		t.Fatalf("marshalSuite: %v", err)
+	}
+	back, err := parseSuite(data)
+	if err != nil {
+		t.Fatalf("parseSuite: %v", err)
+	}
+	if len(back) != len(suite) {
+		t.Fatalf("round trip: %d cases, want %d", len(back), len(suite))
+	}
+	for i := range suite {
+		if cfsm.FormatInputs(back[i].Inputs) != cfsm.FormatInputs(suite[i].Inputs) {
+			t.Errorf("case %d differs", i)
+		}
+	}
+	if _, err := parseSuite([]byte("{")); err == nil {
+		t.Error("want error for bad JSON")
+	}
+	if _, err := parseSuite([]byte(`{"testcases":[]}`)); err == nil {
+		t.Error("want error for empty suite")
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	sys := paper.MustFigure1()
+	ref, output, to, err := parseFault(sys, "M1.t7:output=c'")
+	if err != nil || ref.Name != "t7" || output != "c'" || to != "" {
+		t.Fatalf("parseFault = %v %q %q %v", ref, output, to, err)
+	}
+	ref, output, to, err = parseFault(sys, `M3.t"4:to=s0`)
+	if err != nil || ref.Name != `t"4` || output != "" || to != "s0" {
+		t.Fatalf("parseFault = %v %q %q %v", ref, output, to, err)
+	}
+	_, output, to, err = parseFault(sys, "M1.t7:output=c',to=s2")
+	if err != nil || output != "c'" || to != "s2" {
+		t.Fatalf("parseFault combined = %q %q %v", output, to, err)
+	}
+	for _, bad := range []string{
+		"nonsense", "M9.t7:output=c'", "M1.zz:output=c'",
+		"M1.t7:bogus=1", "M1.t7:", "t7:output=c'",
+	} {
+		if _, _, _, err := parseFault(sys, bad); err == nil {
+			t.Errorf("parseFault(%q): want error", bad)
+		}
+	}
+}
+
+func TestCLIValidateAndDot(t *testing.T) {
+	path := writeSystem(t, paper.MustFigure1(), "fig1.json")
+	out, err := runCLI(t, "validate", path)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(out, "3 machines") {
+		t.Errorf("validate output: %q", out)
+	}
+	out, err = runCLI(t, "dot", path)
+	if err != nil || !strings.Contains(out, "digraph") {
+		t.Fatalf("dot: %v %q", err, out)
+	}
+}
+
+func TestCLISimulate(t *testing.T) {
+	path := writeSystem(t, paper.MustFigure1(), "fig1.json")
+	out, err := runCLI(t, "simulate", path, "-inputs", "R, a^1, c'^3")
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !strings.Contains(out, "outputs: -, c'^1, a^3") {
+		t.Errorf("simulate output: %q", out)
+	}
+}
+
+func TestCLITourAndMutants(t *testing.T) {
+	path := writeSystem(t, paper.MustFigure1(), "fig1.json")
+	out, err := runCLI(t, "tour", path)
+	if err != nil || !strings.Contains(out, "testcases") {
+		t.Fatalf("tour: %v %q", err, out)
+	}
+	out, err = runCLI(t, "mutants", path)
+	if err != nil || !strings.Contains(out, "total: 145 single-transition faults") {
+		t.Fatalf("mutants: %v\n%s", err, out)
+	}
+}
+
+func TestCLIInjectAndDiagnose(t *testing.T) {
+	specPath := writeSystem(t, paper.MustFigure1(), "spec.json")
+	out, err := runCLI(t, "inject", specPath, "-fault", `M3.t"4:to=s0`)
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	iutPath := filepath.Join(t.TempDir(), "iut.json")
+	if err := os.WriteFile(iutPath, []byte(out), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	// Write the paper's suite to disk and diagnose with it.
+	suiteData, err := marshalSuite(paper.TestSuite())
+	if err != nil {
+		t.Fatalf("marshalSuite: %v", err)
+	}
+	suitePath := filepath.Join(t.TempDir(), "suite.json")
+	if err := os.WriteFile(suitePath, suiteData, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	out, err = runCLI(t, "diagnose", "-spec", specPath, "-iut", iutPath, "-suite", suitePath)
+	if err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+	for _, want := range []string{"Step 3", "Verdict: fault localized", `t"4 transfers to s0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnose output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Diagnose with a generated tour instead of an explicit suite.
+	out, err = runCLI(t, "diagnose", "-spec", specPath, "-iut", iutPath)
+	if err != nil || !strings.Contains(out, "fault localized") {
+		t.Fatalf("diagnose (tour): %v\n%s", err, out)
+	}
+
+	// Trace mode narrates the adaptive phase.
+	out, err = runCLI(t, "diagnose", "-spec", specPath, "-iut", iutPath, "-suite", suitePath, "-trace")
+	if err != nil {
+		t.Fatalf("diagnose -trace: %v", err)
+	}
+	if !strings.Contains(out, "testing candidate M1.t7") {
+		t.Errorf("trace output missing narration:\n%s", out)
+	}
+
+	// Markdown report mode.
+	out, err = runCLI(t, "diagnose", "-spec", specPath, "-iut", iutPath, "-suite", suitePath, "-report")
+	if err != nil {
+		t.Fatalf("diagnose -report: %v", err)
+	}
+	for _, want := range []string{"# CFSM diagnosis report", "```mermaid", "**Verdict:** fault localized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q", want)
+		}
+	}
+}
+
+func TestCLISeq(t *testing.T) {
+	path := writeSystem(t, paper.MustFigure1(), "fig1.json")
+	out, err := runCLI(t, "seq", path, "-inputs", "R, a^1, c^1")
+	if err != nil {
+		t.Fatalf("seq: %v", err)
+	}
+	for _, want := range []string{"sequenceDiagram", "T->>M1: a", "M1->>M2: c' (t6)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seq output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCLI(t, "seq", path); err == nil {
+		t.Error("want usage error without -inputs")
+	}
+}
+
+func TestCLIVerifySuiteAndDetect(t *testing.T) {
+	path := writeSystem(t, paper.MustFigure1(), "fig1.json")
+	out, err := runCLI(t, "verifysuite", path)
+	if err != nil || !strings.Contains(out, "testcases") {
+		t.Fatalf("verifysuite: %v %q", err, out[:80])
+	}
+	minimized, err := runCLI(t, "verifysuite", path, "-minimize")
+	if err != nil || !strings.Contains(minimized, "testcases") {
+		t.Fatalf("verifysuite -minimize: %v", err)
+	}
+	if len(minimized) >= len(out) {
+		t.Errorf("minimized suite output (%d bytes) not smaller than full (%d bytes)",
+			len(minimized), len(out))
+	}
+
+	// Detection with a generated tour.
+	out, err = runCLI(t, "detect", path)
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if !strings.Contains(out, "fault space: 145") || !strings.Contains(out, "missed:") {
+		t.Errorf("detect output: %q", out)
+	}
+	// Detection of the paper's suite, including address faults.
+	suiteData, err := marshalSuite(paper.TestSuite())
+	if err != nil {
+		t.Fatalf("marshalSuite: %v", err)
+	}
+	suitePath := filepath.Join(t.TempDir(), "suite.json")
+	if err := os.WriteFile(suitePath, suiteData, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	out, err = runCLI(t, "detect", path, "-suite", suitePath, "-address")
+	if err != nil {
+		t.Fatalf("detect -address: %v", err)
+	}
+	if !strings.Contains(out, "fault space: 167") { // 145 + 22 address faults
+		t.Errorf("detect -address output: %q", out)
+	}
+}
+
+func TestParseObservations(t *testing.T) {
+	obs, err := parseObservations([]byte(`{"observations":[["-","c'^1","ε^3"]]}`))
+	if err != nil {
+		t.Fatalf("parseObservations: %v", err)
+	}
+	if len(obs) != 1 || len(obs[0]) != 3 {
+		t.Fatalf("obs = %v", obs)
+	}
+	if obs[0][0] != (cfsm.Observation{Sym: cfsm.Null, Port: 0}) {
+		t.Errorf("null = %v", obs[0][0])
+	}
+	if obs[0][1] != (cfsm.Observation{Sym: "c'", Port: 0}) {
+		t.Errorf("c' = %v", obs[0][1])
+	}
+	if obs[0][2] != (cfsm.Observation{Sym: cfsm.Epsilon, Port: 2}) {
+		t.Errorf("ε = %v", obs[0][2])
+	}
+	for _, bad := range []string{`{`, `{"observations":[]}`, `{"observations":[["nope"]]}`, `{"observations":[["x^0"]]}`} {
+		if _, err := parseObservations([]byte(bad)); err == nil {
+			t.Errorf("parseObservations(%q): want error", bad)
+		}
+	}
+}
+
+// TestCLIOfflineWorkflow drives the record → analyze pipeline: record the
+// faulty IUT's outputs for the paper suite, analyze them offline, and check
+// the report plus the suggested tests.
+func TestCLIOfflineWorkflow(t *testing.T) {
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	specPath := writeSystem(t, paper.MustFigure1(), "spec.json")
+	iutPath := writeSystem(t, iut, "iut.json")
+	suiteData, err := marshalSuite(paper.TestSuite())
+	if err != nil {
+		t.Fatalf("marshalSuite: %v", err)
+	}
+	dir := t.TempDir()
+	suitePath := filepath.Join(dir, "suite.json")
+	if err := os.WriteFile(suitePath, suiteData, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	recorded, err := runCLI(t, "record", iutPath, "-suite", suitePath)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	obsPath := filepath.Join(dir, "obs.json")
+	if err := os.WriteFile(obsPath, []byte(recorded), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	out, err := runCLI(t, "analyze", "-spec", specPath, "-suite", suitePath, "-obs", obsPath)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{
+		"Diag1: M1.t7 outputs c' instead of d'",
+		"Suggested next diagnostic tests:",
+		`target M1.t7: apply "R, c^1, b^1"`,
+		"if correct",
+		`if M1.t7 outputs c' instead of d'`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("want usage error for no args")
+	}
+	if _, err := runCLI(t, "bogus"); err == nil {
+		t.Error("want error for unknown subcommand")
+	}
+	if _, err := runCLI(t, "validate"); err == nil {
+		t.Error("want usage error for validate without file")
+	}
+	if _, err := runCLI(t, "validate", "/nonexistent.json"); err == nil {
+		t.Error("want error for missing file")
+	}
+	if _, err := runCLI(t, "diagnose", "-spec", "/nonexistent.json", "-iut", "/nope.json"); err == nil {
+		t.Error("want error for missing spec")
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// parseInput parses one input token in the notation the library prints.
+func parseInput(tok string) (cfsm.Input, error) {
+	return cfsm.ParseInputToken(tok)
+}
+
+// parseInputs parses a comma-separated input sequence, e.g. "R, a^1, c'^3".
+func parseInputs(s string) ([]cfsm.Input, error) {
+	var out []cfsm.Input
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		in, err := parseInput(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty input sequence")
+	}
+	return out, nil
+}
+
+// suiteJSON is the on-disk format of a test suite.
+type suiteJSON struct {
+	TestCases []testCaseJSON `json:"testcases"`
+}
+
+type testCaseJSON struct {
+	Name   string   `json:"name"`
+	Inputs []string `json:"inputs"`
+}
+
+// parseSuite decodes a test-suite file.
+func parseSuite(data []byte) ([]cfsm.TestCase, error) {
+	var doc suiteJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("decode suite: %w", err)
+	}
+	var out []cfsm.TestCase
+	for i, tj := range doc.TestCases {
+		tc := cfsm.TestCase{Name: tj.Name}
+		if tc.Name == "" {
+			tc.Name = fmt.Sprintf("tc%d", i+1)
+		}
+		for _, tok := range tj.Inputs {
+			in, err := parseInput(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", tc.Name, err)
+			}
+			tc.Inputs = append(tc.Inputs, in)
+		}
+		out = append(out, tc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("suite contains no test cases")
+	}
+	return out, nil
+}
+
+// marshalSuite encodes a suite in the on-disk format.
+func marshalSuite(suite []cfsm.TestCase) ([]byte, error) {
+	doc := suiteJSON{}
+	for _, tc := range suite {
+		tj := testCaseJSON{Name: tc.Name}
+		for _, in := range tc.Inputs {
+			tj.Inputs = append(tj.Inputs, in.String())
+		}
+		doc.TestCases = append(doc.TestCases, tj)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// obsJSON is the on-disk format of recorded observations: one sequence of
+// observation tokens ("-", "c'^1", "ε^3") per test case, in suite order.
+type obsJSON struct {
+	Observations [][]string `json:"observations"`
+}
+
+// parseObservation parses one observation token.
+func parseObservation(tok string) (cfsm.Observation, error) {
+	return cfsm.ParseObservationToken(tok)
+}
+
+// parseObservations decodes a recorded-observation file.
+func parseObservations(data []byte) ([][]cfsm.Observation, error) {
+	var doc obsJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("decode observations: %w", err)
+	}
+	if len(doc.Observations) == 0 {
+		return nil, fmt.Errorf("observation file contains no sequences")
+	}
+	out := make([][]cfsm.Observation, len(doc.Observations))
+	for i, seq := range doc.Observations {
+		for _, tok := range seq {
+			o, err := parseObservation(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sequence %d: %w", i+1, err)
+			}
+			out[i] = append(out[i], o)
+		}
+	}
+	return out, nil
+}
+
+// marshalObservations encodes observation sequences in the on-disk format.
+func marshalObservations(obs [][]cfsm.Observation) ([]byte, error) {
+	doc := obsJSON{Observations: make([][]string, len(obs))}
+	for i, seq := range obs {
+		for _, o := range seq {
+			doc.Observations[i] = append(doc.Observations[i], o.String())
+		}
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// parseFault parses a fault specifier "M.t:output=o", "M.t:to=s" or
+// "M.t:output=o,to=s", where M is a machine name and t a transition name.
+func parseFault(sys *cfsm.System, spec string) (cfsm.Ref, cfsm.Symbol, cfsm.State, error) {
+	colon := strings.LastIndex(spec, ":")
+	if colon < 0 {
+		return cfsm.Ref{}, "", "", fmt.Errorf("fault %q: want M.t:output=...,to=...", spec)
+	}
+	target, mods := spec[:colon], spec[colon+1:]
+	dot := strings.Index(target, ".")
+	if dot <= 0 {
+		return cfsm.Ref{}, "", "", fmt.Errorf("fault %q: target %q is not machine.transition", spec, target)
+	}
+	machineName, transName := target[:dot], target[dot+1:]
+	machine := -1
+	for i := 0; i < sys.N(); i++ {
+		if sys.Machine(i).Name() == machineName {
+			machine = i
+			break
+		}
+	}
+	if machine < 0 {
+		return cfsm.Ref{}, "", "", fmt.Errorf("fault %q: unknown machine %q", spec, machineName)
+	}
+	ref := cfsm.Ref{Machine: machine, Name: transName}
+	if _, ok := sys.Transition(ref); !ok {
+		return cfsm.Ref{}, "", "", fmt.Errorf("fault %q: unknown transition %q in %s", spec, transName, machineName)
+	}
+	var output cfsm.Symbol
+	var to cfsm.State
+	for _, mod := range strings.Split(mods, ",") {
+		mod = strings.TrimSpace(mod)
+		switch {
+		case strings.HasPrefix(mod, "output="):
+			output = cfsm.Symbol(mod[len("output="):])
+		case strings.HasPrefix(mod, "to="):
+			to = cfsm.State(mod[len("to="):])
+		default:
+			return cfsm.Ref{}, "", "", fmt.Errorf("fault %q: unknown modifier %q", spec, mod)
+		}
+	}
+	if output == "" && to == "" {
+		return cfsm.Ref{}, "", "", fmt.Errorf("fault %q: need output= and/or to=", spec)
+	}
+	return ref, output, to, nil
+}

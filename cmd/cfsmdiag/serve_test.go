@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cfsmdiag/internal/paper"
+)
+
+// syncBuffer is a race-safe writer shared between the server goroutine and
+// the polling test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+// TestCLIServe boots the service on an ephemeral port and round-trips a
+// validate request through it.
+func TestCLIServe(t *testing.T) {
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0"}, &buf)
+	}()
+
+	// Wait for the listen line to learn the port.
+	var url string
+	for i := 0; i < 200 && url == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if line := buf.String(); strings.Contains(line, "http://") {
+			url = strings.TrimSpace(line[strings.Index(line, "http://"):])
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v", err)
+		default:
+		}
+	}
+	if url == "" {
+		t.Fatal("server did not announce its address")
+	}
+
+	data, err := paper.MustFigure1().MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	body := fmt.Sprintf(`{"spec": %s}`, data)
+	resp, err := http.Post(url+"/api/validate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), `"machines":3`) {
+		t.Fatalf("status %d body %s", resp.StatusCode, out)
+	}
+	// The server goroutine keeps serving; the test binary tears it down on
+	// exit (the listener is bound to an ephemeral port owned by this test).
+}

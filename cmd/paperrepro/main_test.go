@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	tests := []struct {
+		experiment string
+		want       []string
+	}{
+		{"table1", []string{"Table 1 reproduced exactly: true"}},
+		{"walkthrough", []string{"Diag1: M1.t7 outputs c' instead of d'", `Diag2: M3.t"4 transfers to s0`}},
+		{"adaptive", []string{`R, c^1, b^1`, "fault localized", `t"4 transfers to s0`}},
+		{"figure1", []string{"M1 (port 1", "t7: s2 -b/d'-> s0"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.experiment, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.experiment, 1, false, &buf); err != nil {
+				t.Fatalf("run(%s): %v", tc.experiment, err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(buf.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, buf.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunSweepExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment is slow")
+	}
+	var buf bytes.Buffer
+	if err := run("sweep", 1, false, &buf); err != nil {
+		t.Fatalf("run(sweep): %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"145 mutants",
+		"fault-model verification suite",
+		"localized-correct:         145",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "inconsistent") || strings.Contains(out, "wrong") {
+		t.Errorf("sweep output reports failures:\n%s", out)
+	}
+}
+
+func TestRunCostExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost experiment is slow")
+	}
+	var buf bytes.Buffer
+	if err := run("cost", 8, false, &buf); err != nil {
+		t.Fatalf("run(cost): %v", err)
+	}
+	if !strings.Contains(buf.String(), "figure1") {
+		t.Errorf("cost output missing figure1 row:\n%s", buf.String())
+	}
+}
+
+func TestRunExtensionsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions experiment is slow")
+	}
+	var buf bytes.Buffer
+	if err := run("extensions", 1, false, &buf); err != nil {
+		t.Fatalf("run(extensions): %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"22 addressing mutants",
+		"0 wrong",
+		"E8: double-fault diagnosis",
+		"verdict:   fault localized",
+		"E9: unsynchronized ports",
+		"E10: alternating-bit protocol",
+		"localized-correct=304",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure1WithDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("figure1", 1, true, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Error("missing DOT output")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("bogus", 1, false, &buf); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}

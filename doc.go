@@ -1,0 +1,36 @@
+// Package cfsmdiag localizes single transition faults in deterministic
+// systems of communicating finite state machines (CFSMs), implementing the
+// diagnostic algorithm of Ghedamsi, v. Bochmann and Dssouli, "Diagnosis of
+// Single Transition Faults in Communicating Finite State Machines"
+// (ICDCS 1993).
+//
+// A system is modeled as N deterministic partial FSMs with distributed
+// external ports; machines exchange messages through internal queues, and an
+// internal output immediately triggers an external-output transition of the
+// receiving machine. The implementation under test is assumed to differ from
+// the specification in at most one transition, which may produce a wrong
+// output (message type), move to a wrong next state, or both.
+//
+// The typical workflow:
+//
+//	spec, _ := cfsmdiag.NewSystem(machineA, machineB)   // the specification
+//	suite, _ := cfsmdiag.GenerateTour(spec, 0)           // or a hand-written suite
+//	oracle := &cfsmdiag.SystemOracle{Sys: implementation}
+//	result, _ := cfsmdiag.Diagnose(spec, suite, oracle)
+//	if result.Verdict == cfsmdiag.VerdictLocalized {
+//	    fmt.Println(result.Fault.Describe(spec))
+//	}
+//
+// Diagnose executes the test suite, compares observed and expected outputs,
+// derives the candidate transitions that can explain the symptoms (Steps 1–5
+// of the paper), and — when several hypotheses survive — adaptively generates
+// additional diagnostic test cases that avoid all other candidates until the
+// fault is localized (Step 6).
+//
+// The implementation subpackages are available for finer-grained use:
+// internal/cfsm (model and simulator), internal/fsm (single-machine
+// substrate), internal/fault (fault model and mutant enumeration),
+// internal/testgen (tours, transfer and distinguishing sequences),
+// internal/core (the diagnosis engine) and internal/singlefsm (the
+// single-FSM baseline the paper generalizes).
+package cfsmdiag

@@ -1,0 +1,122 @@
+package cfsmdiag_test
+
+import (
+	"fmt"
+
+	"cfsmdiag"
+	"cfsmdiag/internal/paper"
+)
+
+// Example diagnoses the paper's Section 4 scenario through the public API:
+// the Figure 1 specification, its two-test-case suite, and an implementation
+// whose transition t"4 transfers to the wrong state.
+func Example() {
+	spec := paper.MustFigure1()
+	iut, err := cfsmdiag.InjectFault(spec, cfsmdiag.Fault{
+		Ref:  paper.FaultRef, // M3.t"4
+		Kind: cfsmdiag.KindTransfer,
+		To:   "s0",
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	result, err := cfsmdiag.Diagnose(spec, paper.TestSuite(), &cfsmdiag.SystemOracle{Sys: iut})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(result.Verdict)
+	fmt.Println(result.Fault.Describe(spec))
+	// Output:
+	// fault localized
+	// M3.t"4 transfers to s0 instead of s1
+}
+
+// ExampleNewSystem shows the model-building API: external-output transitions
+// deliver to the machine's own port (DestEnv) and internal-output
+// transitions to a peer machine's queue.
+func ExampleNewSystem() {
+	ping, _ := cfsmdiag.NewMachine("Ping", "p0",
+		[]cfsmdiag.State{"p0"},
+		[]cfsmdiag.Transition{
+			{Name: "p1", From: "p0", Input: "go", Output: "ball", To: "p0", Dest: 1},
+		})
+	pong, _ := cfsmdiag.NewMachine("Pong", "q0",
+		[]cfsmdiag.State{"q0"},
+		[]cfsmdiag.Transition{
+			{Name: "q1", From: "q0", Input: "ball", Output: "return", To: "q0", Dest: cfsmdiag.DestEnv},
+		})
+	sys, err := cfsmdiag.NewSystem(ping, pong)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	obs, _ := sys.Run(cfsmdiag.TestCase{Inputs: []cfsmdiag.Input{
+		cfsmdiag.Reset(),
+		{Port: 0, Sym: "go"},
+	}})
+	fmt.Println(cfsmdiag.FormatObs(obs))
+	// Output:
+	// -, return^2
+}
+
+// ExampleGenerateTour generates a transition-covering test suite.
+func ExampleGenerateTour() {
+	spec := paper.MustFigure1()
+	suite, uncovered := cfsmdiag.GenerateTour(spec, 0)
+	fmt.Println(len(suite) > 0, len(uncovered))
+	// Output:
+	// true 0
+}
+
+// ExampleCheckAssumptions inspects a specification for properties that can
+// weaken the diagnosis guarantees; the Figure 1 system is clean.
+func ExampleCheckAssumptions() {
+	warnings := cfsmdiag.CheckAssumptions(paper.MustFigure1())
+	fmt.Println(len(warnings))
+	// Output:
+	// 0
+}
+
+// ExampleSuggestNextTests plans the additional diagnostic tests offline:
+// the first planned test is the paper's own "R, c¹, b¹" for the unique
+// symptom transition t7.
+func ExampleSuggestNextTests() {
+	spec := paper.MustFigure1()
+	iut, _ := paper.FaultyImplementation()
+	suite := paper.TestSuite()
+	observed, _ := iut.RunSuite(suite)
+	analysis, _ := cfsmdiag.Analyze(spec, suite, observed)
+	planned := cfsmdiag.SuggestNextTests(analysis)
+	fmt.Println(spec.RefString(planned[0].Target))
+	fmt.Println(cfsmdiag.FormatInputs(planned[0].Test.Inputs))
+	// Output:
+	// M1.t7
+	// R, c^1, b^1
+}
+
+// ExampleGenerateVerificationSuite builds a fault-model-complete suite: on
+// the Figure 1 system it detects all 145 single-transition mutants.
+func ExampleGenerateVerificationSuite() {
+	suite, undetectable := cfsmdiag.GenerateVerificationSuite(paper.MustFigure1())
+	fmt.Println(len(suite) > 0, len(undetectable))
+	// Output:
+	// true 0
+}
+
+// ExampleAnalyze runs only Steps 1–5 and inspects the diagnoses.
+func ExampleAnalyze() {
+	spec := paper.MustFigure1()
+	iut, _ := paper.FaultyImplementation()
+	suite := paper.TestSuite()
+	observed, _ := iut.RunSuite(suite)
+	analysis, _ := cfsmdiag.Analyze(spec, suite, observed)
+	for _, d := range analysis.Diagnoses {
+		fmt.Println(d.Describe(spec))
+	}
+	// Output:
+	// M1.t7 outputs c' instead of d'
+	// M3.t"4 transfers to s0 instead of s1
+	// M3.t"5 outputs a instead of b
+}

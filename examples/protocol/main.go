@@ -1,0 +1,147 @@
+// Protocol: diagnosing a connection-establishment protocol.
+//
+// A client machine (port 1) and a server machine (port 2) communicate
+// through internal queues, exactly the setting the paper's introduction
+// motivates (communication protocols modeled as CFSMs). The tester drives
+// the client's port to open and close connections and the server's port to
+// accept, reject or drop them; every stimulus produces one observable
+// output at one of the two ports.
+//
+// The implementation under test has a transfer fault: after accepting a
+// connection the server forgets it (it returns to "listen" instead of
+// entering "est"). A small functional regression suite detects the fault
+// and the library localizes it.
+//
+// Run with: go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfsmdiag"
+)
+
+const (
+	client = 0
+	server = 1
+)
+
+// buildSpec constructs the protocol specification.
+func buildSpec() (*cfsmdiag.System, error) {
+	c, err := cfsmdiag.NewMachine("Client", "idle",
+		[]cfsmdiag.State{"idle", "waiting", "open"},
+		[]cfsmdiag.Transition{
+			// Port-driven behaviour.
+			{Name: "c1", From: "idle", Input: "connect", Output: "REQ", To: "waiting", Dest: server},
+			{Name: "c2", From: "waiting", Input: "status", Output: "pending", To: "waiting", Dest: cfsmdiag.DestEnv},
+			{Name: "c3", From: "open", Input: "status", Output: "up", To: "open", Dest: cfsmdiag.DestEnv},
+			{Name: "c4", From: "idle", Input: "status", Output: "down", To: "idle", Dest: cfsmdiag.DestEnv},
+			{Name: "c5", From: "open", Input: "close", Output: "FIN", To: "idle", Dest: server},
+			// Receptions from the server.
+			{Name: "c6", From: "waiting", Input: "ACK", Output: "connected", To: "open", Dest: cfsmdiag.DestEnv},
+			{Name: "c7", From: "waiting", Input: "RST", Output: "refused", To: "idle", Dest: cfsmdiag.DestEnv},
+			{Name: "c8", From: "open", Input: "RST", Output: "dropped", To: "idle", Dest: cfsmdiag.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	s, err := cfsmdiag.NewMachine("Server", "listen",
+		[]cfsmdiag.State{"listen", "pending", "est"},
+		[]cfsmdiag.Transition{
+			// Receptions from the client.
+			{Name: "s1", From: "listen", Input: "REQ", Output: "incoming", To: "pending", Dest: cfsmdiag.DestEnv},
+			{Name: "s4", From: "est", Input: "FIN", Output: "closed", To: "listen", Dest: cfsmdiag.DestEnv},
+			// Port-driven behaviour.
+			{Name: "s2", From: "pending", Input: "accept", Output: "ACK", To: "est", Dest: client},
+			{Name: "s3", From: "pending", Input: "reject", Output: "RST", To: "listen", Dest: client},
+			{Name: "s5", From: "est", Input: "drop", Output: "RST", To: "listen", Dest: client},
+			{Name: "s6", From: "listen", Input: "status", Output: "listening", To: "listen", Dest: cfsmdiag.DestEnv},
+			{Name: "s7", From: "est", Input: "status", Output: "established", To: "est", Dest: cfsmdiag.DestEnv},
+			{Name: "s8", From: "pending", Input: "status", Output: "pend", To: "pending", Dest: cfsmdiag.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cfsmdiag.NewSystem(c, s)
+}
+
+// regressionSuite is a hand-written functional suite: connect/accept/close,
+// connect/reject, connect/accept/drop.
+func regressionSuite() []cfsmdiag.TestCase {
+	in := func(port int, sym cfsmdiag.Symbol) cfsmdiag.Input {
+		return cfsmdiag.Input{Port: port, Sym: sym}
+	}
+	return []cfsmdiag.TestCase{
+		{Name: "open-close", Inputs: []cfsmdiag.Input{
+			cfsmdiag.Reset(),
+			in(client, "connect"), // -> incoming @ server
+			in(server, "accept"),  // -> connected @ client
+			in(client, "status"),  // -> up @ client
+			in(server, "status"),  // -> established @ server
+			in(client, "close"),   // -> closed @ server
+			in(server, "status"),  // -> listening @ server
+		}},
+		{Name: "rejected", Inputs: []cfsmdiag.Input{
+			cfsmdiag.Reset(),
+			in(client, "connect"),
+			in(server, "reject"), // -> refused @ client
+			in(client, "status"), // -> down @ client
+		}},
+		{Name: "dropped", Inputs: []cfsmdiag.Input{
+			cfsmdiag.Reset(),
+			in(client, "connect"),
+			in(server, "accept"),
+			in(server, "drop"),   // -> dropped @ client
+			in(client, "status"), // -> down @ client
+		}},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec, err := buildSpec()
+	if err != nil {
+		return err
+	}
+
+	// The buggy build: after accepting, the server returns to "listen"
+	// instead of entering "est".
+	bug := cfsmdiag.Fault{
+		Ref:  cfsmdiag.Ref{Machine: server, Name: "s2"},
+		Kind: cfsmdiag.KindTransfer,
+		To:   "listen",
+	}
+	iut, err := cfsmdiag.InjectFault(spec, bug)
+	if err != nil {
+		return err
+	}
+
+	suite := regressionSuite()
+	fmt.Println("functional regression suite:")
+	for _, tc := range suite {
+		fmt.Printf("  %s\n", tc)
+	}
+	fmt.Println()
+
+	oracle := &cfsmdiag.SystemOracle{Sys: iut}
+	result, err := cfsmdiag.Diagnose(spec, suite, oracle)
+	if err != nil {
+		return err
+	}
+	fmt.Print(result.Analysis.Report())
+	fmt.Print(result.Report())
+
+	if result.Verdict != cfsmdiag.VerdictLocalized {
+		return fmt.Errorf("expected localization, got %v", result.Verdict)
+	}
+	fmt.Printf("\n>>> root cause: %s\n", result.Fault.Describe(spec))
+	fmt.Printf(">>> total cost: %d tests, %d inputs (%d were the regression suite)\n",
+		oracle.Tests, oracle.Inputs, len(suite))
+	return nil
+}

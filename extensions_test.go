@@ -1,0 +1,120 @@
+package cfsmdiag_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfsmdiag"
+	"cfsmdiag/internal/paper"
+)
+
+func TestFacadeVerificationSuite(t *testing.T) {
+	spec := paper.MustFigure1()
+	suite, undetectable := cfsmdiag.GenerateVerificationSuite(spec)
+	if len(suite) == 0 || len(undetectable) != 0 {
+		t.Fatalf("suite %d cases, undetectable %v", len(suite), undetectable)
+	}
+}
+
+func TestFacadeAddressFaults(t *testing.T) {
+	spec := paper.MustFigure1()
+	faults := cfsmdiag.EnumerateAddressFaults(spec)
+	if len(faults) == 0 {
+		t.Fatal("no addressing faults")
+	}
+	for _, f := range faults {
+		if f.Kind != cfsmdiag.KindAddress {
+			t.Fatalf("wrong kind in %+v", f)
+		}
+	}
+	iut, err := cfsmdiag.InjectFault(spec, faults[0])
+	if err != nil {
+		t.Fatalf("InjectFault(address): %v", err)
+	}
+	if iut == nil {
+		t.Fatal("nil mutant")
+	}
+}
+
+func TestFacadeConcatAndMinimize(t *testing.T) {
+	spec := paper.MustFigure1()
+	combined, err := cfsmdiag.ConcatSystems(map[string]*cfsmdiag.System{"p1": spec, "p2": spec})
+	if err != nil {
+		t.Fatalf("ConcatSystems: %v", err)
+	}
+	if combined.N() != 6 {
+		t.Fatalf("N = %d", combined.N())
+	}
+	lifted := cfsmdiag.LiftTestCase(paper.TestSuite()[0], "p1", 0)
+	if _, err := combined.Run(lifted); err != nil {
+		t.Fatalf("Run lifted: %v", err)
+	}
+	minimized, err := cfsmdiag.MinimizeSuite(spec, paper.TestSuite())
+	if err != nil {
+		t.Fatalf("MinimizeSuite: %v", err)
+	}
+	if len(minimized) == 0 || len(minimized) > 2 {
+		t.Fatalf("minimized = %d cases", len(minimized))
+	}
+}
+
+func TestFacadeDiagnoseMulti(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite, _ := cfsmdiag.GenerateVerificationSuite(spec)
+	loc, err := cfsmdiag.DiagnoseMulti(spec, suite, &cfsmdiag.SystemOracle{Sys: iut}, cfsmdiag.MultiOptions{})
+	if err != nil {
+		t.Fatalf("DiagnoseMulti: %v", err)
+	}
+	if loc.Verdict != cfsmdiag.VerdictLocalized {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+	if len(loc.Localized.Faults) != 1 || loc.Localized.Faults[0].Ref != paper.FaultRef {
+		t.Fatalf("localized = %v", loc.Localized)
+	}
+}
+
+func TestFacadeMarkdownReport(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	loc, err := cfsmdiag.Diagnose(spec, paper.TestSuite(), &cfsmdiag.SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	md, err := cfsmdiag.MarkdownReport(loc)
+	if err != nil {
+		t.Fatalf("MarkdownReport: %v", err)
+	}
+	if len(md) == 0 || md[0] != '#' {
+		t.Fatalf("unexpected report: %.60q", md)
+	}
+}
+
+func TestFacadeDiagnoseAsync(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	scripts := []cfsmdiag.Script{
+		{Inputs: [][]cfsmdiag.Symbol{nil, nil, {"c'", "v", "v"}}},
+	}
+	set, err := cfsmdiag.PossibleOutcomes(spec, scripts[0])
+	if err != nil || len(set) == 0 {
+		t.Fatalf("PossibleOutcomes: %v (%d)", err, len(set))
+	}
+	oracle := &cfsmdiag.RandomAsyncOracle{Sys: iut, Rng: rand.New(rand.NewSource(5))}
+	loc, err := cfsmdiag.DiagnoseAsync(spec, scripts, oracle)
+	if err != nil {
+		t.Fatalf("DiagnoseAsync: %v", err)
+	}
+	if loc.Verdict != cfsmdiag.VerdictLocalized || loc.Localized.Ref != paper.FaultRef {
+		t.Fatalf("verdict = %v localized = %v", loc.Verdict, loc.Localized)
+	}
+}

@@ -1,0 +1,3 @@
+module cfsmdiag
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package async extends the diagnosis toward the nondeterministic setting
+// the paper's concluding discussion names first among the open questions:
+// "the diagnostic of distributed systems which are represented by CFSMs and
+// have non-deterministic behaviors. The non-determinism can be caused by the
+// absence of synchronization between the different ports."
+//
+// Model. Without the synchronization assumption, local testers at the N
+// ports apply their input sequences independently: the global interleaving
+// of inputs across ports is not controlled, although each port's inputs are
+// applied in order and each input is still processed atomically (its
+// internal→external chain completes before the next input anywhere — the
+// queues carry at most one message, as in the paper's restricted model).
+// Each port observes the stream of outputs appearing at that port; the
+// correlation between streams of different ports is lost.
+//
+// A test is therefore a Script (one input sequence per port), its execution
+// yields one Outcome (one output stream per port), and a specification
+// admits a *set* of possible outcomes per script. Diagnosis must be
+// conservative: a fault hypothesis explains an observation only if the
+// observed outcome is possible under the hypothesis; a hypothesis is refuted
+// only if the observation is impossible under it.
+//
+// Localization uses single-port probes: a script that stimulates one port
+// only is free of cross-port races and behaves deterministically, so the
+// synchronized variant-elimination machinery applies. Hypotheses that can
+// only be separated by racing inputs may remain ambiguous; the verdict
+// reports them honestly.
+package async
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// Script is one unsynchronized test: Inputs[p] is the sequence of input
+// symbols the local tester applies at port p, in order. A reset is implicit
+// at the start of every script (resets are assumed to be coordinated, as
+// they re-establish the global initial configuration).
+type Script struct {
+	Name   string
+	Inputs [][]cfsm.Symbol // indexed by port
+}
+
+// TotalInputs counts the inputs of the script.
+func (s Script) TotalInputs() int {
+	n := 0
+	for _, seq := range s.Inputs {
+		n += len(seq)
+	}
+	return n
+}
+
+// SinglePort builds a script that stimulates only the given port.
+func SinglePort(n int, port int, inputs []cfsm.Symbol) Script {
+	s := Script{Inputs: make([][]cfsm.Symbol, n)}
+	s.Inputs[port] = append([]cfsm.Symbol(nil), inputs...)
+	return s
+}
+
+// Outcome is one possible observation of a script: Streams[p] is the
+// sequence of output symbols observed at port p.
+type Outcome struct {
+	Streams [][]cfsm.Symbol
+}
+
+// Key returns a canonical encoding for set membership.
+func (o Outcome) Key() string {
+	parts := make([]string, len(o.Streams))
+	for i, stream := range o.Streams {
+		syms := make([]string, len(stream))
+		for j, s := range stream {
+			syms[j] = string(s)
+		}
+		parts[i] = strings.Join(syms, ",")
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Equal reports whether two outcomes are identical.
+func (o Outcome) Equal(p Outcome) bool { return o.Key() == p.Key() }
+
+// OutcomeSet is a set of possible outcomes keyed by Outcome.Key.
+type OutcomeSet map[string]Outcome
+
+// Contains reports membership.
+func (s OutcomeSet) Contains(o Outcome) bool {
+	_, ok := s[o.Key()]
+	return ok
+}
+
+// Keys returns the sorted outcome keys, for deterministic reporting.
+func (s OutcomeSet) Keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exploreLimit bounds the interleaving exploration; the number of
+// interleavings grows multinomially with the script lengths.
+const exploreLimit = 500_000
+
+// Outcomes enumerates every outcome the system admits for the script, by
+// exploring all interleavings of the per-port input sequences from the
+// initial configuration. It also returns the set of transitions executed in
+// at least one interleaving — the nondeterministic counterpart of the
+// conflict sets. The error reports exploration-limit exhaustion, which
+// would make a conservative analysis unsound.
+func Outcomes(sys *cfsm.System, script Script) (OutcomeSet, map[cfsm.Ref]bool, error) {
+	if len(script.Inputs) != sys.N() {
+		return nil, nil, fmt.Errorf("async: script has %d ports for %d machines", len(script.Inputs), sys.N())
+	}
+	outcomes := make(OutcomeSet)
+	executed := make(map[cfsm.Ref]bool)
+	visited := make(map[string]bool)
+	steps := 0
+
+	type frame struct {
+		cfg     cfsm.Config
+		pos     []int
+		streams [][]cfsm.Symbol
+	}
+	encode := func(f frame) string {
+		var b strings.Builder
+		b.WriteString(f.cfg.Key())
+		for _, p := range f.pos {
+			fmt.Fprintf(&b, "#%d", p)
+		}
+		b.WriteString("#")
+		b.WriteString(Outcome{Streams: f.streams}.Key())
+		return b.String()
+	}
+	cloneStreams := func(streams [][]cfsm.Symbol) [][]cfsm.Symbol {
+		out := make([][]cfsm.Symbol, len(streams))
+		for i, s := range streams {
+			out[i] = append([]cfsm.Symbol(nil), s...)
+		}
+		return out
+	}
+
+	start := frame{
+		cfg:     sys.InitialConfig(),
+		pos:     make([]int, sys.N()),
+		streams: make([][]cfsm.Symbol, sys.N()),
+	}
+	stack := []frame{start}
+	visited[encode(start)] = true
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		done := true
+		for port := 0; port < sys.N(); port++ {
+			if f.pos[port] >= len(script.Inputs[port]) {
+				continue
+			}
+			done = false
+			steps++
+			if steps > exploreLimit {
+				return nil, nil, fmt.Errorf("async: interleaving exploration exceeded %d steps", exploreLimit)
+			}
+			in := cfsm.Input{Port: port, Sym: script.Inputs[port][f.pos[port]]}
+			next, obs, trace, err := sys.Apply(f.cfg, in)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, e := range trace {
+				executed[e.Ref()] = true
+			}
+			nf := frame{
+				cfg:     next,
+				pos:     append([]int(nil), f.pos...),
+				streams: cloneStreams(f.streams),
+			}
+			nf.pos[port]++
+			nf.streams[obs.Port] = append(nf.streams[obs.Port], obs.Sym)
+			key := encode(nf)
+			if !visited[key] {
+				visited[key] = true
+				stack = append(stack, nf)
+			}
+		}
+		if done {
+			o := Outcome{Streams: f.streams}
+			outcomes[o.Key()] = o
+		}
+	}
+	return outcomes, executed, nil
+}
+
+// Possible reports whether the system admits the observed outcome for the
+// script.
+func Possible(sys *cfsm.System, script Script, observed Outcome) (bool, error) {
+	set, _, err := Outcomes(sys, script)
+	if err != nil {
+		return false, err
+	}
+	return set.Contains(observed), nil
+}

@@ -1,0 +1,214 @@
+package async
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+)
+
+func figure1(t *testing.T) *cfsm.System {
+	t.Helper()
+	return paper.MustFigure1()
+}
+
+func TestOutcomesDeterministicScript(t *testing.T) {
+	sys := figure1(t)
+	// A single-port script has exactly one outcome.
+	script := SinglePort(sys.N(), paper.M1, []cfsm.Symbol{"a", "c"})
+	set, executed, err := Outcomes(sys, script)
+	if err != nil {
+		t.Fatalf("Outcomes: %v", err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("single-port script has %d outcomes, want 1: %v", len(set), set.Keys())
+	}
+	// a^1 -> c'^1 (t1); c^1 -> t6 then t'1 -> a^2.
+	want := Outcome{Streams: [][]cfsm.Symbol{{"c'"}, {"a"}, nil}}
+	if !set.Contains(want) {
+		t.Fatalf("outcome set %v missing %q", set.Keys(), want.Key())
+	}
+	if !executed[paper.Ref("M1", "t1")] || !executed[paper.Ref("M1", "t6")] {
+		t.Errorf("executed set missing t1/t6: %v", executed)
+	}
+}
+
+func TestOutcomesRace(t *testing.T) {
+	sys := figure1(t)
+	// Race: a at port 1 against c' at port 2. Port 2's response depends on
+	// nothing from port 1 here, but both orders are explored; the streams
+	// are the same in this case, so the outcome set stays a singleton.
+	script := Script{Inputs: [][]cfsm.Symbol{{"a"}, {"c'"}, nil}}
+	set, _, err := Outcomes(sys, script)
+	if err != nil {
+		t.Fatalf("Outcomes: %v", err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("independent race should collapse to one outcome, got %v", set.Keys())
+	}
+
+	// A real race: c at port 1 (M1 forwards c' to M2) against d' at port 2.
+	// Order c¹ then d'² yields the stream (a, b) at port 2; the reverse
+	// order yields (b, a) — two distinct outcomes.
+	script = Script{Inputs: [][]cfsm.Symbol{{"c"}, {"d'"}, nil}}
+	set, _, err = Outcomes(sys, script)
+	if err != nil {
+		t.Fatalf("Outcomes: %v", err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("racing script should have 2 outcomes, got %v", set.Keys())
+	}
+}
+
+func TestOutcomeHelpers(t *testing.T) {
+	o := Outcome{Streams: [][]cfsm.Symbol{{"a", "b"}, nil}}
+	p := Outcome{Streams: [][]cfsm.Symbol{{"a", "b"}, nil}}
+	q := Outcome{Streams: [][]cfsm.Symbol{{"a"}, {"b"}}}
+	if !o.Equal(p) || o.Equal(q) {
+		t.Error("Outcome.Equal misbehaves")
+	}
+	s := OutcomeSet{o.Key(): o}
+	if !s.Contains(p) || s.Contains(q) {
+		t.Error("OutcomeSet.Contains misbehaves")
+	}
+	script := Script{Inputs: [][]cfsm.Symbol{{"a"}, {"b", "c"}}}
+	if script.TotalInputs() != 3 {
+		t.Errorf("TotalInputs = %d", script.TotalInputs())
+	}
+}
+
+func TestOutcomesValidation(t *testing.T) {
+	sys := figure1(t)
+	if _, _, err := Outcomes(sys, Script{Inputs: [][]cfsm.Symbol{{"a"}}}); err == nil {
+		t.Error("want error for port-count mismatch")
+	}
+}
+
+func TestRandomOracleReproducible(t *testing.T) {
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	script := Script{Inputs: [][]cfsm.Symbol{{"a", "c"}, {"c'"}, {"c'"}}}
+	a := &RandomOracle{Sys: iut, Rng: rand.New(rand.NewSource(7))}
+	b := &RandomOracle{Sys: iut, Rng: rand.New(rand.NewSource(7))}
+	oa, err := a.Execute(script)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	ob, err := b.Execute(script)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !oa.Equal(ob) {
+		t.Fatalf("same seed, different outcomes: %q vs %q", oa.Key(), ob.Key())
+	}
+	if a.Scripts != 1 || a.Inputs != script.TotalInputs() {
+		t.Errorf("counters = %d/%d", a.Scripts, a.Inputs)
+	}
+	// The oracle's outcome must be a member of the possible set.
+	set, _, err := Outcomes(iut, script)
+	if err != nil {
+		t.Fatalf("Outcomes: %v", err)
+	}
+	if !set.Contains(oa) {
+		t.Fatalf("oracle produced impossible outcome %q (possible: %v)", oa.Key(), set.Keys())
+	}
+}
+
+func TestConformingImplementationNotDetected(t *testing.T) {
+	sys := figure1(t)
+	scripts := []Script{
+		{Inputs: [][]cfsm.Symbol{{"a", "c"}, {"c'"}, {"c'", "v"}}},
+	}
+	oracle := &RandomOracle{Sys: sys, Rng: rand.New(rand.NewSource(3))}
+	loc, err := Diagnose(sys, scripts, oracle)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictNoFault {
+		t.Fatalf("verdict = %v, want no fault", loc.Verdict)
+	}
+}
+
+// TestAsyncDiagnosisPaperFault: the paper's transfer fault in t"4 is
+// detected by an unsynchronized script whose observation is impossible under
+// the specification, and localized with single-port probes.
+func TestAsyncDiagnosisPaperFault(t *testing.T) {
+	spec := figure1(t)
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	// Drive M3 through t"1 then t"4 twice at its own port: the faulty
+	// implementation lands in s0 after the first v and answers ε to the
+	// second — impossible for the spec regardless of interleavings.
+	scripts := []Script{
+		{Inputs: [][]cfsm.Symbol{nil, nil, {"c'", "v", "v"}}},
+		{Inputs: [][]cfsm.Symbol{{"a"}, {"c'"}, {"c'", "v"}}},
+	}
+	oracle := &RandomOracle{Sys: iut, Rng: rand.New(rand.NewSource(11))}
+	loc, err := Diagnose(spec, scripts, oracle)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if !loc.Analysis.Detected {
+		t.Fatal("the faulty outcome should be impossible under the spec")
+	}
+	if loc.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v (remaining %v)", loc.Verdict, loc.Remaining)
+	}
+	want := fault.Fault{Ref: paper.FaultRef, Kind: fault.KindTransfer, To: "s0"}
+	if *loc.Localized != want {
+		t.Fatalf("localized = %+v, want %+v", *loc.Localized, want)
+	}
+	if len(loc.Probes) == 0 {
+		t.Error("expected single-port probes")
+	}
+}
+
+// TestPropertyOracleOutcomeAlwaysPossible: whatever interleaving the random
+// oracle picks, the produced outcome is a member of the exhaustively
+// enumerated outcome set — the soundness basis of the conservative analysis.
+func TestPropertyOracleOutcomeAlwaysPossible(t *testing.T) {
+	sys := figure1(t)
+	symbols := [][]cfsm.Symbol{
+		{"a", "c", "b"},
+		{"c'", "d'"},
+		{"c'", "v", "u"},
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Random sub-script of the symbol pools above.
+		script := Script{Inputs: make([][]cfsm.Symbol, sys.N())}
+		for p := range script.Inputs {
+			n := rng.Intn(len(symbols[p]) + 1)
+			script.Inputs[p] = symbols[p][:n]
+		}
+		set, _, err := Outcomes(sys, script)
+		if err != nil {
+			t.Fatalf("seed %d: Outcomes: %v", seed, err)
+		}
+		oracle := &RandomOracle{Sys: sys, Rng: rng}
+		for run := 0; run < 5; run++ {
+			o, err := oracle.Execute(script)
+			if err != nil {
+				t.Fatalf("seed %d: Execute: %v", seed, err)
+			}
+			if !set.Contains(o) {
+				t.Fatalf("seed %d: oracle outcome %q not in the possible set %v",
+					seed, o.Key(), set.Keys())
+			}
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	sys := figure1(t)
+	if _, err := Analyze(sys, []Script{{Inputs: make([][]cfsm.Symbol, 3)}}, nil); err == nil {
+		t.Error("want error for missing outcomes")
+	}
+}

@@ -1,0 +1,88 @@
+package cfsm
+
+import (
+	"fmt"
+)
+
+// Concat combines independent systems into one larger system: the machines
+// of each part keep their internal wiring (destination indices are shifted)
+// and gain a name prefix so that machine names stay unique. The parts do not
+// communicate with each other — Concat models co-located but independent
+// protocol entities, and is used to build large diagnosis workloads for the
+// scaling experiments (a fault in one part must be localized without the
+// other parts confusing the search).
+func Concat(parts map[string]*System) (*System, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("cfsm: Concat needs at least one part")
+	}
+	// Deterministic part order by prefix.
+	prefixes := make([]string, 0, len(parts))
+	for p := range parts {
+		prefixes = append(prefixes, p)
+	}
+	sortStrings(prefixes)
+
+	var machines []*Machine
+	offset := 0
+	for _, prefix := range prefixes {
+		part := parts[prefix]
+		if part == nil {
+			return nil, fmt.Errorf("cfsm: Concat: nil part %q", prefix)
+		}
+		for i := 0; i < part.N(); i++ {
+			m := part.Machine(i)
+			var trans []Transition
+			for _, t := range m.Transitions() {
+				// Namespace symbols per part so that alphabets of different
+				// parts cannot collide (a collision would merge IEO/IIO
+				// classes across parts).
+				nt := Transition{
+					Name:   prefix + "." + t.Name,
+					From:   t.From,
+					Input:  Symbol(prefix + ":" + string(t.Input)),
+					Output: Symbol(prefix + ":" + string(t.Output)),
+					To:     t.To,
+					Dest:   t.Dest,
+				}
+				if t.Internal() {
+					nt.Dest = t.Dest + offset
+				}
+				trans = append(trans, nt)
+			}
+			nm, err := NewMachine(prefix+"."+m.Name(), m.Initial(), m.States(), trans)
+			if err != nil {
+				return nil, fmt.Errorf("cfsm: Concat %q/%s: %w", prefix, m.Name(), err)
+			}
+			machines = append(machines, nm)
+		}
+		offset += part.N()
+	}
+	return NewSystem(machines...)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// LiftTestCase translates a test case of one part into the concatenated
+// system: ports are shifted by the part's machine offset and symbols gain
+// the part's namespace prefix. partOffset is the index of the part's first
+// machine in the concatenated system.
+func LiftTestCase(tc TestCase, prefix string, partOffset int) TestCase {
+	out := TestCase{Name: prefix + "." + tc.Name}
+	for _, in := range tc.Inputs {
+		if in.IsReset() {
+			out.Inputs = append(out.Inputs, Reset())
+			continue
+		}
+		out.Inputs = append(out.Inputs, Input{
+			Port: in.Port + partOffset,
+			Sym:  Symbol(prefix + ":" + string(in.Sym)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package cfsm
+
+import (
+	"testing"
+)
+
+func TestConcat(t *testing.T) {
+	a := twoMachine(t)
+	b := twoMachine(t)
+	combined, err := Concat(map[string]*System{"p1": a, "p2": b})
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if combined.N() != 4 {
+		t.Fatalf("N = %d, want 4", combined.N())
+	}
+	if combined.NumTransitions() != a.NumTransitions()+b.NumTransitions() {
+		t.Fatalf("transitions = %d", combined.NumTransitions())
+	}
+	// Machine names are prefixed and deterministic (p1 before p2).
+	if got := combined.Machine(0).Name(); got != "p1.A" {
+		t.Fatalf("machine 0 = %q", got)
+	}
+	if got := combined.Machine(2).Name(); got != "p2.A" {
+		t.Fatalf("machine 2 = %q", got)
+	}
+	// Internal wiring of the second part is shifted: p2.A's internal
+	// transition addresses machine 3 (p2.B), not machine 1.
+	tr, ok := combined.Transition(Ref{Machine: 2, Name: "p2.a2"})
+	if !ok || tr.Dest != 3 {
+		t.Fatalf("p2.a2 = %v %v, want dest 3", tr, ok)
+	}
+}
+
+func TestConcatBehaviourPreserved(t *testing.T) {
+	part := twoMachine(t)
+	combined, err := Concat(map[string]*System{"p1": part, "p2": part})
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	tc := TestCase{Name: "t", Inputs: []Input{
+		Reset(),
+		{Port: 0, Sym: "x"},
+		{Port: 0, Sym: "i"},
+		{Port: 1, Sym: "w"},
+	}}
+	want, err := part.Run(tc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for partIdx, offset := range []int{0, 2} {
+		prefix := []string{"p1", "p2"}[partIdx]
+		lifted := LiftTestCase(tc, prefix, offset)
+		got, err := combined.Run(lifted)
+		if err != nil {
+			t.Fatalf("Run lifted: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("lengths differ")
+		}
+		for i := range want {
+			if want[i].Sym == Null {
+				if got[i].Sym != Null {
+					t.Fatalf("step %d: %v, want reset null", i, got[i])
+				}
+				continue
+			}
+			wantSym := Symbol(prefix + ":" + string(want[i].Sym))
+			if got[i].Sym != wantSym || got[i].Port != want[i].Port+offset {
+				t.Fatalf("step %d: %v, want %s at port %d", i, got[i], wantSym, want[i].Port+offset)
+			}
+		}
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	if _, err := Concat(nil); err == nil {
+		t.Error("want error for empty parts")
+	}
+	if _, err := Concat(map[string]*System{"p": nil}); err == nil {
+		t.Error("want error for nil part")
+	}
+}

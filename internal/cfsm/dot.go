@@ -1,0 +1,36 @@
+package cfsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the whole system as a Graphviz digraph in the style of the
+// paper's Figure 1: one cluster per machine, external-output transitions in
+// plain lines and internal-output transitions in bold lines labeled with
+// their destination machine.
+func (s *System) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph system {\n  rankdir=LR;\n  node [shape=circle];\n")
+	for i, m := range s.machines {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, m.name)
+		fmt.Fprintf(&b, "    start_%d [shape=point];\n    start_%d -> \"%d/%s\";\n",
+			i, i, i, string(m.initial))
+		for _, st := range m.states {
+			fmt.Fprintf(&b, "    \"%d/%s\" [label=%q];\n", i, string(st), string(st))
+		}
+		for _, t := range m.Transitions() {
+			style := ""
+			label := fmt.Sprintf("%s: %s/%s", t.Name, t.Input, t.Output)
+			if t.Internal() {
+				style = ", style=bold"
+				label = fmt.Sprintf("%s: %s/%s→%s", t.Name, t.Input, t.Output, s.machines[t.Dest].name)
+			}
+			fmt.Fprintf(&b, "    \"%d/%s\" -> \"%d/%s\" [label=%q%s];\n",
+				i, string(t.From), i, string(t.To), label, style)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package cfsm
+
+import (
+	"testing"
+)
+
+// FuzzParseSystem checks the JSON codec's robustness: whatever bytes come
+// in, ParseSystem must not panic, and every successfully parsed system must
+// survive a marshal/parse round trip with identical shape.
+func FuzzParseSystem(f *testing.F) {
+	valid := `{"machines":[
+	  {"name":"A","initial":"s0","states":["s0","s1"],"transitions":[
+	    {"name":"a1","from":"s0","input":"x","output":"y","to":"s1"},
+	    {"name":"a2","from":"s1","input":"i","output":"m","to":"s0","dest":"B"}]},
+	  {"name":"B","initial":"q0","states":["q0"],"transitions":[
+	    {"name":"b1","from":"q0","input":"m","output":"z","to":"q0"}]}]}`
+	f.Add([]byte(valid))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"machines":[]}`))
+	f.Add([]byte(`{"machines":[{"name":"A","initial":"s0","states":["s0"]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := ParseSystem(data)
+		if err != nil {
+			return
+		}
+		out, err := sys.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal of parsed system failed: %v", err)
+		}
+		back, err := ParseSystem(out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, out)
+		}
+		if back.N() != sys.N() || back.NumTransitions() != sys.NumTransitions() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzApply checks that the simulator never panics and keeps its contract
+// (configuration length preserved) for arbitrary symbols applied to a fixed
+// system.
+func FuzzApply(f *testing.F) {
+	sys := mustTwoMachine(f)
+	f.Add(0, "x")
+	f.Add(0, "i")
+	f.Add(1, "m")
+	f.Add(0, string(ResetSymbol))
+	f.Add(2, "zz")
+	f.Fuzz(func(t *testing.T, port int, sym string) {
+		cfg := sys.InitialConfig()
+		next, obs, _, err := sys.Apply(cfg, Input{Port: port, Sym: Symbol(sym)})
+		if err != nil {
+			return // out-of-range port: fine
+		}
+		if len(next) != sys.N() {
+			t.Fatalf("configuration length changed: %v", next)
+		}
+		if obs.Sym == "" {
+			t.Fatal("empty observation symbol")
+		}
+	})
+}
+
+func mustTwoMachine(f *testing.F) *System {
+	f.Helper()
+	a, err := NewMachine("A", "s0", []State{"s0", "s1"}, []Transition{
+		{Name: "a1", From: "s0", Input: "x", Output: "y", To: "s1", Dest: DestEnv},
+		{Name: "a2", From: "s1", Input: "i", Output: "m", To: "s0", Dest: 1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := NewMachine("B", "q0", []State{"q0"}, []Transition{
+		{Name: "b1", From: "q0", Input: "m", Output: "z", To: "q0", Dest: DestEnv},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sys, err := NewSystem(a, b)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return sys
+}

@@ -1,0 +1,114 @@
+package cfsm
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON codec gives the CLI and downstream tools a stable on-disk format
+// for systems. Destinations are encoded by machine name ("" = the machine's
+// own external port) so files remain readable and order-independent.
+
+// TransitionJSON is the serialized form of a Transition.
+type TransitionJSON struct {
+	Name   string `json:"name"`
+	From   string `json:"from"`
+	Input  string `json:"input"`
+	Output string `json:"output"`
+	To     string `json:"to"`
+	// Dest is the receiving machine's name for internal-output transitions
+	// and empty for external-output transitions.
+	Dest string `json:"dest,omitempty"`
+}
+
+// MachineJSON is the serialized form of a Machine.
+type MachineJSON struct {
+	Name        string           `json:"name"`
+	Initial     string           `json:"initial"`
+	States      []string         `json:"states"`
+	Transitions []TransitionJSON `json:"transitions"`
+}
+
+// SystemJSON is the serialized form of a System.
+type SystemJSON struct {
+	Machines []MachineJSON `json:"machines"`
+}
+
+// MarshalJSON serializes the system.
+func (s *System) MarshalJSON() ([]byte, error) {
+	doc := SystemJSON{Machines: make([]MachineJSON, len(s.machines))}
+	for i, m := range s.machines {
+		mj := MachineJSON{Name: m.name, Initial: string(m.initial)}
+		for _, st := range m.states {
+			mj.States = append(mj.States, string(st))
+		}
+		for _, t := range m.Transitions() {
+			tj := TransitionJSON{
+				Name:   t.Name,
+				From:   string(t.From),
+				Input:  string(t.Input),
+				Output: string(t.Output),
+				To:     string(t.To),
+			}
+			if t.Internal() {
+				tj.Dest = s.machines[t.Dest].name
+			}
+			mj.Transitions = append(mj.Transitions, tj)
+		}
+		doc.Machines[i] = mj
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ParseSystem decodes a system from its JSON form and validates it.
+func ParseSystem(data []byte) (*System, error) {
+	var doc SystemJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("cfsm: decode system: %w", err)
+	}
+	return FromJSON(doc)
+}
+
+// FromJSON builds a validated system from its serialized form.
+func FromJSON(doc SystemJSON) (*System, error) {
+	index := make(map[string]int, len(doc.Machines))
+	for i, mj := range doc.Machines {
+		if _, dup := index[mj.Name]; dup {
+			return nil, fmt.Errorf("cfsm: duplicate machine name %q", mj.Name)
+		}
+		index[mj.Name] = i
+	}
+	machines := make([]*Machine, 0, len(doc.Machines))
+	for _, mj := range doc.Machines {
+		states := make([]State, len(mj.States))
+		for i, st := range mj.States {
+			states[i] = State(st)
+		}
+		trans := make([]Transition, 0, len(mj.Transitions))
+		for _, tj := range mj.Transitions {
+			dest := DestEnv
+			if tj.Dest != "" {
+				d, ok := index[tj.Dest]
+				if !ok {
+					return nil, fmt.Errorf("cfsm %s: transition %s addresses unknown machine %q",
+						mj.Name, tj.Name, tj.Dest)
+				}
+				dest = d
+			}
+			trans = append(trans, Transition{
+				Name:   tj.Name,
+				From:   State(tj.From),
+				Input:  Symbol(tj.Input),
+				Output: Symbol(tj.Output),
+				To:     State(tj.To),
+				Dest:   dest,
+			})
+		}
+		m, err := NewMachine(mj.Name, State(mj.Initial), states, trans)
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, m)
+	}
+	return NewSystem(machines...)
+}

@@ -1,0 +1,105 @@
+package cfsm
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/fsm"
+)
+
+// Product composes the system into a single global FSM — the "equivalent
+// single machine with an exponential algorithm" the paper's introduction
+// argues against using directly. The product is the substrate for the
+// single-FSM baseline diagnosis and for the cost comparison of experiment E6.
+//
+// States of the product are the reachable global configurations, named by
+// Config.Key(). Inputs are encoded as "sym@port" (1-based port, matching the
+// paper's a¹ notation), outputs as "sym@port"; the reset input R is encoded
+// as plain "R" with output "-". Inputs undefined in a configuration are
+// materialized as Epsilon-observing self-loops when includeUndefined is
+// true, so that the product's observable behaviour matches the system's for
+// every input the tester could apply.
+func (s *System) Product(includeUndefined bool) (*fsm.FSM, error) {
+	initial := s.InitialConfig()
+	seen := map[string]Config{initial.Key(): initial}
+	queue := []Config{initial}
+	var transitions []fsm.Transition
+	nameCount := 0
+
+	addTransition := func(from Config, in Input, out Observation, to Config) {
+		nameCount++
+		transitions = append(transitions, fsm.Transition{
+			Name:   fmt.Sprintf("g%d", nameCount),
+			From:   fsm.State(from.Key()),
+			Input:  EncodeInput(in),
+			Output: EncodeObservation(out),
+			To:     fsm.State(to.Key()),
+		})
+	}
+
+	for len(queue) > 0 {
+		cfg := queue[0]
+		queue = queue[1:]
+		// The reset input from any configuration returns to the initial one.
+		addTransition(cfg, Reset(), Observation{Sym: Null, Port: 0}, initial)
+		for port := range s.machines {
+			for _, sym := range s.Inputs(port) {
+				in := Input{Port: port, Sym: sym}
+				next, obs, _, err := s.Apply(cfg, in)
+				if err != nil {
+					return nil, fmt.Errorf("product: %w", err)
+				}
+				if obs.Sym == Epsilon && !includeUndefined {
+					continue
+				}
+				addTransition(cfg, in, obs, next)
+				if _, ok := seen[next.Key()]; !ok {
+					seen[next.Key()] = next
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+
+	states := make([]fsm.State, 0, len(seen))
+	for k := range seen {
+		states = append(states, fsm.State(k))
+	}
+	return fsm.New("product", fsm.State(initial.Key()), states, transitions)
+}
+
+// EncodeInput encodes a system input as a product-machine input symbol.
+func EncodeInput(in Input) Symbol {
+	if in.IsReset() {
+		return ResetSymbol
+	}
+	return Symbol(fmt.Sprintf("%s@%d", in.Sym, in.Port+1))
+}
+
+// EncodeObservation encodes a system observation as a product-machine output
+// symbol. Null (the reset output) is encoded without a port, as in Table 1.
+func EncodeObservation(o Observation) Symbol {
+	if o.Sym == Null {
+		return Null
+	}
+	return Symbol(fmt.Sprintf("%s@%d", o.Sym, o.Port+1))
+}
+
+// EncodeTestCase translates a system test case into a product-machine input
+// sequence.
+func EncodeTestCase(tc TestCase) []Symbol {
+	out := make([]Symbol, len(tc.Inputs))
+	for i, in := range tc.Inputs {
+		out[i] = EncodeInput(in)
+	}
+	return out
+}
+
+// EncodeObservations translates a system observation sequence into product-
+// machine output symbols.
+func EncodeObservations(obs []Observation) []Symbol {
+	out := make([]Symbol, len(obs))
+	for i, o := range obs {
+		out[i] = EncodeObservation(o)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package cfsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProductShape(t *testing.T) {
+	sys := twoMachine(t)
+	prod, err := sys.Product(false)
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	if prod.Initial() != "s0|q0" {
+		t.Fatalf("product initial = %v", prod.Initial())
+	}
+	// Reachable global configurations of the two-machine system:
+	// (s0,q0) -x-> (s1,q0) -i-> (s0,q1) -w-> ... plus (s1,q1).
+	if got := len(prod.States()); got != 4 {
+		t.Fatalf("product has %d states, want 4: %v", got, prod.States())
+	}
+}
+
+func TestProductBehaviouralEquivalence(t *testing.T) {
+	// With undefined inputs materialized, the product must produce exactly
+	// the encoded observation sequence of the system for random input
+	// sequences.
+	sys := twoMachine(t)
+	prod, err := sys.Product(true)
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	allInputs := []Input{
+		Reset(),
+		{Port: 0, Sym: "x"}, {Port: 0, Sym: "i"}, {Port: 0, Sym: "n"},
+		{Port: 1, Sym: "m"}, {Port: 1, Sym: "w"},
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		ins := make([]Input, n)
+		for i := range ins {
+			ins[i] = allInputs[rng.Intn(len(allInputs))]
+		}
+		tc := TestCase{Inputs: ins}
+		sysObs, err := sys.Run(tc)
+		if err != nil {
+			t.Fatalf("system Run: %v", err)
+		}
+		prodOuts, _ := prod.Run(prod.Initial(), EncodeTestCase(tc))
+		wantOuts := EncodeObservations(sysObs)
+		for i := range wantOuts {
+			if prodOuts[i] != wantOuts[i] {
+				t.Fatalf("trial %d: product output %d = %v, want %v (inputs %v)",
+					trial, i, prodOuts[i], wantOuts[i], FormatInputs(ins))
+			}
+		}
+	}
+}
+
+func TestProductSkipsUndefinedWhenAsked(t *testing.T) {
+	sys := twoMachine(t)
+	prod, err := sys.Product(false)
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	// In the initial configuration input i@1 (undefined for A in s0) must
+	// not exist as a product transition.
+	if _, ok := prod.Lookup(prod.Initial(), EncodeInput(Input{Port: 0, Sym: "i"})); ok {
+		t.Fatal("undefined input materialized despite includeUndefined=false")
+	}
+}
+
+func TestEncodeHelpers(t *testing.T) {
+	if got := EncodeInput(Reset()); got != ResetSymbol {
+		t.Errorf("EncodeInput(R) = %v", got)
+	}
+	if got := EncodeInput(Input{Port: 1, Sym: "a"}); got != "a@2" {
+		t.Errorf("EncodeInput = %v, want a@2", got)
+	}
+	if got := EncodeObservation(Observation{Sym: Null, Port: 0}); got != Null {
+		t.Errorf("EncodeObservation(-) = %v", got)
+	}
+	if got := EncodeObservation(Observation{Sym: "z", Port: 1}); got != "z@2" {
+		t.Errorf("EncodeObservation = %v, want z@2", got)
+	}
+}

@@ -1,0 +1,68 @@
+package cfsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SequenceDiagram renders the execution of a test case as a Mermaid sequence
+// diagram: one participant per machine plus the tester, a message from the
+// tester for each input, internal messages between machines, and the
+// observable outputs back to the tester. Protocol engineers paste the output
+// into any Mermaid renderer to see how a test case exercises the system.
+func (s *System) SequenceDiagram(tc TestCase) (string, error) {
+	var b strings.Builder
+	b.WriteString("sequenceDiagram\n")
+	b.WriteString("    participant T as Tester\n")
+	for _, m := range s.machines {
+		fmt.Fprintf(&b, "    participant %s\n", mermaidID(m.name))
+	}
+
+	cfg := s.InitialConfig()
+	for i, in := range tc.Inputs {
+		next, obs, trace, err := s.Apply(cfg, in)
+		if err != nil {
+			return "", fmt.Errorf("sequence diagram: step %d: %w", i+1, err)
+		}
+		if in.IsReset() {
+			b.WriteString("    note over T: reset R\n")
+			cfg = next
+			continue
+		}
+		target := mermaidID(s.machines[in.Port].name)
+		fmt.Fprintf(&b, "    T->>%s: %s\n", target, in.Sym)
+		for _, e := range trace {
+			if !e.Trans.Internal() {
+				continue
+			}
+			from := mermaidID(s.machines[e.Machine].name)
+			to := mermaidID(s.machines[e.Trans.Dest].name)
+			fmt.Fprintf(&b, "    %s->>%s: %s (%s)\n", from, to, e.Trans.Output, e.Trans.Name)
+		}
+		source := mermaidID(s.machines[obs.Port].name)
+		if obs.Sym == Epsilon {
+			fmt.Fprintf(&b, "    note over %s: ε (no response)\n", source)
+		} else {
+			fmt.Fprintf(&b, "    %s-->>T: %s\n", source, obs.Sym)
+		}
+		cfg = next
+	}
+	return b.String(), nil
+}
+
+// mermaidID sanitizes a machine name into a Mermaid participant identifier.
+func mermaidID(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "M"
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package cfsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSequenceDiagram(t *testing.T) {
+	sys := twoMachine(t)
+	tc := TestCase{Name: "demo", Inputs: []Input{
+		Reset(),
+		{Port: 0, Sym: "x"},  // external: A answers y
+		{Port: 0, Sym: "i"},  // internal: A sends m to B, B answers z
+		{Port: 0, Sym: "zz"}, // undefined: ε
+	}}
+	diag, err := sys.SequenceDiagram(tc)
+	if err != nil {
+		t.Fatalf("SequenceDiagram: %v", err)
+	}
+	for _, want := range []string{
+		"sequenceDiagram",
+		"participant T as Tester",
+		"participant A",
+		"participant B",
+		"note over T: reset R",
+		"T->>A: x",
+		"A-->>T: y",
+		"A->>B: m (a2)",
+		"B-->>T: z",
+		"note over A: ε (no response)",
+	} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagram missing %q:\n%s", want, diag)
+		}
+	}
+}
+
+func TestMermaidID(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"M1", "M1"},
+		{"Client", "Client"},
+		{"a b'c", "a_b_c"},
+		{"", "M"},
+	}
+	for _, tc := range tests {
+		if got := mermaidID(tc.in); got != tc.want {
+			t.Errorf("mermaidID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSequenceDiagramBadInput(t *testing.T) {
+	sys := twoMachine(t)
+	tc := TestCase{Inputs: []Input{{Port: 9, Sym: "x"}}}
+	if _, err := sys.SequenceDiagram(tc); err == nil {
+		t.Error("want error for invalid port")
+	}
+}

@@ -1,0 +1,463 @@
+// Package cfsm models systems of communicating finite state machines with
+// distributed ports, following Section 2 of Ghedamsi, v. Bochmann and Dssouli
+// (ICDCS 1993).
+//
+// A system consists of N deterministic partial FSMs. Each machine M_i owns an
+// external port P_i and one input queue per peer machine. Transitions are of
+// two kinds: external-output transitions deliver their output to the
+// machine's own port; internal-output transitions deliver their output to a
+// peer machine's input queue, where it immediately triggers an
+// external-output transition of the peer (the paper restricts internal
+// chains to length two). Under the paper's synchronization assumption only
+// one message circulates at a time, so the global behaviour is deterministic
+// and a test case is a sequence of (port, input) pairs with one observable
+// output per input.
+package cfsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cfsmdiag/internal/fsm"
+)
+
+// State and Symbol are shared with the single-machine substrate.
+type (
+	State  = fsm.State
+	Symbol = fsm.Symbol
+)
+
+// Distinguished symbols re-exported from the fsm package.
+const (
+	Null    = fsm.Null
+	Epsilon = fsm.Epsilon
+)
+
+// DestEnv marks a transition whose output is addressed to the machine's own
+// external port (an "external-output transition" in the paper's terms).
+const DestEnv = -1
+
+// Transition is one labeled transition of a machine in the system. Dest is
+// DestEnv for external-output transitions and the 0-based index of the
+// receiving machine for internal-output transitions.
+type Transition struct {
+	Name   string
+	From   State
+	Input  Symbol
+	Output Symbol
+	To     State
+	Dest   int
+}
+
+// Internal reports whether the transition delivers its output to a peer
+// machine rather than to the machine's own external port.
+func (t Transition) Internal() bool { return t.Dest != DestEnv }
+
+// String renders the transition in the paper's style, annotating internal
+// outputs with their destination machine, e.g. "t6: s1 -c/c'→M2-> s2".
+func (t Transition) String() string {
+	name := t.Name
+	if name == "" {
+		name = "?"
+	}
+	out := string(t.Output)
+	if t.Internal() {
+		out = fmt.Sprintf("%s→M%d", t.Output, t.Dest+1)
+	}
+	return fmt.Sprintf("%s: %s -%s/%s-> %s", name, t.From, t.Input, out, t.To)
+}
+
+// Machine is one deterministic partial FSM of a system.
+type Machine struct {
+	name    string
+	initial State
+	states  []State
+	trans   map[fsm.Key]Transition
+	byName  map[string]fsm.Key
+}
+
+// NewMachine builds one machine of a system. Determinism, unique transition
+// names and declared endpoints are validated here; the cross-machine rules
+// (destination indices, alphabet partition, internal-chain restriction) are
+// validated by NewSystem.
+func NewMachine(name string, initial State, states []State, transitions []Transition) (*Machine, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cfsm: machine name must not be empty")
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("cfsm %s: at least one state is required", name)
+	}
+	stateSet := make(map[State]bool, len(states))
+	for _, s := range states {
+		if s == "" {
+			return nil, fmt.Errorf("cfsm %s: empty state name", name)
+		}
+		if stateSet[s] {
+			return nil, fmt.Errorf("cfsm %s: duplicate state %q", name, s)
+		}
+		stateSet[s] = true
+	}
+	if !stateSet[initial] {
+		return nil, fmt.Errorf("cfsm %s: initial state %q is not declared", name, initial)
+	}
+	m := &Machine{
+		name:    name,
+		initial: initial,
+		states:  append([]State(nil), states...),
+		trans:   make(map[fsm.Key]Transition, len(transitions)),
+		byName:  make(map[string]fsm.Key, len(transitions)),
+	}
+	sort.Slice(m.states, func(i, j int) bool { return m.states[i] < m.states[j] })
+	for _, t := range transitions {
+		if t.Name == "" {
+			return nil, fmt.Errorf("cfsm %s: transition %v has no name", name, t)
+		}
+		if _, dup := m.byName[t.Name]; dup {
+			return nil, fmt.Errorf("cfsm %s: duplicate transition name %q", name, t.Name)
+		}
+		if !stateSet[t.From] || !stateSet[t.To] {
+			return nil, fmt.Errorf("cfsm %s: transition %s references an undeclared state", name, t.Name)
+		}
+		if t.Input == "" || t.Output == "" {
+			return nil, fmt.Errorf("cfsm %s: transition %s has an empty symbol", name, t.Name)
+		}
+		if t.Input == Epsilon || t.Output == Epsilon || t.Input == Null || t.Output == Null {
+			return nil, fmt.Errorf("cfsm %s: transition %s uses a reserved symbol", name, t.Name)
+		}
+		k := fsm.Key{From: t.From, Input: t.Input}
+		if prev, clash := m.trans[k]; clash {
+			return nil, fmt.Errorf("cfsm %s: nondeterminism: %s and %s share state %q and input %q",
+				name, prev.Name, t.Name, t.From, t.Input)
+		}
+		m.trans[k] = t
+		m.byName[t.Name] = k
+	}
+	return m, nil
+}
+
+// Name returns the machine's display name.
+func (m *Machine) Name() string { return m.name }
+
+// Initial returns the machine's initial state.
+func (m *Machine) Initial() State { return m.initial }
+
+// States returns the declared states, sorted. The slice is a copy.
+func (m *Machine) States() []State { return append([]State(nil), m.states...) }
+
+// HasState reports whether s is declared in the machine.
+func (m *Machine) HasState(s State) bool {
+	for _, st := range m.states {
+		if st == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the transition defined for (state, input), if any.
+func (m *Machine) Lookup(from State, input Symbol) (Transition, bool) {
+	t, ok := m.trans[fsm.Key{From: from, Input: input}]
+	return t, ok
+}
+
+// ByName returns the transition with the given name, if any.
+func (m *Machine) ByName(name string) (Transition, bool) {
+	k, ok := m.byName[name]
+	if !ok {
+		return Transition{}, false
+	}
+	return m.trans[k], true
+}
+
+// Transitions returns all transitions sorted by (From, Input). The slice is a
+// copy.
+func (m *Machine) Transitions() []Transition {
+	out := make([]Transition, 0, len(m.trans))
+	for _, t := range m.trans {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Input < out[j].Input
+	})
+	return out
+}
+
+// NumTransitions returns the number of defined transitions.
+func (m *Machine) NumTransitions() int { return len(m.trans) }
+
+func (m *Machine) clone() *Machine {
+	c := &Machine{
+		name:    m.name,
+		initial: m.initial,
+		states:  append([]State(nil), m.states...),
+		trans:   make(map[fsm.Key]Transition, len(m.trans)),
+		byName:  make(map[string]fsm.Key, len(m.byName)),
+	}
+	for k, t := range m.trans {
+		c.trans[k] = t
+	}
+	for n, k := range m.byName {
+		c.byName[n] = k
+	}
+	return c
+}
+
+// ResetSymbol is the distinguished input that resets every machine of a
+// system to its initial state, written "R" in the paper.
+const ResetSymbol Symbol = "R"
+
+// System is a system of N communicating finite state machines. Systems are
+// immutable after construction; Rewire returns modified copies.
+type System struct {
+	machines []*Machine
+}
+
+// NewSystem assembles and validates a system. Beyond per-machine validity it
+// checks the model rules of Section 2:
+//
+//   - destination indices of internal-output transitions must name a peer
+//     machine (not the machine itself);
+//   - within one machine the inputs of external-output transitions (IEO) and
+//     of internal-output transitions (IIO) must be disjoint;
+//   - the internal-chain restriction: every symbol a machine can send to a
+//     peer must, wherever the peer defines it, trigger an external-output
+//     transition of the peer — so at most two transitions execute per input;
+//   - the reset symbol R must not be used as a transition input.
+func NewSystem(machines ...*Machine) (*System, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("cfsm: a system needs at least one machine")
+	}
+	names := make(map[string]bool, len(machines))
+	for _, m := range machines {
+		if m == nil {
+			return nil, fmt.Errorf("cfsm: nil machine")
+		}
+		if names[m.name] {
+			return nil, fmt.Errorf("cfsm: duplicate machine name %q", m.name)
+		}
+		names[m.name] = true
+	}
+	s := &System{machines: machines}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *System) validate() error {
+	for i, m := range s.machines {
+		ieo := make(map[Symbol]bool)
+		iio := make(map[Symbol]bool)
+		for _, t := range m.Transitions() {
+			if t.Input == ResetSymbol {
+				return fmt.Errorf("cfsm %s: transition %s uses the reserved reset input %q",
+					m.name, t.Name, ResetSymbol)
+			}
+			if t.Internal() {
+				if t.Dest < 0 || t.Dest >= len(s.machines) {
+					return fmt.Errorf("cfsm %s: transition %s addresses unknown machine index %d",
+						m.name, t.Name, t.Dest)
+				}
+				if t.Dest == i {
+					return fmt.Errorf("cfsm %s: transition %s addresses its own machine", m.name, t.Name)
+				}
+				iio[t.Input] = true
+			} else {
+				ieo[t.Input] = true
+			}
+		}
+		for sym := range iio {
+			if ieo[sym] {
+				return fmt.Errorf("cfsm %s: input %q is used by both external- and internal-output transitions (IEO ∩ IIO must be empty)",
+					m.name, sym)
+			}
+		}
+	}
+	// Internal-chain restriction: for every internal output symbol y sent by
+	// machine i to machine j, every transition of j on input y must be
+	// external, so that the chain terminates after the second transition.
+	for i, m := range s.machines {
+		for _, t := range m.Transitions() {
+			if !t.Internal() {
+				continue
+			}
+			recv := s.machines[t.Dest]
+			for _, u := range recv.Transitions() {
+				if u.Input == t.Output && u.Internal() {
+					return fmt.Errorf("cfsm: internal chain: %s.%s sends %q to %s, whose transition %s forwards it internally (the model allows only internal→external pairs)",
+						m.name, t.Name, t.Output, recv.name, u.Name)
+				}
+			}
+			_ = i
+		}
+	}
+	return nil
+}
+
+// N returns the number of machines.
+func (s *System) N() int { return len(s.machines) }
+
+// Machine returns the i-th machine (0-based). It panics on a bad index, which
+// indicates a programming error rather than a runtime condition.
+func (s *System) Machine(i int) *Machine { return s.machines[i] }
+
+// Machines returns the machines in system order. The slice is a copy; the
+// machines themselves are shared and immutable.
+func (s *System) Machines() []*Machine { return append([]*Machine(nil), s.machines...) }
+
+// NumTransitions returns the total number of transitions across all machines.
+func (s *System) NumTransitions() int {
+	n := 0
+	for _, m := range s.machines {
+		n += m.NumTransitions()
+	}
+	return n
+}
+
+// Ref identifies a transition globally by machine index and transition name.
+type Ref struct {
+	Machine int
+	Name    string
+}
+
+// String renders the reference as "M2.t'6" using the machine's display name
+// when available. Refs render as "#<index>.<name>" only if detached from any
+// system, which does not happen in practice.
+func (r Ref) String() string { return fmt.Sprintf("#%d.%s", r.Machine, r.Name) }
+
+// RefString renders a reference with the machine's display name.
+func (s *System) RefString(r Ref) string {
+	if r.Machine < 0 || r.Machine >= len(s.machines) {
+		return r.String()
+	}
+	return s.machines[r.Machine].name + "." + r.Name
+}
+
+// Transition resolves a Ref to its transition.
+func (s *System) Transition(r Ref) (Transition, bool) {
+	if r.Machine < 0 || r.Machine >= len(s.machines) {
+		return Transition{}, false
+	}
+	return s.machines[r.Machine].ByName(r.Name)
+}
+
+// Refs returns references to every transition of the system in deterministic
+// order (machine index, then (From, Input)).
+func (s *System) Refs() []Ref {
+	var out []Ref
+	for i, m := range s.machines {
+		for _, t := range m.Transitions() {
+			out = append(out, Ref{Machine: i, Name: t.Name})
+		}
+	}
+	return out
+}
+
+// Rewire returns a copy of the system in which the referenced transition has
+// its output replaced by newOutput (if non-empty) and its destination state
+// replaced by newTo (if non-empty). The copy is re-validated so that a rewire
+// can never produce a system violating the internal-chain restriction.
+func (s *System) Rewire(r Ref, newOutput Symbol, newTo State) (*System, error) {
+	t, ok := s.Transition(r)
+	if !ok {
+		return nil, fmt.Errorf("cfsm: no transition %s", s.RefString(r))
+	}
+	if newTo != "" && !s.machines[r.Machine].HasState(newTo) {
+		return nil, fmt.Errorf("cfsm: rewire %s: %q is not a state of %s",
+			s.RefString(r), newTo, s.machines[r.Machine].name)
+	}
+	ms := make([]*Machine, len(s.machines))
+	copy(ms, s.machines)
+	mc := s.machines[r.Machine].clone()
+	k := mc.byName[r.Name]
+	if newOutput != "" {
+		t.Output = newOutput
+	}
+	if newTo != "" {
+		t.To = newTo
+	}
+	mc.trans[k] = t
+	ms[r.Machine] = mc
+	out := &System{machines: ms}
+	if err := out.validate(); err != nil {
+		return nil, fmt.Errorf("cfsm: rewire %s: %w", s.RefString(r), err)
+	}
+	return out, nil
+}
+
+// RewireAddress returns a copy of the system in which the referenced
+// transition delivers its output to a different destination: a peer machine
+// index, or DestEnv for the machine's own port. It models the "addressing
+// faults" the paper's concluding discussion leaves as future work (the
+// address component of an output, as opposed to the message type).
+//
+// The copy is re-validated, so an address rewire that would break the
+// IEO/IIO partition or the internal-chain restriction is rejected.
+func (s *System) RewireAddress(r Ref, newDest int) (*System, error) {
+	t, ok := s.Transition(r)
+	if !ok {
+		return nil, fmt.Errorf("cfsm: no transition %s", s.RefString(r))
+	}
+	if newDest == t.Dest {
+		return nil, fmt.Errorf("cfsm: rewire %s: destination unchanged", s.RefString(r))
+	}
+	if newDest != DestEnv && (newDest < 0 || newDest >= len(s.machines)) {
+		return nil, fmt.Errorf("cfsm: rewire %s: unknown destination %d", s.RefString(r), newDest)
+	}
+	ms := make([]*Machine, len(s.machines))
+	copy(ms, s.machines)
+	mc := s.machines[r.Machine].clone()
+	k := mc.byName[r.Name]
+	t.Dest = newDest
+	mc.trans[k] = t
+	ms[r.Machine] = mc
+	out := &System{machines: ms}
+	if err := out.validate(); err != nil {
+		return nil, fmt.Errorf("cfsm: rewire %s: %w", s.RefString(r), err)
+	}
+	return out, nil
+}
+
+// Config is a global configuration: the current state of each machine, in
+// system order. Under the synchronization assumption all queues are empty
+// between inputs, so machine states fully determine the global state.
+type Config []State
+
+// InitialConfig returns the configuration with every machine in its initial
+// state.
+func (s *System) InitialConfig() Config {
+	cfg := make(Config, len(s.machines))
+	for i, m := range s.machines {
+		cfg[i] = m.initial
+	}
+	return cfg
+}
+
+// Clone returns a copy of the configuration.
+func (c Config) Clone() Config { return append(Config(nil), c...) }
+
+// Key returns a canonical string key for use in search maps.
+func (c Config) Key() string {
+	parts := make([]string, len(c))
+	for i, s := range c {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, "|")
+}
+
+// Equal reports whether two configurations are identical.
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,44 @@
+package cfsm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInputToken parses one input in the notation the library prints:
+// "R" for the reset, or "sym^port" with a 1-based port, e.g. "a^1", "c'^3".
+// It is the inverse of Input.String.
+func ParseInputToken(tok string) (Input, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == string(ResetSymbol) {
+		return Reset(), nil
+	}
+	i := strings.LastIndex(tok, "^")
+	if i <= 0 || i == len(tok)-1 {
+		return Input{}, fmt.Errorf("input %q: want sym^port (e.g. a^1) or R", tok)
+	}
+	port, err := strconv.Atoi(tok[i+1:])
+	if err != nil || port < 1 {
+		return Input{}, fmt.Errorf("input %q: bad port %q", tok, tok[i+1:])
+	}
+	return Input{Port: port - 1, Sym: Symbol(tok[:i])}, nil
+}
+
+// ParseObservationToken parses one observation: "-" (the reset output) or
+// "sym^port" with a 1-based port. It is the inverse of Observation.String.
+func ParseObservationToken(tok string) (Observation, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == string(Null) {
+		return Observation{Sym: Null, Port: 0}, nil
+	}
+	i := strings.LastIndex(tok, "^")
+	if i <= 0 || i == len(tok)-1 {
+		return Observation{}, fmt.Errorf("observation %q: want sym^port or -", tok)
+	}
+	port, err := strconv.Atoi(tok[i+1:])
+	if err != nil || port < 1 {
+		return Observation{}, fmt.Errorf("observation %q: bad port %q", tok, tok[i+1:])
+	}
+	return Observation{Sym: Symbol(tok[:i]), Port: port - 1}, nil
+}

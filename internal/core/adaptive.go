@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/testgen"
+)
+
+// Oracle executes test cases against the implementation under test and
+// returns the observed outputs. In a laboratory setting it wraps a mutant
+// system (SystemOracle); in the field it would drive the real IUT.
+type Oracle interface {
+	Execute(tc cfsm.TestCase) ([]cfsm.Observation, error)
+}
+
+// SystemOracle is an Oracle backed by a (typically mutated) system. It
+// counts the tests and inputs it executes, which the cost experiments (E6)
+// report.
+type SystemOracle struct {
+	Sys    *cfsm.System
+	Tests  int
+	Inputs int
+}
+
+var _ Oracle = (*SystemOracle)(nil)
+
+// Execute runs the test case on the wrapped system.
+func (o *SystemOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	o.Tests++
+	o.Inputs += len(tc.Inputs)
+	return o.Sys.Run(tc)
+}
+
+// Verdict is the outcome of a localization.
+type Verdict int
+
+// Localization outcomes.
+const (
+	// VerdictNoFault: the test suite revealed no symptom.
+	VerdictNoFault Verdict = iota + 1
+	// VerdictLocalized: a single fault hypothesis explains everything and
+	// survived all additional diagnostic tests.
+	VerdictLocalized
+	// VerdictAmbiguous: more than one hypothesis remains and no additional
+	// test can separate them under the candidate-avoidance constraint.
+	VerdictAmbiguous
+	// VerdictInconsistent: the observations cannot be explained by any
+	// single-transition fault — the fault-model assumption is violated.
+	VerdictInconsistent
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNoFault:
+		return "no fault detected"
+	case VerdictLocalized:
+		return "fault localized"
+	case VerdictAmbiguous:
+		return "ambiguous"
+	case VerdictInconsistent:
+		return "inconsistent with the single-transition fault model"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// AdditionalTest records one adaptively generated diagnostic test case, the
+// candidate it targeted and the outputs the IUT produced (the raw material
+// of the paper's Figure 2).
+type AdditionalTest struct {
+	Target   cfsm.Ref
+	Test     cfsm.TestCase
+	Expected []cfsm.Observation // the specification's prediction
+	Observed []cfsm.Observation
+}
+
+// Localization is the result of Step 6.
+type Localization struct {
+	Analysis *Analysis
+	Verdict  Verdict
+	// Fault is the localized fault when Verdict is VerdictLocalized.
+	Fault *fault.Fault
+	// Remaining holds the hypotheses that survive when the verdict is
+	// ambiguous.
+	Remaining []fault.Fault
+	// Cleared lists candidate transitions proven correct by additional
+	// tests, in the order they were cleared.
+	Cleared []cfsm.Ref
+	// AdditionalTests logs every adaptively generated test.
+	AdditionalTests []AdditionalTest
+}
+
+// Localize performs Step 6: given the Step 1–5 analysis and an oracle for
+// the implementation under test, it generates additional diagnostic tests
+// until the fault is localized, the candidates are exhausted, or no further
+// test can discriminate.
+//
+// For each candidate transition T_k (the unique symptom transition first,
+// then the remaining candidates in machine order, following the Section 4
+// walkthrough), the procedure builds behavioural variants — the
+// specification plus one rewired specification per surviving hypothesis of
+// T_k — and repeatedly executes tests of the form
+//
+//	R · transfer-sequence · input(T_k) · distinguishing-suffix
+//
+// where the transfer sequence and the suffix avoid every other candidate
+// transition (the paper's constraint on additional tests). Variants whose
+// predictions disagree with the observed outputs are eliminated. If the
+// specification variant survives alone the candidate is cleared; if a fault
+// variant survives alone the fault is localized and, per the single-fault
+// hypothesis, the search stops and remaining diagnoses are discarded.
+func Localize(a *Analysis, oracle Oracle, opts ...Option) (*Localization, error) {
+	cfg := defaultSettings()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	loc, err := localizeOnce(a, oracle, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Before declaring the observations outside the fault model, widen the
+	// hypothesis space — first to combined faults (Analysis.EscalateCombined),
+	// then to the addressing-fault extension (Analysis.EscalateAddress) —
+	// retrying the localization after each successful widening.
+	for loc.Verdict == VerdictInconsistent && a.HasSymptoms() {
+		widened := false
+		switch {
+		case cfg.combinedEscalation && !a.Escalated:
+			widened = a.EscalateCombined()
+			cfg.tracer.Escalated("combined", len(a.Diagnoses))
+		case cfg.addressEscalation && !a.AddressEscalated:
+			widened = a.EscalateAddress()
+			cfg.tracer.Escalated("address", len(a.Diagnoses))
+		default:
+			return loc, nil
+		}
+		if !widened {
+			continue
+		}
+		retry, err := localizeOnce(a, oracle, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		retry.AdditionalTests = append(loc.AdditionalTests, retry.AdditionalTests...)
+		retry.Cleared = append(loc.Cleared, retry.Cleared...)
+		loc = retry
+	}
+	return loc, nil
+}
+
+func localizeOnce(a *Analysis, oracle Oracle, cfg *settings) (*Localization, error) {
+	loc := &Localization{Analysis: a}
+	if !a.HasSymptoms() {
+		loc.Verdict = VerdictNoFault
+		return loc, nil
+	}
+	if len(a.Diagnoses) == 0 {
+		loc.Verdict = VerdictInconsistent
+		return loc, nil
+	}
+	// Cases 1–3: a single surviving hypothesis needs no further tests.
+	if len(a.Diagnoses) == 1 {
+		loc.Verdict = VerdictLocalized
+		f := a.Diagnoses[0]
+		loc.Fault = &f
+		return loc, nil
+	}
+
+	// Cases 4–5: group hypotheses by candidate transition and test each
+	// candidate in turn. Candidates that cannot be resolved in one pass
+	// (e.g. because every path to them runs through another candidate) are
+	// retried after later candidates have been cleared, with a smaller
+	// avoid set.
+	order, byRef := groupDiagnoses(a)
+	avoidAll := testgen.NewRefSet(order...)
+	pending := order
+
+	for progress := true; progress && len(pending) > 0; {
+		progress = false
+		var still []cfsm.Ref
+		for _, ref := range pending {
+			hyps := byRef[ref]
+			cfg.tracer.CandidateStart(ref, len(hyps))
+			outcome, err := testCandidate(a, oracle, loc, ref, hyps, avoidAll.Without(ref), cfg)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case outcome.localized != nil:
+				cfg.tracer.CandidateResolved(ref, "convicted")
+				loc.Verdict = VerdictLocalized
+				loc.Fault = outcome.localized
+				return loc, nil
+			case outcome.cleared:
+				cfg.tracer.CandidateResolved(ref, "cleared")
+				progress = true
+				loc.Cleared = append(loc.Cleared, ref)
+				delete(avoidAll, ref) // cleared transitions may appear in later tests
+			default:
+				cfg.tracer.CandidateResolved(ref, "unresolved")
+				byRef[ref] = outcome.remaining
+				if len(outcome.remaining) < len(hyps) {
+					progress = true
+				}
+				still = append(still, ref)
+			}
+		}
+		pending = still
+	}
+	for _, ref := range pending {
+		loc.Remaining = append(loc.Remaining, byRef[ref]...)
+	}
+
+	if len(loc.Remaining) == 0 {
+		// Every candidate was cleared, yet symptoms exist: the fault model
+		// does not hold.
+		loc.Verdict = VerdictInconsistent
+		return loc, nil
+	}
+	if len(loc.Remaining) == 1 {
+		loc.Verdict = VerdictLocalized
+		f := loc.Remaining[0]
+		loc.Fault = &f
+		loc.Remaining = nil
+		return loc, nil
+	}
+	loc.Verdict = VerdictAmbiguous
+	return loc, nil
+}
+
+// groupDiagnoses orders candidate transitions — unique symptom transition
+// first, then machine/name order — and groups hypotheses per candidate.
+func groupDiagnoses(a *Analysis) ([]cfsm.Ref, map[cfsm.Ref][]fault.Fault) {
+	byRef := make(map[cfsm.Ref][]fault.Fault)
+	for _, f := range a.Diagnoses {
+		byRef[f.Ref] = append(byRef[f.Ref], f)
+	}
+	var order []cfsm.Ref
+	for r := range byRef {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ri, rj := order[i], order[j]
+		ustI := a.UST != nil && ri == *a.UST
+		ustJ := a.UST != nil && rj == *a.UST
+		if ustI != ustJ {
+			return ustI
+		}
+		if ri.Machine != rj.Machine {
+			return ri.Machine < rj.Machine
+		}
+		return ri.Name < rj.Name
+	})
+	return order, byRef
+}
+
+// variant pairs a fault hypothesis (nil for the specification itself) with
+// the rewired system that realizes it.
+type variant struct {
+	fault *fault.Fault
+	sys   *cfsm.System
+}
+
+// candidateOutcome is the result of testing one candidate transition.
+type candidateOutcome struct {
+	cleared   bool
+	localized *fault.Fault
+	remaining []fault.Fault
+}
+
+// testCandidate runs the variant-elimination loop for one candidate.
+func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, hyps []fault.Fault, avoid testgen.RefSet, cfg *settings) (candidateOutcome, error) {
+	t, ok := a.Spec.Transition(ref)
+	if !ok {
+		return candidateOutcome{}, fmt.Errorf("core: candidate %s not in specification", a.Spec.RefString(ref))
+	}
+
+	variants := []variant{{fault: nil, sys: a.Spec}}
+	for i := range hyps {
+		sys, err := hyps[i].Apply(a.Spec)
+		if err != nil {
+			return candidateOutcome{}, fmt.Errorf("core: apply hypothesis %s: %w", hyps[i].Describe(a.Spec), err)
+		}
+		variants = append(variants, variant{fault: &hyps[i], sys: sys})
+	}
+
+	// Transfer sequence to the candidate's source state, avoiding every
+	// candidate transition including the one under test (its behaviour is
+	// not yet trusted).
+	avoidWithSelf := avoid.Clone()
+	avoidWithSelf[ref] = true
+	transfer, ok := testgen.TransferToState(a.Spec, ref.Machine, t.From, avoidWithSelf)
+	if !ok {
+		// The candidate cannot be exercised without touching another
+		// candidate: its hypotheses stay unresolved.
+		return candidateOutcome{remaining: hyps}, nil
+	}
+	prefix := append([]cfsm.Input{cfsm.Reset()}, transfer.Inputs...)
+	prefix = append(prefix, cfsm.Input{Port: ref.Machine, Sym: t.Input})
+
+	live := variants
+	for len(live) > 1 {
+		if cfg.maxAdditionalTests > 0 && len(loc.AdditionalTests) >= cfg.maxAdditionalTests {
+			break // test budget exhausted: remaining hypotheses stay open
+		}
+		test, ok := nextDiscriminatingTest(live, prefix, avoid)
+		if !ok {
+			break
+		}
+		test.Name = fmt.Sprintf("diag-%s-%d", ref.Name, len(loc.AdditionalTests)+1)
+		observed, err := oracle.Execute(test)
+		if err != nil {
+			return candidateOutcome{}, fmt.Errorf("core: execute %s: %w", test.Name, err)
+		}
+		expected, err := a.Spec.Run(test)
+		if err != nil {
+			return candidateOutcome{}, fmt.Errorf("core: predict %s: %w", test.Name, err)
+		}
+		at := AdditionalTest{
+			Target:   ref,
+			Test:     test,
+			Expected: expected,
+			Observed: observed,
+		}
+		loc.AdditionalTests = append(loc.AdditionalTests, at)
+		before := len(live)
+		live = filterVariants(live, test, observed)
+		cfg.tracer.TestExecuted(at, before-len(live))
+	}
+
+	switch {
+	case len(live) == 0:
+		// No hypothesis for this candidate matches the additional
+		// observations; the candidate is clear of every hypothesized fault.
+		return candidateOutcome{cleared: true}, nil
+	case len(live) == 1 && live[0].fault == nil:
+		return candidateOutcome{cleared: true}, nil
+	case len(live) == 1:
+		return candidateOutcome{localized: live[0].fault}, nil
+	default:
+		var remaining []fault.Fault
+		specAlive := false
+		for _, v := range live {
+			if v.fault == nil {
+				specAlive = true
+				continue
+			}
+			remaining = append(remaining, *v.fault)
+		}
+		if specAlive {
+			// The specification itself is still in play: the surviving
+			// hypotheses are indistinguishable from "correct", so they
+			// cannot be the localized fault on present evidence; keep them
+			// as remaining ambiguity.
+			return candidateOutcome{remaining: remaining}, nil
+		}
+		return candidateOutcome{remaining: remaining}, nil
+	}
+}
+
+// nextDiscriminatingTest builds the next additional diagnostic test for the
+// live variants: the fixed prefix, extended — when the prefix alone does not
+// already separate some pair — by a distinguishing suffix for the first
+// still-separable pair.
+func nextDiscriminatingTest(live []variant, prefix []cfsm.Input, avoid testgen.RefSet) (cfsm.TestCase, bool) {
+	type run struct {
+		obs []cfsm.Observation
+		cfg cfsm.Config
+	}
+	runs := make([]run, len(live))
+	for i, v := range live {
+		cfg := v.sys.InitialConfig()
+		var obs []cfsm.Observation
+		for _, in := range prefix {
+			next, o, _, err := v.sys.Apply(cfg, in)
+			if err != nil {
+				return cfsm.TestCase{}, false
+			}
+			obs = append(obs, o)
+			cfg = next
+		}
+		runs[i] = run{obs: obs, cfg: cfg}
+	}
+	// If the prefix already separates a pair of variants, it is the test.
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if !cfsm.ObsEqual(runs[i].obs, runs[j].obs) {
+				return cfsm.TestCase{Inputs: append([]cfsm.Input(nil), prefix...)}, true
+			}
+		}
+	}
+	// Otherwise search for a distinguishing suffix for some pair.
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			suffix, ok := testgen.Distinguish(
+				testgen.Variant{Sys: live[i].sys, Cfg: runs[i].cfg},
+				testgen.Variant{Sys: live[j].sys, Cfg: runs[j].cfg},
+				avoid,
+			)
+			if !ok {
+				continue
+			}
+			inputs := append([]cfsm.Input(nil), prefix...)
+			inputs = append(inputs, suffix...)
+			return cfsm.TestCase{Inputs: inputs}, true
+		}
+	}
+	return cfsm.TestCase{}, false
+}
+
+// filterVariants keeps the variants whose prediction for the test equals the
+// observed outputs.
+func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observation) []variant {
+	var out []variant
+	for _, v := range live {
+		predicted, err := v.sys.Run(test)
+		if err != nil {
+			continue
+		}
+		if cfsm.ObsEqual(predicted, observed) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Diagnose is the end-to-end convenience entry point: it executes the test
+// suite against the oracle (Step 2), analyzes the results (Steps 1 and 3–5)
+// and localizes the fault (Step 6).
+func Diagnose(spec *cfsm.System, suite []cfsm.TestCase, oracle Oracle) (*Localization, error) {
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		obs, err := oracle.Execute(tc)
+		if err != nil {
+			return nil, fmt.Errorf("core: execute %s: %w", tc.Name, err)
+		}
+		observed[i] = obs
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		return nil, err
+	}
+	return Localize(a, oracle)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/paper"
+)
+
+func hasWarning(ws []Warning, code string) bool {
+	for _, w := range ws {
+		if w.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckAssumptionsFigure1(t *testing.T) {
+	ws := CheckAssumptions(paper.MustFigure1())
+	// The Figure 1 system is clean: every transition is reachable, every
+	// machine's states are distinguishable, every class has 2 outputs, and
+	// the configuration graph is strongly connected.
+	for _, w := range ws {
+		t.Errorf("unexpected warning: %s", w)
+	}
+}
+
+func TestCheckAssumptionsFlagsEquivalentStates(t *testing.T) {
+	a, err := cfsm.NewMachine("A", "s0", []cfsm.State{"s0", "s1", "s2"}, []cfsm.Transition{
+		{Name: "t1", From: "s0", Input: "x", Output: "go", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t2", From: "s1", Input: "x", Output: "halt", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t3", From: "s2", Input: "x", Output: "halt", To: "s2", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := cfsm.NewSystem(a)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	ws := CheckAssumptions(sys)
+	if !hasWarning(ws, WarnEquivalentStates) {
+		t.Errorf("missing equivalent-states warning: %v", ws)
+	}
+	// s2 is unreachable, so t3 is unreachable; and nothing escapes s1:
+	// not strongly connected either.
+	if !hasWarning(ws, WarnUnreachableTransition) {
+		t.Errorf("missing unreachable-transition warning: %v", ws)
+	}
+	if !hasWarning(ws, WarnNotStronglyConnected) {
+		t.Errorf("missing connectivity warning: %v", ws)
+	}
+	if !hasWarning(ws, WarnSingleOutput) {
+		// OEO(A) = {go, halt} has two symbols... but no internal channels;
+		// this branch documents that the single-output warning is about
+		// classes with one symbol only.
+		t.Logf("warnings: %v", ws)
+	}
+}
+
+func TestCheckAssumptionsSingleOutputChannel(t *testing.T) {
+	// A system whose only internal channel carries a single symbol.
+	a, err := cfsm.NewMachine("A", "s0", []cfsm.State{"s0"}, []cfsm.Transition{
+		{Name: "t1", From: "s0", Input: "p", Output: "m", To: "s0", Dest: 1},
+		{Name: "t2", From: "s0", Input: "x", Output: "y", To: "s0", Dest: cfsm.DestEnv},
+		{Name: "t3", From: "s0", Input: "z", Output: "w", To: "s0", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	b, err := cfsm.NewMachine("B", "q0", []cfsm.State{"q0"}, []cfsm.Transition{
+		{Name: "u1", From: "q0", Input: "m", Output: "r", To: "q0", Dest: cfsm.DestEnv},
+		{Name: "u2", From: "q0", Input: "n", Output: "s", To: "q0", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := cfsm.NewSystem(a, b)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	ws := CheckAssumptions(sys)
+	if !hasWarning(ws, WarnSingleOutput) {
+		t.Errorf("missing single-output warning: %v", ws)
+	}
+	found := false
+	for _, w := range ws {
+		if strings.Contains(w.String(), "OIO to B") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("single-output warning should name the channel: %v", ws)
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	w := Warning{Code: "c", Machine: "M1", Detail: "d"}
+	if got := w.String(); got != "[c] M1: d" {
+		t.Errorf("String() = %q", got)
+	}
+	sysW := Warning{Code: "c", Detail: "d"}
+	if got := sysW.String(); got != "[c] d" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+)
+
+// pingPong builds the two-machine system used by the scenario tests:
+//
+//	A (port 1, states a0 a1 a2):
+//	  A1: a0 -x/ok-> a1     A2: a1 -x/ok2-> a2    A3: a2 -x/ok0-> a0
+//	  A4: a0 -y/no-> a0     A5: a1 -y/no2-> a1
+//	  A6: a0 -p/m1→B-> a1   A7: a1 -p/m2→B-> a2
+//	  A8: a0 -r1/ack-> a0   A9: a1 -r1/ack2-> a1
+//	B (port 2, states b0 b1):
+//	  B1: b0 -m1/z1-> b1    B2: b1 -m1/z2-> b0
+//	  B3: b0 -m2/w1-> b0    B4: b1 -m2/w2-> b1
+//	  B5: b0 -n/v1-> b1     B6: b1 -k/r1→A-> b0
+func pingPong(t *testing.T) *cfsm.System {
+	t.Helper()
+	a, err := cfsm.NewMachine("A", "a0", []cfsm.State{"a0", "a1", "a2"}, []cfsm.Transition{
+		{Name: "A1", From: "a0", Input: "x", Output: "ok", To: "a1", Dest: cfsm.DestEnv},
+		{Name: "A2", From: "a1", Input: "x", Output: "ok2", To: "a2", Dest: cfsm.DestEnv},
+		{Name: "A3", From: "a2", Input: "x", Output: "ok0", To: "a0", Dest: cfsm.DestEnv},
+		{Name: "A4", From: "a0", Input: "y", Output: "no", To: "a0", Dest: cfsm.DestEnv},
+		{Name: "A5", From: "a1", Input: "y", Output: "no2", To: "a1", Dest: cfsm.DestEnv},
+		{Name: "A6", From: "a0", Input: "p", Output: "m1", To: "a1", Dest: 1},
+		{Name: "A7", From: "a1", Input: "p", Output: "m2", To: "a2", Dest: 1},
+		{Name: "A8", From: "a0", Input: "r1", Output: "ack", To: "a0", Dest: cfsm.DestEnv},
+		{Name: "A9", From: "a1", Input: "r1", Output: "ack2", To: "a1", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine A: %v", err)
+	}
+	b, err := cfsm.NewMachine("B", "b0", []cfsm.State{"b0", "b1"}, []cfsm.Transition{
+		{Name: "B1", From: "b0", Input: "m1", Output: "z1", To: "b1", Dest: cfsm.DestEnv},
+		{Name: "B2", From: "b1", Input: "m1", Output: "z2", To: "b0", Dest: cfsm.DestEnv},
+		{Name: "B3", From: "b0", Input: "m2", Output: "w1", To: "b0", Dest: cfsm.DestEnv},
+		{Name: "B4", From: "b1", Input: "m2", Output: "w2", To: "b1", Dest: cfsm.DestEnv},
+		{Name: "B5", From: "b0", Input: "n", Output: "v1", To: "b1", Dest: cfsm.DestEnv},
+		{Name: "B6", From: "b1", Input: "k", Output: "r1", To: "b0", Dest: 0},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine B: %v", err)
+	}
+	sys, err := cfsm.NewSystem(a, b)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func in(port int, sym cfsm.Symbol) cfsm.Input { return cfsm.Input{Port: port, Sym: sym} }
+
+func diagnoseWithFault(t *testing.T, spec *cfsm.System, f fault.Fault, suite []cfsm.TestCase) (*Localization, *SystemOracle) {
+	t.Helper()
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply fault: %v", err)
+	}
+	oracle := &SystemOracle{Sys: iut}
+	loc, err := Diagnose(spec, suite, oracle)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	return loc, oracle
+}
+
+func TestNoFault(t *testing.T) {
+	spec := pingPong(t)
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x"), in(0, "x")}}}
+	oracle := &SystemOracle{Sys: spec}
+	loc, err := Diagnose(spec, suite, oracle)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != VerdictNoFault || loc.Fault != nil {
+		t.Fatalf("verdict = %v fault = %v, want no fault", loc.Verdict, loc.Fault)
+	}
+	if loc.Analysis.HasSymptoms() {
+		t.Fatal("symptoms on a conforming implementation")
+	}
+	if !strings.Contains(loc.Analysis.Report(), "conforms") {
+		t.Errorf("report should state conformance:\n%s", loc.Analysis.Report())
+	}
+}
+
+// TestExternalOutputFault exercises Case 1: a single output-fault diagnosis
+// of the unique symptom transition needs no additional tests.
+func TestExternalOutputFault(t *testing.T) {
+	spec := pingPong(t)
+	f := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "A1"}, Kind: fault.KindOutput, Output: "no"}
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x")}}}
+	loc, oracle := diagnoseWithFault(t, spec, f, suite)
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v\n%s%s", loc.Verdict, loc.Analysis.Report(), loc.Report())
+	}
+	if *loc.Fault != f {
+		t.Fatalf("fault = %+v, want %+v", *loc.Fault, f)
+	}
+	if len(loc.AdditionalTests) != 0 {
+		t.Errorf("Case 1 should need no additional tests, got %d", len(loc.AdditionalTests))
+	}
+	if oracle.Tests != len(suite) {
+		t.Errorf("oracle ran %d tests, want just the suite (%d)", oracle.Tests, len(suite))
+	}
+}
+
+// TestTransferFault exercises Step 6 with two candidates: the ust's output
+// hypothesis is cleared by an additional test and the true transfer fault is
+// convicted.
+func TestTransferFault(t *testing.T) {
+	spec := pingPong(t)
+	f := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "A1"}, Kind: fault.KindTransfer, To: "a0"}
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x"), in(0, "x")}}}
+	loc, _ := diagnoseWithFault(t, spec, f, suite)
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v\n%s%s", loc.Verdict, loc.Analysis.Report(), loc.Report())
+	}
+	if *loc.Fault != f {
+		t.Fatalf("fault = %+v, want %+v", *loc.Fault, f)
+	}
+	if len(loc.AdditionalTests) == 0 {
+		t.Error("expected additional tests for the two-candidate case")
+	}
+	// A2 (the ust) must have been cleared.
+	if len(loc.Cleared) != 1 || loc.Cleared[0].Name != "A2" {
+		t.Errorf("cleared = %v, want [A2]", loc.Cleared)
+	}
+}
+
+// TestInternalOutputFault: a faulty internal output is convicted after the
+// unique symptom transition (the receiver's transition) is cleared.
+func TestInternalOutputFault(t *testing.T) {
+	spec := pingPong(t)
+	f := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "A6"}, Kind: fault.KindOutput, Output: "m2"}
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "p")}}}
+	loc, _ := diagnoseWithFault(t, spec, f, suite)
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v\n%s%s", loc.Verdict, loc.Analysis.Report(), loc.Report())
+	}
+	if *loc.Fault != f {
+		t.Fatalf("fault = %+v, want %+v", *loc.Fault, f)
+	}
+}
+
+// TestCombinedFaultFlagTrue: an internal transition with both an output and
+// a transfer fault produces mismatches after the first symptom (flag true),
+// and the statout machinery localizes the combined fault without additional
+// tests (Case 2/3).
+func TestCombinedFaultFlagTrue(t *testing.T) {
+	spec := pingPong(t)
+	f := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "A7"}, Kind: fault.KindBoth, Output: "m1", To: "a1"}
+	suite := []cfsm.TestCase{{
+		Name:   "t1",
+		Inputs: []cfsm.Input{cfsm.Reset(), in(0, "p"), in(0, "p"), in(0, "x")},
+	}}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply fault: %v", err)
+	}
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !a.Flag {
+		t.Fatal("flag should be true: the step after the first symptom also mismatches")
+	}
+	ref := cfsm.Ref{Machine: 0, Name: "A7"}
+	if got := a.StatOut[ref]; len(got) != 1 || got[0] != (StateOutput{State: "a1", Output: "m1"}) {
+		t.Fatalf("statout[A7] = %v, want [{a1 m1}]", got)
+	}
+	loc, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v\n%s%s", loc.Verdict, a.Report(), loc.Report())
+	}
+	if *loc.Fault != f {
+		t.Fatalf("fault = %+v, want %+v", *loc.Fault, f)
+	}
+	if len(loc.AdditionalTests) != 0 {
+		t.Errorf("single surviving hypothesis should need no additional tests, got %d", len(loc.AdditionalTests))
+	}
+	if !strings.Contains(a.Report(), "statout[A7]") {
+		t.Errorf("report missing statout:\n%s", a.Report())
+	}
+}
+
+// TestInconsistentObservations: observations no single-transition fault can
+// explain yield VerdictInconsistent.
+func TestInconsistentObservations(t *testing.T) {
+	spec := pingPong(t)
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x"), in(0, "x")}}}
+	observed := [][]cfsm.Observation{{
+		{Sym: cfsm.Null, Port: 0},
+		{Sym: "no2", Port: 0}, // wrong already here...
+		{Sym: "zzz", Port: 1}, // ...and this output exists nowhere
+	}}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(a.Diagnoses) != 0 {
+		t.Fatalf("diagnoses = %v, want none", a.Diagnoses)
+	}
+	loc, err := Localize(a, &SystemOracle{Sys: spec})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictInconsistent {
+		t.Fatalf("verdict = %v, want inconsistent", loc.Verdict)
+	}
+}
+
+// TestAmbiguousTransferTargets: when two transfer targets are behaviourally
+// equivalent no test can separate them, and the verdict is ambiguous with
+// both hypotheses remaining.
+func TestAmbiguousTransferTargets(t *testing.T) {
+	// C: c1 and c2 are equivalent sinks (identical behaviour); the fault
+	// moves C1 to one of them.
+	c, err := cfsm.NewMachine("C", "c0", []cfsm.State{"c0", "c1", "c2"}, []cfsm.Transition{
+		{Name: "C1", From: "c0", Input: "x", Output: "go", To: "c0", Dest: cfsm.DestEnv},
+		{Name: "C2", From: "c1", Input: "x", Output: "stuck", To: "c1", Dest: cfsm.DestEnv},
+		{Name: "C3", From: "c2", Input: "x", Output: "stuck", To: "c2", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	spec, err := cfsm.NewSystem(c)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	f := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "C1"}, Kind: fault.KindTransfer, To: "c1"}
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x"), in(0, "x")}}}
+	loc, _ := diagnoseWithFault(t, spec, f, suite)
+	if loc.Verdict != VerdictAmbiguous {
+		t.Fatalf("verdict = %v, want ambiguous\n%s%s", loc.Verdict, loc.Analysis.Report(), loc.Report())
+	}
+	if len(loc.Remaining) != 2 {
+		t.Fatalf("remaining = %v, want the two equivalent transfer targets", loc.Remaining)
+	}
+	for _, r := range loc.Remaining {
+		if r.Ref.Name != "C1" || r.Kind != fault.KindTransfer {
+			t.Errorf("remaining hypothesis %v is not a C1 transfer fault", r)
+		}
+	}
+	if !strings.Contains(loc.Report(), "remaining") {
+		t.Errorf("report missing remaining hypotheses:\n%s", loc.Report())
+	}
+}
+
+func TestAnalyzeInputValidation(t *testing.T) {
+	spec := pingPong(t)
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset()}}}
+	if _, err := Analyze(spec, suite, nil); err == nil {
+		t.Error("want error for missing observations")
+	}
+	if _, err := Analyze(spec, suite, [][]cfsm.Observation{{}}); err == nil {
+		t.Error("want error for observation length mismatch")
+	}
+}
+
+func TestSystemOracleCounts(t *testing.T) {
+	spec := pingPong(t)
+	o := &SystemOracle{Sys: spec}
+	tc := cfsm.TestCase{Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x")}}
+	if _, err := o.Execute(tc); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if _, err := o.Execute(tc); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if o.Tests != 2 || o.Inputs != 4 {
+		t.Errorf("counts = %d tests / %d inputs, want 2 / 4", o.Tests, o.Inputs)
+	}
+}
+
+type failingOracle struct{}
+
+func (failingOracle) Execute(cfsm.TestCase) ([]cfsm.Observation, error) {
+	return nil, errors.New("link down")
+}
+
+func TestDiagnoseOracleError(t *testing.T) {
+	spec := pingPong(t)
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset()}}}
+	if _, err := Diagnose(spec, suite, failingOracle{}); err == nil {
+		t.Error("want error from failing oracle")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	tests := []struct {
+		v    Verdict
+		want string
+	}{
+		{VerdictNoFault, "no fault detected"},
+		{VerdictLocalized, "fault localized"},
+		{VerdictAmbiguous, "ambiguous"},
+		{VerdictInconsistent, "inconsistent with the single-transition fault model"},
+		{Verdict(0), "Verdict(0)"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(tc.v), got, tc.want)
+		}
+	}
+}
+
+func TestReports(t *testing.T) {
+	spec := pingPong(t)
+	f := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "A1"}, Kind: fault.KindTransfer, To: "a0"}
+	suite := []cfsm.TestCase{{Name: "t1", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x"), in(0, "x")}}}
+	loc, _ := diagnoseWithFault(t, spec, f, suite)
+	ar := loc.Analysis.Report()
+	for _, want := range []string{"Step 3", "Step 4", "Step 5A", "Step 5B", "Step 5C", "EndStates[A1]", "Diag1"} {
+		if !strings.Contains(ar, want) {
+			t.Errorf("analysis report missing %q:\n%s", want, ar)
+		}
+	}
+	lr := loc.Report()
+	for _, want := range []string{"Step 6", "Verdict: fault localized", "A1 transfers to a0"} {
+		if !strings.Contains(lr, want) {
+			t.Errorf("localization report missing %q:\n%s", want, lr)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+)
+
+// TestEscalationCombinedFaultFlagFalse reproduces the gap in the paper's
+// flag heuristic that the combined-fault escalation closes: a combined fault
+// in the internal transition t'6 whose only symptom lands on the last step
+// of tc1 leaves the flag false, so the plain Step 5 refutes every pure
+// hypothesis; the escalation then finds the combined one and Step 6 convicts
+// it.
+func TestEscalationCombinedFaultFlagFalse(t *testing.T) {
+	spec := paper.MustFigure1()
+	f := fault.Fault{
+		Ref:    paper.Ref("M2", "t'6"),
+		Kind:   fault.KindBoth,
+		Output: "u",
+		To:     "s1",
+	}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply fault: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Flag {
+		t.Fatal("precondition failed: flag should be false for this scenario")
+	}
+	// The combined hypothesis is absent before escalation...
+	for _, d := range a.Diagnoses {
+		if d == f {
+			t.Fatal("precondition failed: plain Step 5 should not find the combined fault")
+		}
+	}
+	loc, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if !a.Escalated {
+		t.Fatal("escalation did not run")
+	}
+	if loc.Verdict != VerdictLocalized || loc.Fault == nil || *loc.Fault != f {
+		t.Fatalf("verdict = %v fault = %v, want localized %v\n%s%s",
+			loc.Verdict, loc.Fault, f, a.Report(), loc.Report())
+	}
+}
+
+// TestEscalateCombinedIdempotent: a second escalation is a no-op.
+func TestEscalateCombinedIdempotent(t *testing.T) {
+	a := paperAnalysis(t)
+	if !a.EscalateCombined() && len(a.Diagnoses) == 0 {
+		t.Fatal("first escalation lost the existing diagnoses")
+	}
+	n := len(a.Diagnoses)
+	if a.EscalateCombined() {
+		t.Error("second escalation reported new diagnoses")
+	}
+	if len(a.Diagnoses) != n {
+		t.Errorf("diagnoses changed from %d to %d", n, len(a.Diagnoses))
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+)
+
+// TestITCIntersectionAcrossCases: a fault in t1 — executed by both of the
+// paper's test cases — produces symptoms in both, and the initial tentative
+// candidate sets are the intersections of the per-case conflict sets
+// (Step 5A with more than one symptomatic test case).
+func TestITCIntersectionAcrossCases(t *testing.T) {
+	spec := paper.MustFigure1()
+	f := fault.Fault{Ref: paper.Ref("M1", "t1"), Kind: fault.KindOutput, Output: "d'"}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(a.Conflicts) != 2 {
+		t.Fatalf("symptomatic cases = %d, want 2", len(a.Conflicts))
+	}
+	// Both first symptoms hit at step 2 (t1's own execution), so each
+	// conflict set is {t1} for M1 and empty elsewhere; the intersection
+	// equals it.
+	if !sameNames(a.ITC[paper.M1], "t1") {
+		t.Errorf("ITC^1 = %v, want {t1}", refNamesOf(a.ITC[paper.M1]))
+	}
+	for _, m := range []int{paper.M2, paper.M3} {
+		if len(a.ITC[m]) != 0 {
+			t.Errorf("ITC^%d = %v, want empty", m+1, refNamesOf(a.ITC[m]))
+		}
+	}
+	// t1 is the unique symptom transition across both cases, with uso d'.
+	if a.UST == nil || a.UST.Name != "t1" || a.USO != "d'" {
+		t.Errorf("ust = %v uso = %v", a.UST, a.USO)
+	}
+	// Case 1 of Step 6: the single output-fault diagnosis, no extra tests.
+	loc, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized || *loc.Fault != f || len(loc.AdditionalTests) != 0 {
+		t.Fatalf("verdict = %v fault = %v tests = %d",
+			loc.Verdict, loc.Fault, len(loc.AdditionalTests))
+	}
+}
+
+// TestITCIntersectionPrunes: the transfer fault t"1 → s2 produces symptoms
+// in both test cases with different symptom transitions (no ust), and the
+// intersection prunes the per-case candidates to the common core.
+func TestITCIntersectionPrunes(t *testing.T) {
+	spec := paper.MustFigure1()
+	f := fault.Fault{Ref: paper.Ref("M3", `t"1`), Kind: fault.KindTransfer, To: "s2"}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(a.Conflicts) != 2 {
+		t.Skipf("fault produced %d symptomatic cases; scenario changed", len(a.Conflicts))
+	}
+	for m := 0; m < spec.N(); m++ {
+		perCase0 := len(a.Conflicts[0][m])
+		inter := len(a.ITC[m])
+		if inter > perCase0 {
+			t.Errorf("ITC^%d (%d) exceeds Conf^%d of tc1 (%d)", m+1, inter, m+1, perCase0)
+		}
+	}
+	// The true fault must survive the intersection and the verification.
+	loc, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized || loc.Fault.Ref != f.Ref {
+		t.Fatalf("verdict = %v fault = %v", loc.Verdict, loc.Fault)
+	}
+}

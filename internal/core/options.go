@@ -1,0 +1,43 @@
+package core
+
+// Option configures Localize.
+type Option func(*settings)
+
+type settings struct {
+	maxAdditionalTests int  // 0 = unbounded
+	combinedEscalation bool // widen to combined faults before giving up
+	addressEscalation  bool // widen to addressing faults before giving up
+	tracer             Tracer
+}
+
+func defaultSettings() settings {
+	return settings{
+		combinedEscalation: true,
+		addressEscalation:  true,
+		tracer:             nopTracer{},
+	}
+}
+
+// WithMaxAdditionalTests bounds the number of additional diagnostic tests
+// Step 6 may execute; when the budget runs out the unresolved hypotheses are
+// reported as remaining (verdict ambiguous). A zero or negative budget means
+// unbounded.
+func WithMaxAdditionalTests(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.maxAdditionalTests = n
+		}
+	}
+}
+
+// WithoutCombinedEscalation disables the combined-fault fallback, restoring
+// the paper's literal flag heuristic (see DESIGN.md §3).
+func WithoutCombinedEscalation() Option {
+	return func(s *settings) { s.combinedEscalation = false }
+}
+
+// WithoutAddressEscalation disables the addressing-fault extension tier, so
+// only the paper's output/transfer fault model is hypothesized.
+func WithoutAddressEscalation() Option {
+	return func(s *settings) { s.addressEscalation = false }
+}

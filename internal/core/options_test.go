@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/testgen"
+)
+
+// TestWithoutCombinedEscalation: the literal paper algorithm declares the
+// combined-fault-with-quiet-tail scenario inconsistent.
+func TestWithoutCombinedEscalation(t *testing.T) {
+	spec := paper.MustFigure1()
+	f := fault.Fault{Ref: paper.Ref("M2", "t'6"), Kind: fault.KindBoth, Output: "u", To: "s1"}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	loc, err := Localize(a, &SystemOracle{Sys: iut},
+		WithoutCombinedEscalation(), WithoutAddressEscalation())
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictInconsistent {
+		t.Fatalf("verdict = %v, want inconsistent in literal-paper mode", loc.Verdict)
+	}
+	if a.Escalated || a.AddressEscalated {
+		t.Error("escalations ran despite being disabled")
+	}
+}
+
+// TestWithMaxAdditionalTests: a budget of one test cannot resolve the
+// paper's three diagnoses, so unresolved hypotheses remain.
+func TestWithMaxAdditionalTests(t *testing.T) {
+	a := paperAnalysis(t)
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	loc, err := Localize(a, &SystemOracle{Sys: iut}, WithMaxAdditionalTests(1))
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(loc.AdditionalTests) > 1 {
+		t.Fatalf("budget exceeded: %d tests", len(loc.AdditionalTests))
+	}
+	if loc.Verdict == VerdictLocalized && loc.Fault.Ref != paper.FaultRef {
+		t.Fatalf("budgeted run convicted the wrong transition: %v", loc.Fault)
+	}
+}
+
+// TestWithoutAddressEscalationOnAddressFault: disabling the address tier
+// leaves an addressing fault unexplained.
+func TestWithoutAddressEscalationOnAddressFault(t *testing.T) {
+	spec := paper.MustFigure1()
+	f := fault.Fault{Ref: paper.Ref("M1", "t5"), Kind: fault.KindAddress, Dest: paper.M2}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite, _ := testgen.Tour(spec, 0)
+	suite = append(suite, paper.TestSuite()[1])
+	obs, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, obs)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	loc, err := Localize(a, &SystemOracle{Sys: iut}, WithoutAddressEscalation())
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict == VerdictLocalized && loc.Fault.Kind == fault.KindAddress {
+		t.Fatal("address hypothesis convicted although the tier was disabled")
+	}
+}

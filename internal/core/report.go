@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// refNames renders a transition set like the paper: "{t1, t6, t7}".
+func refNames(refs []cfsm.Ref) string {
+	names := make([]string, len(refs))
+	for i, r := range refs {
+		names[i] = r.Name
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// FormatSets renders a per-machine family of sets, e.g.
+// "Conf^1 = {t1, t6, t7}, Conf^2 = {t'1, t'6}, ...".
+func FormatSets(label string, sets MachineSets) string {
+	parts := make([]string, len(sets))
+	for m, refs := range sets {
+		parts[m] = fmt.Sprintf("%s^%d = %s", label, m+1, refNames(refs))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Report renders the analysis in the structure of the Section 4 walkthrough.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Step 3: %d symptom(s)\n", len(a.Symptoms))
+	for _, s := range a.Symptoms {
+		tr := "-"
+		if s.Transition != nil {
+			tr = a.Spec.RefString(*s.Transition)
+		}
+		fmt.Fprintf(&b, "  %s step %d: expected %s, observed %s (symptom transition %s)\n",
+			a.Suite[s.Case].Name, s.Step+1, s.Expected, s.Observed, tr)
+	}
+	if a.UST != nil {
+		fmt.Fprintf(&b, "  unique symptom transition: %s, uso = %s, flag = %v\n",
+			a.Spec.RefString(*a.UST), a.USO, a.Flag)
+	} else if a.HasSymptoms() {
+		fmt.Fprintf(&b, "  no unique symptom transition, flag = %v\n", a.Flag)
+	}
+
+	if !a.HasSymptoms() {
+		b.WriteString("No symptoms: implementation conforms on this suite.\n")
+		return b.String()
+	}
+
+	b.WriteString("Step 4: conflict sets\n")
+	var cases []int
+	for i := range a.Conflicts {
+		cases = append(cases, i)
+	}
+	sort.Ints(cases)
+	for _, i := range cases {
+		fmt.Fprintf(&b, "  %s: %s\n", a.Suite[i].Name, FormatSets("Conf", a.Conflicts[i]))
+	}
+
+	fmt.Fprintf(&b, "Step 5A: %s\n", FormatSets("ITC", a.ITC))
+	fmt.Fprintf(&b, "Step 5B: ustset = %s, %s, %s\n",
+		refNames(a.UstSet), FormatSets("FTCtr", a.FTCtr), FormatSets("FTCco", a.FTCco))
+	for _, r := range sortedRefs(a.EndStates) {
+		fmt.Fprintf(&b, "  EndStates[%s] = %s\n", r.Name, formatStates(a.EndStates[r]))
+	}
+	for _, r := range sortedSymRefs(a.Outputs) {
+		fmt.Fprintf(&b, "  outputs[%s] = %s\n", r.Name, formatSymbols(a.Outputs[r]))
+	}
+	for _, r := range sortedSORefs(a.StatOut) {
+		fmt.Fprintf(&b, "  statout[%s] = %s\n", r.Name, formatStateOutputs(a.StatOut[r]))
+	}
+
+	for _, r := range sortedAddrRefs(a.Addresses) {
+		fmt.Fprintf(&b, "  addresses[%s] = %s\n", r.Name, formatDests(a.Spec, a.Addresses[r]))
+	}
+
+	fmt.Fprintf(&b, "Step 5C: %s, %s\n", FormatSets("DCtr", a.DCtr), FormatSets("DCco", a.DCco))
+	for i, d := range a.Diagnoses {
+		fmt.Fprintf(&b, "  Diag%d: %s\n", i+1, d.Describe(a.Spec))
+	}
+	return b.String()
+}
+
+// Report renders the Step 6 outcome, including every additional test —
+// the progressive construction of Figure 2.
+func (l *Localization) Report() string {
+	var b strings.Builder
+	b.WriteString("Step 6: additional diagnostic tests\n")
+	for _, at := range l.AdditionalTests {
+		fmt.Fprintf(&b, "  target %s: apply \"%s\" -> observed \"%s\" (spec predicts \"%s\")\n",
+			l.Analysis.Spec.RefString(at.Target),
+			cfsm.FormatInputs(at.Test.Inputs),
+			cfsm.FormatObs(at.Observed),
+			cfsm.FormatObs(at.Expected))
+	}
+	for _, r := range l.Cleared {
+		fmt.Fprintf(&b, "  cleared: %s\n", l.Analysis.Spec.RefString(r))
+	}
+	fmt.Fprintf(&b, "Verdict: %s\n", l.Verdict)
+	if l.Fault != nil {
+		fmt.Fprintf(&b, "  fault: %s\n", l.Fault.Describe(l.Analysis.Spec))
+	}
+	for _, f := range l.Remaining {
+		fmt.Fprintf(&b, "  remaining: %s\n", f.Describe(l.Analysis.Spec))
+	}
+	return b.String()
+}
+
+func sortedRefs(m map[cfsm.Ref][]cfsm.State) []cfsm.Ref {
+	out := make([]cfsm.Ref, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sortRefSlice(out)
+	return out
+}
+
+func sortedSymRefs(m map[cfsm.Ref][]cfsm.Symbol) []cfsm.Ref {
+	out := make([]cfsm.Ref, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sortRefSlice(out)
+	return out
+}
+
+func sortedSORefs(m map[cfsm.Ref][]StateOutput) []cfsm.Ref {
+	out := make([]cfsm.Ref, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sortRefSlice(out)
+	return out
+}
+
+func sortedAddrRefs(m map[cfsm.Ref][]int) []cfsm.Ref {
+	out := make([]cfsm.Ref, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sortRefSlice(out)
+	return out
+}
+
+func formatDests(spec *cfsm.System, dests []int) string {
+	parts := make([]string, len(dests))
+	for i, d := range dests {
+		if d == cfsm.DestEnv {
+			parts[i] = "port"
+		} else {
+			parts[i] = spec.Machine(d).Name()
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func sortRefSlice(refs []cfsm.Ref) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Machine != refs[j].Machine {
+			return refs[i].Machine < refs[j].Machine
+		}
+		return refs[i].Name < refs[j].Name
+	})
+}
+
+func formatStates(states []cfsm.State) string {
+	parts := make([]string, len(states))
+	for i, s := range states {
+		parts[i] = string(s)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func formatSymbols(syms []cfsm.Symbol) string {
+	parts := make([]string, len(syms))
+	for i, s := range syms {
+		parts[i] = string(s)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func formatStateOutputs(sos []StateOutput) string {
+	parts := make([]string, len(sos))
+	for i, so := range sos {
+		parts[i] = fmt.Sprintf("[%s,%s]", so.State, so.Output)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

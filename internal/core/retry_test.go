@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+)
+
+// chainMachine builds the single-machine system used to exercise the Step 6
+// retry mechanism: testing candidate t3 requires a transfer sequence through
+// candidate t2, so t3 is unresolvable until t2 has been cleared.
+//
+//	t1: s0 -x/o-> s1    t2: s1 -x/o-> s2    t3: s2 -q/done-> s2
+//	t4: s1 -q/mid-> s1  t5: s0 -q/start-> s0
+func chainMachine(t *testing.T) *cfsm.System {
+	t.Helper()
+	a, err := cfsm.NewMachine("A", "s0", []cfsm.State{"s0", "s1", "s2"}, []cfsm.Transition{
+		{Name: "t1", From: "s0", Input: "x", Output: "o", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t2", From: "s1", Input: "x", Output: "o", To: "s2", Dest: cfsm.DestEnv},
+		{Name: "t3", From: "s2", Input: "q", Output: "done", To: "s2", Dest: cfsm.DestEnv},
+		{Name: "t4", From: "s1", Input: "q", Output: "mid", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t5", From: "s0", Input: "q", Output: "start", To: "s0", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := cfsm.NewSystem(a)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func chainSuite() []cfsm.TestCase {
+	return []cfsm.TestCase{{
+		Name: "probe",
+		Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			{Port: 0, Sym: "x"},
+			{Port: 0, Sym: "x"},
+			{Port: 0, Sym: "q"},
+		},
+	}}
+}
+
+// chainAnalysis checks the scenario's premise: the suite leaves exactly two
+// candidates — the ust t3 with an output hypothesis and t2 with a transfer
+// hypothesis — regardless of which of the two faults is injected.
+func chainAnalysis(t *testing.T, iut *cfsm.System) *Analysis {
+	t.Helper()
+	spec := chainMachine(t)
+	observed, err := iut.RunSuite(chainSuite())
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, chainSuite(), observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(a.Diagnoses) != 2 {
+		t.Fatalf("premise broken: diagnoses = %v", a.Diagnoses)
+	}
+	return a
+}
+
+// TestRetryAfterClear exercises the deferred-candidate retry: the injected
+// fault is the ust's output fault (t3 outputs mid). In the first Step 6 pass
+// t3 cannot be exercised (every path to s2 runs through the candidate t2),
+// t2 is then cleared, and the retry pass reaches and convicts t3.
+func TestRetryAfterClear(t *testing.T) {
+	spec := chainMachine(t)
+	bug := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "t3"}, Kind: fault.KindOutput, Output: "mid"}
+	iut, err := bug.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	a := chainAnalysis(t, iut)
+	loc, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized || *loc.Fault != bug {
+		t.Fatalf("verdict = %v fault = %v\n%s%s", loc.Verdict, loc.Fault, a.Report(), loc.Report())
+	}
+	// t2 must have been cleared before t3 became testable.
+	if len(loc.Cleared) != 1 || loc.Cleared[0].Name != "t2" {
+		t.Fatalf("cleared = %v, want [t2]", loc.Cleared)
+	}
+}
+
+// TestBlockedCandidateConviction: with the transfer fault in t2 injected,
+// t2 is convicted directly; the unreachable ust never needs testing.
+func TestBlockedCandidateConviction(t *testing.T) {
+	spec := chainMachine(t)
+	bug := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "t2"}, Kind: fault.KindTransfer, To: "s1"}
+	iut, err := bug.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	a := chainAnalysis(t, iut)
+	loc, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized || *loc.Fault != bug {
+		t.Fatalf("verdict = %v fault = %v\n%s", loc.Verdict, loc.Fault, loc.Report())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/paper"
+)
+
+// TestSuggestNextTestsPaperScenario: the offline planner proposes the same
+// first additional test as the interactive Step 6 — the paper's
+// "R, c^1, b^1" targeting t7 — plus a test for each other reachable
+// candidate, with per-hypothesis predictions.
+func TestSuggestNextTestsPaperScenario(t *testing.T) {
+	a := paperAnalysis(t)
+	planned := SuggestNextTests(a)
+	if len(planned) != 3 {
+		t.Fatalf("planned %d tests, want one per candidate (t7, t\"4, t\"5)", len(planned))
+	}
+	first := planned[0]
+	if first.Target.Name != "t7" {
+		t.Errorf("first planned target = %v, want the ust t7", first.Target)
+	}
+	if got := cfsm.FormatInputs(first.Test.Inputs); got != "R, c^1, b^1" {
+		t.Errorf("first planned test = %q, want the paper's R, c^1, b^1", got)
+	}
+	if len(first.Predictions) != 2 {
+		t.Fatalf("predictions = %d, want spec + output hypothesis", len(first.Predictions))
+	}
+	// The spec predicts d'^1 at the last step; the output-fault hypothesis
+	// predicts c'^1: the test discriminates.
+	var specPred, hypPred []cfsm.Observation
+	for _, p := range first.Predictions {
+		if p.Fault == nil {
+			specPred = p.Expected
+		} else {
+			hypPred = p.Expected
+		}
+	}
+	if cfsm.ObsEqual(specPred, hypPred) {
+		t.Error("planned test does not discriminate the hypotheses")
+	}
+
+	// Executing the planned tests against the real IUT must match exactly
+	// one prediction per test (the consistency the offline workflow relies
+	// on).
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	for _, p := range planned {
+		observed, err := iut.Run(p.Test)
+		if err != nil {
+			t.Fatalf("run %s: %v", p.Test.Name, err)
+		}
+		matches := 0
+		for _, pred := range p.Predictions {
+			if cfsm.ObsEqual(pred.Expected, observed) {
+				matches++
+			}
+		}
+		if matches == 0 {
+			t.Errorf("%s: observation matches no hypothesis", p.Test.Name)
+		}
+	}
+}
+
+func TestSuggestNextTestsSingleDiagnosis(t *testing.T) {
+	spec := pingPong(t)
+	// A single surviving diagnosis needs no further tests (Case 1).
+	iutFault := cfsm.Ref{Machine: 0, Name: "A1"}
+	iut, err := spec.Rewire(iutFault, "no", "")
+	if err != nil {
+		t.Fatalf("Rewire: %v", err)
+	}
+	suite := []cfsm.TestCase{{Name: "t", Inputs: []cfsm.Input{cfsm.Reset(), in(0, "x")}}}
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if planned := SuggestNextTests(a); planned != nil {
+		t.Fatalf("planned = %v, want none for a single diagnosis", planned)
+	}
+}
+
+func TestSuggestOmitsBlockedCandidates(t *testing.T) {
+	// In the chain scenario the ust t3 is unreachable without crossing the
+	// candidate t2: only t2's test can be planned in the first round.
+	spec := chainMachine(t)
+	iut, err := spec.Rewire(cfsm.Ref{Machine: 0, Name: "t3"}, "mid", "")
+	if err != nil {
+		t.Fatalf("Rewire: %v", err)
+	}
+	a := chainAnalysis(t, iut)
+	planned := SuggestNextTests(a)
+	if len(planned) != 1 || planned[0].Target.Name != "t2" {
+		t.Fatalf("planned = %v, want only t2", planned)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// Tracer observes the adaptive localization as it runs. Implementations
+// must be cheap; every hook is called synchronously on the diagnosis path.
+// The zero-configuration TextTracer prints a human-readable narration.
+type Tracer interface {
+	// CandidateStart fires when Step 6 begins testing a candidate
+	// transition with the given number of live fault hypotheses.
+	CandidateStart(ref cfsm.Ref, hypotheses int)
+	// TestExecuted fires after each additional diagnostic test, with the
+	// number of hypotheses (including the specification) it eliminated.
+	TestExecuted(at AdditionalTest, eliminated int)
+	// CandidateResolved fires when a candidate is cleared, convicted, or
+	// left unresolved ("cleared", "convicted", "unresolved").
+	CandidateResolved(ref cfsm.Ref, outcome string)
+	// Escalated fires when a hypothesis-space escalation runs ("combined"
+	// or "address"), with the number of diagnoses after it.
+	Escalated(kind string, diagnoses int)
+}
+
+// WithTracer attaches a tracer to the localization.
+func WithTracer(t Tracer) Option {
+	return func(s *settings) { s.tracer = t }
+}
+
+// TextTracer is a Tracer that narrates to a writer.
+type TextTracer struct {
+	W io.Writer
+	// Spec resolves transition references to display names; optional.
+	Spec *cfsm.System
+}
+
+var _ Tracer = (*TextTracer)(nil)
+
+func (t *TextTracer) refString(ref cfsm.Ref) string {
+	if t.Spec != nil {
+		return t.Spec.RefString(ref)
+	}
+	return ref.String()
+}
+
+// CandidateStart implements Tracer.
+func (t *TextTracer) CandidateStart(ref cfsm.Ref, hypotheses int) {
+	fmt.Fprintf(t.W, "testing candidate %s (%d hypotheses)\n", t.refString(ref), hypotheses)
+}
+
+// TestExecuted implements Tracer.
+func (t *TextTracer) TestExecuted(at AdditionalTest, eliminated int) {
+	fmt.Fprintf(t.W, "  %s: \"%s\" -> \"%s\" (eliminated %d)\n",
+		at.Test.Name, cfsm.FormatInputs(at.Test.Inputs), cfsm.FormatObs(at.Observed), eliminated)
+}
+
+// CandidateResolved implements Tracer.
+func (t *TextTracer) CandidateResolved(ref cfsm.Ref, outcome string) {
+	fmt.Fprintf(t.W, "candidate %s: %s\n", t.refString(ref), outcome)
+}
+
+// Escalated implements Tracer.
+func (t *TextTracer) Escalated(kind string, diagnoses int) {
+	fmt.Fprintf(t.W, "escalated hypothesis space (%s): %d diagnoses\n", kind, diagnoses)
+}
+
+// nopTracer discards every event; it keeps the hot path free of nil checks.
+type nopTracer struct{}
+
+var _ Tracer = nopTracer{}
+
+func (nopTracer) CandidateStart(cfsm.Ref, int)       {}
+func (nopTracer) TestExecuted(AdditionalTest, int)   {}
+func (nopTracer) CandidateResolved(cfsm.Ref, string) {}
+func (nopTracer) Escalated(string, int)              {}

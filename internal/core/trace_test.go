@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+)
+
+func TestTextTracerNarratesPaperSession(t *testing.T) {
+	a := paperAnalysis(t)
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	var buf strings.Builder
+	tracer := &TextTracer{W: &buf, Spec: a.Spec}
+	loc, err := Localize(a, &SystemOracle{Sys: iut}, WithTracer(tracer))
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"testing candidate M1.t7 (1 hypotheses)",
+		`"R, c^1, b^1" -> "-, a^2, d'^1"`,
+		"candidate M1.t7: cleared",
+		`testing candidate M3.t"4`,
+		`candidate M3.t"4: convicted`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// The search stopped at the conviction: t"5 never started.
+	if strings.Contains(out, `testing candidate M3.t"5`) {
+		t.Errorf("trace shows t\"5 although the search should have stopped:\n%s", out)
+	}
+}
+
+func TestTextTracerEscalation(t *testing.T) {
+	spec := paper.MustFigure1()
+	f := fault.Fault{Ref: paper.Ref("M2", "t'6"), Kind: fault.KindBoth, Output: "u", To: "s1"}
+	iut, err := f.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var buf strings.Builder
+	loc, err := Localize(a, &SystemOracle{Sys: iut}, WithTracer(&TextTracer{W: &buf, Spec: spec}))
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+	if !strings.Contains(buf.String(), "escalated hypothesis space (combined)") {
+		t.Errorf("trace missing escalation event:\n%s", buf.String())
+	}
+}
+
+func TestTextTracerWithoutSpec(t *testing.T) {
+	tr := &TextTracer{W: &strings.Builder{}}
+	// Must not panic without a Spec; refString falls back to Ref.String().
+	tr.CandidateStart(paper.FaultRef, 1)
+	tr.CandidateResolved(paper.FaultRef, "cleared")
+}

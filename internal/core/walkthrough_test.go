@@ -1,0 +1,322 @@
+package core
+
+// walkthrough_test.go asserts the complete Section 4 walkthrough of the
+// paper against the diagnosis engine: symptoms, conflict sets, candidate
+// sets, the verified hypothesis sets of Step 5B, the diagnoses Diag1–Diag3,
+// and the Step 6 localization of the injected fault.
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+)
+
+// paperAnalysis runs Steps 1–5 on the paper's spec, suite and faulty IUT.
+func paperAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+func refNamesOf(refs []cfsm.Ref) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func sameNames(got []cfsm.Ref, want ...string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	have := make(map[string]bool, len(got))
+	for _, r := range got {
+		have[r.Name] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWalkthroughStep3 checks the symptom of Section 4: "a difference ... is
+// detected for test case tc1 ... Symp1 = (o_{1,6} ≠ ô_{1,6}) with the
+// symptom transition t7".
+func TestWalkthroughStep3(t *testing.T) {
+	a := paperAnalysis(t)
+	if len(a.Symptoms) != 1 {
+		t.Fatalf("symptoms = %v, want exactly one", a.Symptoms)
+	}
+	s := a.Symptoms[0]
+	if s.Case != 0 || s.Step != 5 {
+		t.Errorf("symptom at case %d step %d, want tc1 step 6", s.Case, s.Step+1)
+	}
+	if s.Expected.Sym != "d'" || s.Observed.Sym != "c'" || s.Expected.Port != paper.M1 {
+		t.Errorf("symptom = expected %v observed %v", s.Expected, s.Observed)
+	}
+	if s.Transition == nil || s.Transition.Name != "t7" {
+		t.Errorf("symptom transition = %v, want t7", s.Transition)
+	}
+	if a.UST == nil || a.UST.Name != "t7" || a.USO != "c'" {
+		t.Errorf("ust = %v uso = %v, want t7 and c'", a.UST, a.USO)
+	}
+	// The symptom is at the last step of tc1, so nothing follows it and the
+	// flag stays false.
+	if a.Flag {
+		t.Error("flag = true, want false")
+	}
+}
+
+// TestWalkthroughStep4 checks the conflict sets:
+// Conf¹ = {t1,t6,t7}, Conf² = {t'1,t'6}, Conf³ = {t"1,t"4,t"5}.
+func TestWalkthroughStep4(t *testing.T) {
+	a := paperAnalysis(t)
+	if len(a.Conflicts) != 1 {
+		t.Fatalf("conflict sets for %d cases, want 1 (only tc1 has symptoms)", len(a.Conflicts))
+	}
+	sets, ok := a.Conflicts[0]
+	if !ok {
+		t.Fatal("no conflict set for tc1")
+	}
+	if !sameNames(sets[paper.M1], "t1", "t6", "t7") {
+		t.Errorf("Conf^1 = %v, want {t1, t6, t7}", refNamesOf(sets[paper.M1]))
+	}
+	if !sameNames(sets[paper.M2], "t'1", "t'6") {
+		t.Errorf("Conf^2 = %v, want {t'1, t'6}", refNamesOf(sets[paper.M2]))
+	}
+	if !sameNames(sets[paper.M3], `t"1`, `t"4`, `t"5`) {
+		t.Errorf("Conf^3 = %v, want {t\"1, t\"4, t\"5}", refNamesOf(sets[paper.M3]))
+	}
+}
+
+// TestWalkthroughStep5A checks ITC¹ = Conf¹ etc. (single conflict set per
+// machine, so no intersection is needed).
+func TestWalkthroughStep5A(t *testing.T) {
+	a := paperAnalysis(t)
+	if !sameNames(a.ITC[paper.M1], "t1", "t6", "t7") {
+		t.Errorf("ITC^1 = %v", refNamesOf(a.ITC[paper.M1]))
+	}
+	if !sameNames(a.ITC[paper.M2], "t'1", "t'6") {
+		t.Errorf("ITC^2 = %v", refNamesOf(a.ITC[paper.M2]))
+	}
+	if !sameNames(a.ITC[paper.M3], `t"1`, `t"4`, `t"5`) {
+		t.Errorf("ITC^3 = %v", refNamesOf(a.ITC[paper.M3]))
+	}
+}
+
+// TestWalkthroughStep5BSets checks the candidate-set split: ustset¹ = {t7},
+// FTCco¹ = {t6}, FTCco² = {t'6}, FTCco³ = {t"5}, and FTCtr per DESIGN.md §3
+// (every non-ust ITC member).
+func TestWalkthroughStep5BSets(t *testing.T) {
+	a := paperAnalysis(t)
+	if !sameNames(a.UstSet, "t7") {
+		t.Errorf("ustset = %v, want {t7}", refNamesOf(a.UstSet))
+	}
+	if !sameNames(a.FTCtr[paper.M1], "t1", "t6") {
+		t.Errorf("FTCtr^1 = %v, want {t1, t6}", refNamesOf(a.FTCtr[paper.M1]))
+	}
+	if !sameNames(a.FTCtr[paper.M2], "t'1", "t'6") {
+		t.Errorf("FTCtr^2 = %v, want {t'1, t'6}", refNamesOf(a.FTCtr[paper.M2]))
+	}
+	if !sameNames(a.FTCtr[paper.M3], `t"1`, `t"4`, `t"5`) {
+		t.Errorf("FTCtr^3 = %v, want {t\"1, t\"4, t\"5}", refNamesOf(a.FTCtr[paper.M3]))
+	}
+	if !sameNames(a.FTCco[paper.M1], "t6") {
+		t.Errorf("FTCco^1 = %v, want {t6}", refNamesOf(a.FTCco[paper.M1]))
+	}
+	if !sameNames(a.FTCco[paper.M2], "t'6") {
+		t.Errorf("FTCco^2 = %v, want {t'6}", refNamesOf(a.FTCco[paper.M2]))
+	}
+	if !sameNames(a.FTCco[paper.M3], `t"5`) {
+		t.Errorf("FTCco^3 = %v, want {t\"5}", refNamesOf(a.FTCco[paper.M3]))
+	}
+}
+
+// TestWalkthroughStep5BHypotheses checks the verified hypothesis sets:
+//
+//	EndStates[t1] = EndStates[t6] = {}, outputs[t6] = {},
+//	EndStates[t'1] = {}, outputs[t'6] = {},
+//	EndStates[t"1] = {}, EndStates[t"4] = {s0}, outputs[t"5] = {a},
+//	outputs[t7] = {c'} (the uso).
+func TestWalkthroughStep5BHypotheses(t *testing.T) {
+	a := paperAnalysis(t)
+	ref := func(m int, name string) cfsm.Ref { return cfsm.Ref{Machine: m, Name: name} }
+
+	empties := []cfsm.Ref{
+		ref(paper.M1, "t1"), ref(paper.M1, "t6"),
+		ref(paper.M2, "t'1"), ref(paper.M2, "t'6"),
+		ref(paper.M3, `t"1`), ref(paper.M3, `t"5`),
+	}
+	for _, r := range empties {
+		if got := a.EndStates[r]; len(got) != 0 {
+			t.Errorf("EndStates[%s] = %v, want empty", r.Name, got)
+		}
+	}
+	if got := a.EndStates[ref(paper.M3, `t"4`)]; len(got) != 1 || got[0] != "s0" {
+		t.Errorf("EndStates[t\"4] = %v, want {s0}", got)
+	}
+	if got := a.Outputs[ref(paper.M1, "t6")]; len(got) != 0 {
+		t.Errorf("outputs[t6] = %v, want empty", got)
+	}
+	if got := a.Outputs[ref(paper.M2, "t'6")]; len(got) != 0 {
+		t.Errorf("outputs[t'6] = %v, want empty", got)
+	}
+	if got := a.Outputs[ref(paper.M3, `t"5`)]; len(got) != 1 || got[0] != "a" {
+		t.Errorf("outputs[t\"5] = %v, want {a}", got)
+	}
+	if got := a.Outputs[ref(paper.M1, "t7")]; len(got) != 1 || got[0] != "c'" {
+		t.Errorf("outputs[t7] = %v, want {c'}", got)
+	}
+	// Soundness amendment: the ust's transfer hypotheses are checked too and
+	// must all be refuted here.
+	if got := a.EndStates[ref(paper.M1, "t7")]; len(got) != 0 {
+		t.Errorf("EndStates[t7] = %v, want empty", got)
+	}
+}
+
+// TestWalkthroughStep5CDiagnoses checks the three diagnoses:
+//
+//	Diag1: t7 might have the output fault c' instead of d'.
+//	Diag2: t"4 might transfer to s0 instead of s1.
+//	Diag3: t"5 might have an output fault a instead of b.
+func TestWalkthroughStep5CDiagnoses(t *testing.T) {
+	a := paperAnalysis(t)
+	if !sameNames(a.DCtr[paper.M3], `t"4`) {
+		t.Errorf("DCtr^3 = %v, want {t\"4}", refNamesOf(a.DCtr[paper.M3]))
+	}
+	if !sameNames(a.DCco[paper.M3], `t"5`) {
+		t.Errorf("DCco^3 = %v, want {t\"5}", refNamesOf(a.DCco[paper.M3]))
+	}
+	for _, m := range []int{paper.M1, paper.M2} {
+		if len(a.DCtr[m]) != 0 || len(a.DCco[m]) != 0 {
+			t.Errorf("DC sets of machine %d not empty: %v / %v",
+				m+1, refNamesOf(a.DCtr[m]), refNamesOf(a.DCco[m]))
+		}
+	}
+
+	want := []string{
+		"M1.t7 outputs c' instead of d'",
+		`M3.t"4 transfers to s0 instead of s1`,
+		`M3.t"5 outputs a instead of b`,
+	}
+	if len(a.Diagnoses) != len(want) {
+		t.Fatalf("got %d diagnoses, want %d: %v", len(a.Diagnoses), len(want), a.Diagnoses)
+	}
+	for i, d := range a.Diagnoses {
+		if got := d.Describe(a.Spec); got != want[i] {
+			t.Errorf("Diag%d = %q, want %q", i+1, got, want[i])
+		}
+	}
+}
+
+// TestWalkthroughStep6 checks the adaptive localization: the ust t7 is
+// cleared first by a test through the transfer sequence "R, c^1" ending with
+// t7's input (the paper's additional test "R, c^1, b^1"), then t"4 is
+// convicted of transferring to s0, and — per the single-fault hypothesis —
+// the search stops with Diag3 discarded.
+func TestWalkthroughStep6(t *testing.T) {
+	a := paperAnalysis(t)
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	oracle := &SystemOracle{Sys: iut}
+	loc, err := Localize(a, oracle)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v, want localized\n%s", loc.Verdict, loc.Report())
+	}
+	if loc.Fault == nil {
+		t.Fatal("no fault returned")
+	}
+	if got := loc.Fault.Describe(a.Spec); got != `M3.t"4 transfers to s0 instead of s1` {
+		t.Errorf("fault = %q", got)
+	}
+	// t7 must have been cleared before t"4 was convicted.
+	if len(loc.Cleared) != 1 || loc.Cleared[0].Name != "t7" {
+		t.Errorf("cleared = %v, want [t7]", loc.Cleared)
+	}
+	if len(loc.AdditionalTests) == 0 {
+		t.Fatal("no additional tests were generated")
+	}
+	// The first additional test targets the ust through the paper's
+	// transfer sequence: "R, c^1, b^1".
+	first := loc.AdditionalTests[0]
+	if first.Target.Name != "t7" {
+		t.Errorf("first additional test targets %v, want t7", first.Target)
+	}
+	if got := cfsm.FormatInputs(first.Test.Inputs); got != "R, c^1, b^1" {
+		t.Errorf("first additional test = %q, want \"R, c^1, b^1\"", got)
+	}
+	if got := cfsm.FormatObs(first.Observed); got != "-, a^2, d'^1" {
+		t.Errorf("first additional test observed %q, want \"-, a^2, d'^1\"", got)
+	}
+	// A later test targets t"4 and starts with the paper's transfer
+	// sequence "R, c'^3" followed by t"4's input v^3.
+	var convicting *AdditionalTest
+	for i := range loc.AdditionalTests {
+		if loc.AdditionalTests[i].Target.Name == `t"4` {
+			convicting = &loc.AdditionalTests[i]
+			break
+		}
+	}
+	if convicting == nil {
+		t.Fatal("no additional test targeted t\"4")
+	}
+	if got := cfsm.FormatInputs(convicting.Test.Inputs); len(got) < len("R, c'^3, v^3") ||
+		got[:len("R, c'^3, v^3")] != "R, c'^3, v^3" {
+		t.Errorf("convicting test = %q, want prefix \"R, c'^3, v^3\"", got)
+	}
+	// No test targeted t"5: the search stopped after conviction.
+	for _, at := range loc.AdditionalTests {
+		if at.Target.Name == `t"5` {
+			t.Errorf("t\"5 was tested although the fault was already localized")
+		}
+	}
+	// The oracle ran only the additional tests (the suite was executed
+	// beforehand): a handful of short tests, per the paper's economy claim.
+	if oracle.Tests != len(loc.AdditionalTests) {
+		t.Errorf("oracle executed %d tests, log has %d", oracle.Tests, len(loc.AdditionalTests))
+	}
+}
+
+// TestDiagnoseEndToEnd checks the all-in-one entry point on the paper's
+// scenario.
+func TestDiagnoseEndToEnd(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	loc, err := Diagnose(spec, paper.TestSuite(), &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized || loc.Fault == nil {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+	want := fault.Fault{Ref: paper.FaultRef, Kind: fault.KindTransfer, To: "s0"}
+	if *loc.Fault != want {
+		t.Errorf("fault = %+v, want %+v", *loc.Fault, want)
+	}
+}

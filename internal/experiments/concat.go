@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/protocols"
+)
+
+// ConcatPoint is one row of the co-located-workload scaling experiment
+// (E11): k independent protocol instances run side by side, a single fault
+// is injected into one instance, and the diagnosis must localize it without
+// the other instances confusing the search.
+type ConcatPoint struct {
+	Parts      int
+	Machines   int
+	Trans      int
+	SuiteCases int
+	Verdict    core.Verdict
+	CorrectRef bool
+	AddTests   int
+}
+
+// RunConcatScaling builds a system of k ABP instances plus one relay
+// instance, lifts each part's functional suite, injects the ABP bit-toggle
+// bug into the first instance, and diagnoses.
+func RunConcatScaling(k int) (ConcatPoint, error) {
+	var point ConcatPoint
+	if k < 1 {
+		return point, fmt.Errorf("k must be >= 1")
+	}
+	parts := make(map[string]*cfsm.System, k+1)
+	abp := protocols.MustABP()
+	for i := 0; i < k; i++ {
+		parts[fmt.Sprintf("abp%02d", i)] = abp
+	}
+	parts["relay"] = protocols.MustRelay()
+	sys, err := cfsm.Concat(parts)
+	if err != nil {
+		return point, err
+	}
+	point.Parts = k + 1
+	point.Machines = sys.N()
+	point.Trans = sys.NumTransitions()
+
+	// Lift each part's functional suite. Part order is the sorted prefix
+	// order used by Concat: abp00 < abp01 < ... < relay.
+	var suite []cfsm.TestCase
+	offset := 0
+	for i := 0; i < k; i++ {
+		prefix := fmt.Sprintf("abp%02d", i)
+		for _, tc := range protocols.ABPSuite() {
+			suite = append(suite, cfsm.LiftTestCase(tc, prefix, offset))
+		}
+		offset += abp.N()
+	}
+	for _, tc := range protocols.RelaySuite() {
+		suite = append(suite, cfsm.LiftTestCase(tc, "relay", offset))
+	}
+	point.SuiteCases = len(suite)
+
+	// The classic bit-toggle bug in the first ABP instance's sender.
+	bug := fault.Fault{
+		Ref:  cfsm.Ref{Machine: 0, Name: "abp00.ack0"},
+		Kind: fault.KindTransfer,
+		To:   "r0",
+	}
+	iut, err := bug.Apply(sys)
+	if err != nil {
+		return point, err
+	}
+	oracle := &core.SystemOracle{Sys: iut}
+	loc, err := core.Diagnose(sys, suite, oracle)
+	if err != nil {
+		return point, err
+	}
+	point.Verdict = loc.Verdict
+	point.AddTests = oracle.Tests - len(suite)
+	if loc.Verdict == core.VerdictLocalized {
+		point.CorrectRef = loc.Fault.Ref == bug.Ref
+	}
+	return point, nil
+}

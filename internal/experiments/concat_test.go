@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/core"
+)
+
+func TestRunConcatScaling(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		p, err := RunConcatScaling(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.Verdict != core.VerdictLocalized || !p.CorrectRef {
+			t.Errorf("k=%d: verdict %v correct=%v", k, p.Verdict, p.CorrectRef)
+		}
+		if p.Machines != (k+1)*2+1 {
+			t.Errorf("k=%d: machines = %d", k, p.Machines)
+		}
+	}
+	if _, err := RunConcatScaling(0); err == nil {
+		t.Error("want error for k=0")
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/randgen"
+	"cfsmdiag/internal/singlefsm"
+	"cfsmdiag/internal/testgen"
+)
+
+// CostPoint is one row of the E6 cost comparison for a single system.
+type CostPoint struct {
+	Label string
+	// System shape.
+	Machines     int
+	SystemStates int // sum of per-machine state counts
+	SystemTrans  int // sum of per-machine transition counts
+	ProductSt    int // global (product) states — the state-explosion axis
+	ProductTr    int
+
+	// Diagnosis cost, averaged over the sampled detected mutants: number of
+	// additional adaptive tests and inputs spent by the CFSM-direct
+	// algorithm after detection.
+	MutantsSampled   int
+	MutantsDetected  int
+	AvgAdaptiveTests float64
+	AvgAdaptiveIn    float64
+
+	// Exhaustive baseline: verifying every transition of the product
+	// machine in the W-method style (tests and inputs).
+	ExhaustiveTests int
+	ExhaustiveIn    int
+}
+
+// Ratio returns the exhaustive-to-adaptive input ratio — the paper's
+// "shorter test suites" factor. Zero when the adaptive cost is zero.
+func (p CostPoint) Ratio() float64 {
+	if p.AvgAdaptiveIn == 0 {
+		return 0
+	}
+	return float64(p.ExhaustiveIn) / p.AvgAdaptiveIn
+}
+
+// RunCost computes one E6 cost point for a system: it generates a
+// transition-tour initial suite, samples every k-th mutant (stride
+// sampleStride ≥ 1), diagnoses each detected mutant adaptively, and compares
+// the average adaptive cost with the cost of exhaustively verifying every
+// transition of the product machine.
+func RunCost(label string, sys *cfsm.System, sampleStride int) (CostPoint, error) {
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	point := CostPoint{Label: label, Machines: sys.N()}
+	for i := 0; i < sys.N(); i++ {
+		point.SystemStates += len(sys.Machine(i).States())
+	}
+	point.SystemTrans = sys.NumTransitions()
+
+	prod, err := sys.Product(false)
+	if err != nil {
+		return point, fmt.Errorf("product: %w", err)
+	}
+	point.ProductSt = len(prod.States())
+	point.ProductTr = prod.NumTransitions()
+	point.ExhaustiveTests, point.ExhaustiveIn, _ = singlefsm.ExhaustiveCost(prod)
+
+	suite, _ := testgen.Tour(sys, 0)
+	mutants := fault.Mutants(sys)
+	totalTests, totalInputs := 0, 0
+	for i := 0; i < len(mutants); i += sampleStride {
+		m := mutants[i]
+		point.MutantsSampled++
+		oracle := &core.SystemOracle{Sys: m.System}
+		loc, err := core.Diagnose(sys, suite, oracle)
+		if err != nil {
+			return point, fmt.Errorf("diagnose %s: %w", m.Fault.Describe(sys), err)
+		}
+		if loc.Verdict == core.VerdictNoFault {
+			continue
+		}
+		point.MutantsDetected++
+		totalTests += oracle.Tests - len(suite)
+		for _, at := range loc.AdditionalTests {
+			totalInputs += len(at.Test.Inputs)
+		}
+	}
+	if point.MutantsDetected > 0 {
+		point.AvgAdaptiveTests = float64(totalTests) / float64(point.MutantsDetected)
+		point.AvgAdaptiveIn = float64(totalInputs) / float64(point.MutantsDetected)
+	}
+	return point, nil
+}
+
+// CostSweep runs RunCost over a family of random systems of growing size
+// (N = 2..maxN machines), plus the paper's Figure 1 system when includePaper
+// is set. It is the data behind the E6 table.
+func CostSweep(maxN int, statesPerMachine int, sampleStride int, seeds []int64) ([]CostPoint, error) {
+	var out []CostPoint
+	for n := 2; n <= maxN; n++ {
+		for _, seed := range seeds {
+			cfg := randgen.DefaultConfig()
+			cfg.N = n
+			cfg.States = statesPerMachine
+			cfg.Seed = seed
+			sys, err := randgen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("rand(N=%d,S=%d,seed=%d)", n, statesPerMachine, seed)
+			p, err := RunCost(label, sys, sampleStride)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", label, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/randgen"
+)
+
+func TestCostSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost sweep is slow")
+	}
+	points, err := CostSweep(3, 3, 16, []int64{1})
+	if err != nil {
+		t.Fatalf("CostSweep: %v", err)
+	}
+	if len(points) != 2 { // N = 2 and N = 3, one seed each
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.ProductSt == 0 || p.ExhaustiveIn == 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+		// Zero adaptive cost (no additional tests needed) is the best case;
+		// otherwise the adaptive route must beat the exhaustive baseline.
+		if p.AvgAdaptiveIn > 0 && p.Ratio() < 1 {
+			t.Errorf("adaptive should beat exhaustive: %+v", p)
+		}
+	}
+	// The product grows with N.
+	if points[1].ProductTr <= points[0].ProductTr {
+		t.Errorf("product did not grow with N: %d then %d",
+			points[0].ProductTr, points[1].ProductTr)
+	}
+}
+
+func TestRunCostStrideClamped(t *testing.T) {
+	// A non-positive stride is clamped to 1 rather than panicking.
+	spec := smallSystem(t)
+	p, err := RunCost("clamp", spec, 0)
+	if err != nil {
+		t.Fatalf("RunCost: %v", err)
+	}
+	if p.MutantsSampled == 0 {
+		t.Fatal("no mutants sampled")
+	}
+}
+
+func smallSystem(t *testing.T) *cfsm.System {
+	t.Helper()
+	cfg := randgen.Config{N: 2, States: 2, ExtInputs: 2, Messages: 2, IntInputs: 1, Density: 0.6, Seed: 4}
+	sys, err := randgen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return sys
+}

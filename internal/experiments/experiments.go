@@ -1,0 +1,127 @@
+// Package experiments implements the reproduction experiments E1–E6 indexed
+// in DESIGN.md §5: the regeneration of Table 1, the Section 4 walkthrough
+// (Steps 3–5), the Step 6/Figure 2 adaptive localization, the exhaustive
+// single-fault sweep, and the cost comparisons backing the paper's
+// "shorter test suites" claim. The cmd/paperrepro harness prints these
+// results; bench_test.go benchmarks them; the test suites assert on them.
+package experiments
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/paper"
+)
+
+// Table1Row is one computed row of Table 1 next to the paper's printed row.
+type Table1Row struct {
+	Name          string
+	Inputs        string
+	WantExpected  string
+	GotExpected   string
+	WantObserved  string
+	GotObserved   string
+	SpecTrace     string // the "Spec. transitions" row, computed
+	ExpectedMatch bool
+	ObservedMatch bool
+}
+
+// Table1Result is the outcome of experiment E1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Match reports whether every computed cell equals the paper's.
+func (r Table1Result) Match() bool {
+	for _, row := range r.Rows {
+		if !row.ExpectedMatch || !row.ObservedMatch {
+			return false
+		}
+	}
+	return true
+}
+
+// RunTable1 regenerates Table 1 (E1): the expected outputs by simulating the
+// reconstructed Figure 1 specification, the observed outputs by simulating
+// the implementation with the t"4 transfer fault.
+func RunTable1() (Table1Result, error) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		return Table1Result{}, err
+	}
+	suite := paper.TestSuite()
+	want := paper.Table1()
+	var res Table1Result
+	for i, tc := range suite {
+		expected, steps, err := spec.RunTrace(tc)
+		if err != nil {
+			return Table1Result{}, fmt.Errorf("simulate %s: %w", tc.Name, err)
+		}
+		observed, err := iut.Run(tc)
+		if err != nil {
+			return Table1Result{}, fmt.Errorf("simulate IUT %s: %w", tc.Name, err)
+		}
+		trace := ""
+		for j, ex := range steps {
+			if j > 0 {
+				trace += ", "
+			}
+			if len(ex) == 0 {
+				trace += "-"
+			}
+			for k, e := range ex {
+				if k > 0 {
+					trace += " "
+				}
+				trace += e.Trans.Name
+			}
+		}
+		row := Table1Row{
+			Name:         tc.Name,
+			Inputs:       cfsm.FormatInputs(tc.Inputs),
+			WantExpected: want[i].Expected,
+			GotExpected:  cfsm.FormatObs(expected),
+			WantObserved: want[i].Observed,
+			GotObserved:  cfsm.FormatObs(observed),
+			SpecTrace:    trace,
+		}
+		row.ExpectedMatch = row.GotExpected == row.WantExpected
+		row.ObservedMatch = row.GotObserved == row.WantObserved
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WalkthroughResult is the outcome of experiments E2 and E3: the Steps 1–5
+// analysis and the Step 6 localization of the paper's scenario.
+type WalkthroughResult struct {
+	Analysis     *core.Analysis
+	Localization *core.Localization
+	Oracle       *core.SystemOracle
+}
+
+// RunWalkthrough reproduces the Section 4 walkthrough end to end (E2 + E3).
+func RunWalkthrough() (WalkthroughResult, error) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		return WalkthroughResult{}, err
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		return WalkthroughResult{}, err
+	}
+	a, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		return WalkthroughResult{}, err
+	}
+	oracle := &core.SystemOracle{Sys: iut}
+	loc, err := core.Localize(a, oracle)
+	if err != nil {
+		return WalkthroughResult{}, err
+	}
+	return WalkthroughResult{Analysis: a, Localization: loc, Oracle: oracle}, nil
+}

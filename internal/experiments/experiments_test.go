@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/testgen"
+)
+
+func TestRunTable1(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if !res.Match() {
+		for _, r := range res.Rows {
+			t.Errorf("%s: expected %q vs %q, observed %q vs %q",
+				r.Name, r.GotExpected, r.WantExpected, r.GotObserved, r.WantObserved)
+		}
+	}
+	if res.Rows[0].SpecTrace == "" {
+		t.Error("missing spec trace")
+	}
+}
+
+func TestRunWalkthrough(t *testing.T) {
+	res, err := RunWalkthrough()
+	if err != nil {
+		t.Fatalf("RunWalkthrough: %v", err)
+	}
+	if got := len(res.Analysis.Diagnoses); got != 3 {
+		t.Fatalf("diagnoses = %d, want 3 (Diag1–Diag3)", got)
+	}
+	if res.Localization.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v", res.Localization.Verdict)
+	}
+	if res.Localization.Fault.Ref != paper.FaultRef {
+		t.Fatalf("fault = %+v", res.Localization.Fault)
+	}
+	if res.Oracle.Tests == 0 {
+		t.Error("no additional tests recorded")
+	}
+}
+
+func TestRunSweepPaperSuite(t *testing.T) {
+	// The paper's own two-test-case suite detects only some mutants; every
+	// detected one must be handled without inconsistency and the sweep on
+	// the true paper fault must localize correctly.
+	spec := paper.MustFigure1()
+	res, err := RunSweep(spec, paper.TestSuite(), false)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if res.Counts[OutcomeInconsistent] != 0 {
+		t.Errorf("inconsistent outcomes: %d", res.Counts[OutcomeInconsistent])
+	}
+	if res.Counts[OutcomeLocalizedWrong] != 0 {
+		for _, r := range res.Reports {
+			if r.Outcome == OutcomeLocalizedWrong {
+				t.Errorf("wrong localization for %s", r.Fault.Describe(spec))
+			}
+		}
+	}
+	found := false
+	for _, r := range res.Reports {
+		if r.Fault == (paperFault()) {
+			found = true
+			if r.Outcome != OutcomeLocalizedCorrect {
+				t.Errorf("paper fault outcome = %v", r.Outcome)
+			}
+		}
+	}
+	if !found {
+		t.Error("the paper's fault was not part of the enumeration")
+	}
+}
+
+func TestRunSweepTourSuite(t *testing.T) {
+	// With a transition-tour initial suite the detection rate rises; the
+	// soundness property stays: no detected mutant may be localized to a
+	// non-equivalent wrong transition, and none may be inconsistent.
+	if testing.Short() {
+		t.Skip("sweep with equivalence checks is slow")
+	}
+	spec := paper.MustFigure1()
+	suite, uncovered := testgen.Tour(spec, 0)
+	if len(uncovered) != 0 {
+		t.Fatalf("tour left %v uncovered", uncovered)
+	}
+	res, err := RunSweep(spec, suite, true)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	t.Logf("sweep outcomes: %v (detected %d/%d, undetected-equivalent %d)",
+		res.Counts, res.Detected, len(res.Reports), res.UndetectedEquivalent)
+	if res.Counts[OutcomeInconsistent] != 0 {
+		t.Errorf("inconsistent outcomes: %d", res.Counts[OutcomeInconsistent])
+	}
+	for _, r := range res.Reports {
+		switch r.Outcome {
+		case OutcomeLocalizedWrong:
+			t.Errorf("non-equivalent wrong localization for %s", r.Fault.Describe(spec))
+		case OutcomeAmbiguousMissesTruth:
+			t.Errorf("ambiguity missing the true fault for %s", r.Fault.Describe(spec))
+		}
+	}
+	if res.Detected == 0 {
+		t.Fatal("tour suite detected nothing")
+	}
+}
+
+func TestRunCostFigure1(t *testing.T) {
+	spec := paper.MustFigure1()
+	p, err := RunCost("figure1", spec, 5)
+	if err != nil {
+		t.Fatalf("RunCost: %v", err)
+	}
+	if p.ProductSt == 0 || p.ExhaustiveIn == 0 {
+		t.Fatalf("degenerate cost point: %+v", p)
+	}
+	if p.MutantsDetected == 0 {
+		t.Fatal("no mutants detected in the sample")
+	}
+	// The paper's economy claim: directed diagnosis must beat exhaustive
+	// per-transition verification of the product machine by a wide margin.
+	if p.Ratio() < 2 {
+		t.Errorf("exhaustive/adaptive input ratio = %.2f, want >= 2 (point %+v)", p.Ratio(), p)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o := OutcomeUndetected; o <= OutcomeInconsistent; o++ {
+		if got := o.String(); got == "" || got[0] == 'M' {
+			t.Errorf("missing name for outcome %d: %q", int(o), got)
+		}
+	}
+	if got := MutantOutcome(99).String(); got != "MutantOutcome(99)" {
+		t.Errorf("unknown outcome = %q", got)
+	}
+}
+
+func paperFault() fault.Fault {
+	return fault.Fault{Ref: paper.FaultRef, Kind: fault.KindTransfer, To: "s0"}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/testgen"
+)
+
+func TestRunAddressSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("address sweep is slow")
+	}
+	spec := paper.MustFigure1()
+	suite, _ := testgen.VerificationSuite(spec)
+	res, err := RunAddressSweep(spec, suite)
+	if err != nil {
+		t.Fatalf("RunAddressSweep: %v", err)
+	}
+	if res.Mutants == 0 {
+		t.Fatal("no addressing mutants")
+	}
+	if res.Wrong != 0 {
+		t.Errorf("wrong attributions: %d of %d", res.Wrong, res.Mutants)
+	}
+	if res.Correct+res.Undetected != res.Mutants {
+		t.Errorf("counts do not add up: %+v", res)
+	}
+}
+
+func TestRunDoubleFaultDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-fault demo is slow")
+	}
+	res, err := RunDoubleFaultDemo()
+	if err != nil {
+		t.Fatalf("RunDoubleFaultDemo: %v", err)
+	}
+	if res.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Localized != res.Injected {
+		t.Errorf("localized %q, injected %q", res.Localized, res.Injected)
+	}
+}
+
+func TestRunAsyncDemo(t *testing.T) {
+	res, err := RunAsyncDemo()
+	if err != nil {
+		t.Fatalf("RunAsyncDemo: %v", err)
+	}
+	if !res.Detected || res.Verdict != core.VerdictLocalized {
+		t.Fatalf("demo result: %+v", res)
+	}
+	if res.SpecOutcomes < 2 {
+		t.Errorf("racing script should admit multiple outcomes, got %d", res.SpecOutcomes)
+	}
+	if res.Localized == "" {
+		t.Error("no localized fault")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/singlefsm"
+)
+
+// ProductComparison quantifies the paper's motivation for diagnosing the
+// CFSM model directly instead of "transform[ing] a set of CFSMs into an
+// equivalent single machine with an exponential algorithm": for the same
+// scenario (the paper's suite and fault), it compares the size of the
+// representations and of the candidate sets the two routes produce.
+type ProductComparison struct {
+	// Representation sizes.
+	SystemStates int // sum of per-machine states
+	SystemTrans  int
+	ProductSt    int
+	ProductTr    int
+
+	// Candidate sets after Steps 3–5A on the same observations.
+	CFSMCandidates    int // total ITC size across machines
+	ProductCandidates int // conflict-set intersection on the product machine
+
+	// Diagnoses emitted by each route.
+	CFSMDiagnoses    int
+	ProductDiagnoses int
+}
+
+// RunProductComparison executes the paper's scenario along both routes.
+func RunProductComparison() (ProductComparison, error) {
+	var cmpRes ProductComparison
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		return cmpRes, err
+	}
+	suite := paper.TestSuite()
+
+	for i := 0; i < spec.N(); i++ {
+		cmpRes.SystemStates += len(spec.Machine(i).States())
+	}
+	cmpRes.SystemTrans = spec.NumTransitions()
+
+	// Route 1: the CFSM-direct algorithm.
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		return cmpRes, err
+	}
+	a, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		return cmpRes, err
+	}
+	for m := 0; m < spec.N(); m++ {
+		cmpRes.CFSMCandidates += len(a.ITC[m])
+	}
+	cmpRes.CFSMDiagnoses = len(a.Diagnoses)
+
+	// Route 2: compose the product and run the single-FSM predecessor
+	// algorithm on the encoded suite.
+	prodSpec, err := spec.Product(true)
+	if err != nil {
+		return cmpRes, err
+	}
+	cmpRes.ProductSt = len(prodSpec.States())
+	cmpRes.ProductTr = prodSpec.NumTransitions()
+
+	var encSuite [][]cfsm.Symbol
+	var encObserved [][]cfsm.Symbol
+	for i, tc := range suite {
+		encSuite = append(encSuite, cfsm.EncodeTestCase(tc))
+		encObserved = append(encObserved, cfsm.EncodeObservations(observed[i]))
+	}
+	pa, err := singlefsm.Analyze(prodSpec, encSuite, encObserved)
+	if err != nil {
+		return cmpRes, err
+	}
+	cmpRes.ProductCandidates = len(pa.Candidates)
+	cmpRes.ProductDiagnoses = len(pa.Diagnoses)
+	return cmpRes, nil
+}
+
+// Report renders the comparison.
+func (c ProductComparison) Report() string {
+	return fmt.Sprintf(
+		"representation: CFSM %d states / %d transitions vs product %d states / %d transitions\n"+
+			"candidates:     CFSM %d (per-machine ITC) vs product %d (global transitions)\n"+
+			"diagnoses:      CFSM %d vs product %d\n",
+		c.SystemStates, c.SystemTrans, c.ProductSt, c.ProductTr,
+		c.CFSMCandidates, c.ProductCandidates,
+		c.CFSMDiagnoses, c.ProductDiagnoses)
+}

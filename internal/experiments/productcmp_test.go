@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProductComparison(t *testing.T) {
+	c, err := RunProductComparison()
+	if err != nil {
+		t.Fatalf("RunProductComparison: %v", err)
+	}
+	// The paper's motivation: the equivalent machine is "too big".
+	if c.ProductTr <= c.SystemTrans*5 {
+		t.Errorf("product transitions = %d, expected ≫ %d component transitions",
+			c.ProductTr, c.SystemTrans)
+	}
+	if c.ProductSt < c.SystemStates {
+		t.Errorf("product states = %d < %d", c.ProductSt, c.SystemStates)
+	}
+	// And "less convenient": the CFSM route produces the paper's three
+	// precise diagnoses, the product route a larger, component-unaware set.
+	if c.CFSMDiagnoses != 3 {
+		t.Errorf("CFSM diagnoses = %d, want 3", c.CFSMDiagnoses)
+	}
+	if c.ProductDiagnoses <= c.CFSMDiagnoses {
+		t.Errorf("product diagnoses = %d, expected more than the CFSM's %d",
+			c.ProductDiagnoses, c.CFSMDiagnoses)
+	}
+	if c.CFSMCandidates != 8 {
+		t.Errorf("CFSM candidates = %d, want 8 (ITC sizes 3+2+3)", c.CFSMCandidates)
+	}
+	report := c.Report()
+	for _, want := range []string{"representation:", "candidates:", "diagnoses:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

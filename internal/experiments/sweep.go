@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/testgen"
+)
+
+// MutantOutcome classifies the diagnosis of one mutant in a sweep.
+type MutantOutcome int
+
+// Sweep outcome classes.
+const (
+	// OutcomeUndetected: the initial suite produced no symptom.
+	OutcomeUndetected MutantOutcome = iota + 1
+	// OutcomeLocalizedCorrect: the verdict named the faulty transition (the
+	// paper's guarantee is transition-level localization; the ExactFault
+	// flag of the report records whether the fault detail matched too).
+	OutcomeLocalizedCorrect
+	// OutcomeLocalizedEquivalent: the verdict named a different transition,
+	// but injecting the diagnosed fault is observationally equivalent to
+	// the true mutant — indistinguishable by any test.
+	OutcomeLocalizedEquivalent
+	// OutcomeLocalizedWrong: the verdict named a non-equivalent wrong fault.
+	OutcomeLocalizedWrong
+	// OutcomeAmbiguousContainsTruth: several hypotheses remain, the faulty
+	// transition among them.
+	OutcomeAmbiguousContainsTruth
+	// OutcomeAmbiguousMissesTruth: several hypotheses remain, none naming
+	// the faulty transition.
+	OutcomeAmbiguousMissesTruth
+	// OutcomeInconsistent: the algorithm declared the observations outside
+	// the fault model — a defect for an in-model mutant.
+	OutcomeInconsistent
+)
+
+// String names the outcome.
+func (o MutantOutcome) String() string {
+	switch o {
+	case OutcomeUndetected:
+		return "undetected"
+	case OutcomeLocalizedCorrect:
+		return "localized-correct"
+	case OutcomeLocalizedEquivalent:
+		return "localized-equivalent"
+	case OutcomeLocalizedWrong:
+		return "localized-wrong"
+	case OutcomeAmbiguousContainsTruth:
+		return "ambiguous-contains-truth"
+	case OutcomeAmbiguousMissesTruth:
+		return "ambiguous-misses-truth"
+	case OutcomeInconsistent:
+		return "inconsistent"
+	default:
+		return fmt.Sprintf("MutantOutcome(%d)", int(o))
+	}
+}
+
+// MutantReport is the sweep record for one mutant.
+type MutantReport struct {
+	Fault           fault.Fault
+	Outcome         MutantOutcome
+	AdditionalTests int
+	AdditionalIn    int
+	// ExactFault is set when the diagnosed fault matched the injected one
+	// exactly (kind, output and next state), not just the transition.
+	ExactFault bool
+	// EquivalentToSpec is set for undetected mutants that are provably
+	// indistinguishable from the specification (no test suite could detect
+	// them).
+	EquivalentToSpec bool
+}
+
+// SweepResult aggregates a sweep (experiment E5).
+type SweepResult struct {
+	Spec    *cfsm.System
+	Suite   []cfsm.TestCase
+	Reports []MutantReport
+	Counts  map[MutantOutcome]int
+	// UndetectedEquivalent counts undetected mutants that are equivalent to
+	// the specification, i.e. inherently undetectable.
+	UndetectedEquivalent int
+	// TotalAdditionalTests and TotalAdditionalInputs accumulate the
+	// adaptive phase's cost over all detected mutants.
+	TotalAdditionalTests  int
+	TotalAdditionalInputs int
+	Detected              int
+}
+
+// RunSweep injects every single-transition fault into the specification,
+// executes the given initial suite against each mutant, runs the full
+// diagnosis and classifies the result (experiment E5). checkEquivalence
+// controls whether undetected and wrongly-localized mutants are checked for
+// observational equivalence (quadratic-ish; disable in benchmarks).
+func RunSweep(spec *cfsm.System, suite []cfsm.TestCase, checkEquivalence bool) (SweepResult, error) {
+	res := SweepResult{
+		Spec:   spec,
+		Suite:  suite,
+		Counts: make(map[MutantOutcome]int),
+	}
+	for _, m := range fault.Mutants(spec) {
+		report := MutantReport{Fault: m.Fault}
+		oracle := &core.SystemOracle{Sys: m.System}
+		loc, err := core.Diagnose(spec, suite, oracle)
+		if err != nil {
+			return res, fmt.Errorf("diagnose %s: %w", m.Fault.Describe(spec), err)
+		}
+		suiteTests := len(suite)
+		report.AdditionalTests = oracle.Tests - suiteTests
+		report.AdditionalIn = oracle.Inputs
+		switch loc.Verdict {
+		case core.VerdictNoFault:
+			report.Outcome = OutcomeUndetected
+			if checkEquivalence {
+				report.EquivalentToSpec = testgen.SystemsEquivalent(spec, m.System)
+				if report.EquivalentToSpec {
+					res.UndetectedEquivalent++
+				}
+			}
+		case core.VerdictLocalized:
+			res.Detected++
+			switch {
+			case loc.Fault.Ref == m.Fault.Ref:
+				report.Outcome = OutcomeLocalizedCorrect
+				report.ExactFault = *loc.Fault == m.Fault
+			default:
+				report.Outcome = OutcomeLocalizedWrong
+				if checkEquivalence && diagnosedEquivalent(spec, *loc.Fault, m.System) {
+					report.Outcome = OutcomeLocalizedEquivalent
+				}
+			}
+		case core.VerdictAmbiguous:
+			res.Detected++
+			report.Outcome = OutcomeAmbiguousMissesTruth
+			for _, r := range loc.Remaining {
+				if r.Ref == m.Fault.Ref {
+					report.Outcome = OutcomeAmbiguousContainsTruth
+					break
+				}
+			}
+		default:
+			res.Detected++
+			report.Outcome = OutcomeInconsistent
+		}
+		if report.Outcome != OutcomeUndetected {
+			res.TotalAdditionalTests += report.AdditionalTests
+			res.TotalAdditionalInputs += report.AdditionalIn
+		}
+		res.Counts[report.Outcome]++
+		res.Reports = append(res.Reports, report)
+	}
+	return res, nil
+}
+
+func diagnosedEquivalent(spec *cfsm.System, diagnosed fault.Fault, mutant *cfsm.System) bool {
+	sys, err := diagnosed.Apply(spec)
+	if err != nil {
+		return false
+	}
+	return testgen.SystemsEquivalent(sys, mutant)
+}

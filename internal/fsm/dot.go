@@ -1,0 +1,26 @@
+package fsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the machine as a Graphviz digraph in the style of the paper's
+// Figure 1: one node per state, the initial state marked with an inbound
+// arrow, and each transition labeled "name: input/output".
+func (m *FSM) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> %q;\n", string(m.initial))
+	for _, s := range m.states {
+		fmt.Fprintf(&b, "  %q;\n", string(s))
+	}
+	for _, t := range m.Transitions() {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s: %s/%s\"];\n",
+			string(t.From), string(t.To), t.Name, string(t.Input), string(t.Output))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

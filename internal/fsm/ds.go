@@ -1,0 +1,123 @@
+package fsm
+
+import (
+	"sort"
+	"strings"
+)
+
+// PresetDS searches for a preset distinguishing sequence: a single input
+// sequence whose output sequences are pairwise distinct across all states of
+// the machine. Machines with equivalent states have none; machines without
+// equivalent states may still lack one (only adaptive sequences exist), in
+// which case ok is false.
+//
+// The search runs over "current situations": partitions of the state set
+// into blocks whose members have produced identical outputs so far, each
+// block tracked by the multiset of successor states. A sequence is a preset
+// DS when every block is a singleton. The classical worst case is
+// exponential; the search is bounded and returns false when the bound is
+// hit.
+func (m *FSM) PresetDS() (seq []Symbol, ok bool) {
+	if len(m.states) <= 1 {
+		return nil, true
+	}
+	// A block is a set of (origin, current) pairs with identical output
+	// history. origin identifies which start state the trace belongs to.
+	type pair struct{ origin, cur State }
+	type node struct {
+		blocks [][]pair
+		path   []Symbol
+	}
+
+	encode := func(blocks [][]pair) string {
+		keys := make([]string, len(blocks))
+		for i, blk := range blocks {
+			parts := make([]string, len(blk))
+			for j, p := range blk {
+				parts[j] = string(p.origin) + ">" + string(p.cur)
+			}
+			sort.Strings(parts)
+			keys[i] = strings.Join(parts, ",")
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, ";")
+	}
+	done := func(blocks [][]pair) bool {
+		for _, blk := range blocks {
+			if len(blk) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var initial []pair
+	for _, s := range m.states {
+		initial = append(initial, pair{origin: s, cur: s})
+	}
+	start := node{blocks: [][]pair{initial}}
+	visited := map[string]bool{encode(start.blocks): true}
+	frontier := []node{start}
+	const limit = 50_000
+	for len(frontier) > 0 && len(visited) < limit {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, in := range m.inputs {
+			// Apply the input to every block; blocks split by output.
+			var next [][]pair
+			valid := true
+			for _, blk := range n.blocks {
+				split := make(map[Symbol][]pair)
+				for _, p := range blk {
+					out, to, _, _ := m.Step(p.cur, in)
+					split[out] = append(split[out], pair{origin: p.origin, cur: to})
+				}
+				for _, sub := range split {
+					// Two origins merging into the same current state with
+					// identical history can never be separated afterwards:
+					// the input is useless for this block.
+					seen := make(map[State]bool, len(sub))
+					for _, p := range sub {
+						if seen[p.cur] && len(sub) > 1 {
+							valid = false
+						}
+						seen[p.cur] = true
+					}
+					next = append(next, sub)
+				}
+				if !valid {
+					break
+				}
+			}
+			if !valid {
+				continue
+			}
+			path := append(append([]Symbol(nil), n.path...), in)
+			if done(next) {
+				return path, true
+			}
+			k := encode(next)
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			frontier = append(frontier, node{blocks: next, path: path})
+		}
+	}
+	return nil, false
+}
+
+// VerifyPresetDS reports whether the sequence is a valid preset
+// distinguishing sequence for the machine.
+func (m *FSM) VerifyPresetDS(seq []Symbol) bool {
+	outputs := make(map[string]bool, len(m.states))
+	for _, s := range m.states {
+		outs, _ := m.Run(s, seq)
+		key := joinSymbols(outs)
+		if outputs[key] {
+			return false
+		}
+		outputs[key] = true
+	}
+	return true
+}

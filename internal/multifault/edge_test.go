@@ -1,0 +1,129 @@
+package multifault
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+)
+
+// ambiguousSystem has two equivalent sink states, so the transfer faults of
+// t1 toward them are indistinguishable.
+func ambiguousSystem(t *testing.T) *cfsm.System {
+	t.Helper()
+	a, err := cfsm.NewMachine("A", "s0", []cfsm.State{"s0", "s1", "s2"}, []cfsm.Transition{
+		{Name: "t1", From: "s0", Input: "x", Output: "go", To: "s0", Dest: cfsm.DestEnv},
+		{Name: "t2", From: "s1", Input: "x", Output: "stuck", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t3", From: "s2", Input: "x", Output: "stuck", To: "s2", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := cfsm.NewSystem(a)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestMultifaultAmbiguous(t *testing.T) {
+	spec := ambiguousSystem(t)
+	bug := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "t1"}, Kind: fault.KindTransfer, To: "s1"}
+	iut, err := bug.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite := []cfsm.TestCase{{Name: "t", Inputs: []cfsm.Input{
+		cfsm.Reset(), {Port: 0, Sym: "x"}, {Port: 0, Sym: "x"},
+	}}}
+	loc, err := Diagnose(spec, suite, &core.SystemOracle{Sys: iut}, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictAmbiguous {
+		t.Fatalf("verdict = %v, want ambiguous", loc.Verdict)
+	}
+	if len(loc.Remaining) < 2 {
+		t.Fatalf("remaining = %v", loc.Remaining)
+	}
+}
+
+func TestApplyRawInvalidKind(t *testing.T) {
+	spec := ambiguousSystem(t)
+	h := Hypothesis{Faults: []fault.Fault{{Ref: cfsm.Ref{Machine: 0, Name: "t1"}, Kind: fault.Kind(42)}}}
+	if _, err := h.Apply(spec); err == nil {
+		t.Error("want error for invalid fault kind")
+	}
+}
+
+func TestMultifaultInconsistent(t *testing.T) {
+	spec := ambiguousSystem(t)
+	suite := []cfsm.TestCase{{Name: "t", Inputs: []cfsm.Input{
+		cfsm.Reset(), {Port: 0, Sym: "x"},
+	}}}
+	// Fabricated observations no hypothesis of the class explains.
+	observed := [][]cfsm.Observation{{
+		{Sym: cfsm.Null, Port: 0},
+		{Sym: "alien", Port: 0},
+	}}
+	a, err := Analyze(spec, suite, observed, Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	loc, err := Localize(a, &core.SystemOracle{Sys: spec})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != core.VerdictInconsistent {
+		t.Fatalf("verdict = %v, want inconsistent", loc.Verdict)
+	}
+}
+
+func TestMultifaultWithAddressSpace(t *testing.T) {
+	// IncludeAddress widens the per-transition spaces; on a system with an
+	// internal channel the option must not break anything.
+	spec := relayLike(t)
+	bug := fault.Fault{Ref: cfsm.Ref{Machine: 0, Name: "a2"}, Kind: fault.KindOutput, Output: "m2"}
+	iut, err := bug.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	suite := []cfsm.TestCase{{Name: "t", Inputs: []cfsm.Input{
+		cfsm.Reset(), {Port: 0, Sym: "x"}, {Port: 0, Sym: "i"},
+	}}}
+	loc, err := Diagnose(spec, suite, &core.SystemOracle{Sys: iut}, Options{IncludeAddress: true})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+	if len(loc.Localized.Faults) != 1 || loc.Localized.Faults[0].Ref != bug.Ref {
+		t.Fatalf("localized = %v", loc.Localized)
+	}
+}
+
+func relayLike(t *testing.T) *cfsm.System {
+	t.Helper()
+	a, err := cfsm.NewMachine("A", "s0", []cfsm.State{"s0", "s1"}, []cfsm.Transition{
+		{Name: "a1", From: "s0", Input: "x", Output: "y", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "a2", From: "s1", Input: "i", Output: "m1", To: "s0", Dest: 1},
+		{Name: "a3", From: "s0", Input: "j", Output: "m2", To: "s0", Dest: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	b, err := cfsm.NewMachine("B", "q0", []cfsm.State{"q0"}, []cfsm.Transition{
+		{Name: "b1", From: "q0", Input: "m1", Output: "z1", To: "q0", Dest: cfsm.DestEnv},
+		{Name: "b2", From: "q0", Input: "m2", Output: "z2", To: "q0", Dest: cfsm.DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := cfsm.NewSystem(a, b)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}

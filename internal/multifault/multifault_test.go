@@ -1,0 +1,178 @@
+package multifault
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/testgen"
+)
+
+func applyPair(t *testing.T, spec *cfsm.System, f1, f2 fault.Fault) *cfsm.System {
+	t.Helper()
+	h := Hypothesis{Faults: []fault.Fault{f1, f2}}
+	sys, err := h.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply pair: %v", err)
+	}
+	return sys
+}
+
+func TestHypothesisDescribe(t *testing.T) {
+	spec := paper.MustFigure1()
+	f1 := fault.Fault{Ref: paper.Ref("M1", "t7"), Kind: fault.KindOutput, Output: "c'"}
+	f2 := fault.Fault{Ref: paper.FaultRef, Kind: fault.KindTransfer, To: "s0"}
+	single := Hypothesis{Faults: []fault.Fault{f1}}
+	if got := single.Describe(spec); got != "M1.t7 outputs c' instead of d'" {
+		t.Errorf("single = %q", got)
+	}
+	pair := Hypothesis{Faults: []fault.Fault{f1, f2}}
+	want := `M1.t7 outputs c' instead of d' AND M3.t"4 transfers to s0 instead of s1`
+	if got := pair.Describe(spec); got != want {
+		t.Errorf("pair = %q, want %q", got, want)
+	}
+	if got := (Hypothesis{}).Describe(spec); got != "invalid hypothesis (0 faults)" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestNoSymptoms(t *testing.T) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+	observed, err := spec.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed, Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	loc, err := Localize(a, &core.SystemOracle{Sys: spec})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Verdict != core.VerdictNoFault {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+}
+
+// TestSingleFaultSubsumed: the two-fault class must still localize a single
+// fault (the paper's scenario).
+func TestSingleFaultSubsumed(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite, _ := testgen.VerificationSuite(spec)
+	loc, err := Diagnose(spec, suite, &core.SystemOracle{Sys: iut}, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v (remaining %d)", loc.Verdict, len(loc.Remaining))
+	}
+	if len(loc.Localized.Faults) != 1 || loc.Localized.Faults[0].Ref != paper.FaultRef {
+		t.Fatalf("localized = %s", loc.Localized.Describe(spec))
+	}
+}
+
+// TestDoubleFaultLocalization injects two faults in different machines and
+// checks the pair is localized (or at worst remains among indistinguishable
+// survivors that all contain the true pair's transitions).
+func TestDoubleFaultLocalization(t *testing.T) {
+	spec := paper.MustFigure1()
+	f1 := fault.Fault{Ref: paper.Ref("M1", "t7"), Kind: fault.KindOutput, Output: "c'"}
+	f2 := fault.Fault{Ref: paper.Ref("M2", "t'4"), Kind: fault.KindOutput, Output: "a"}
+	iut := applyPair(t, spec, f1, f2)
+
+	suite, _ := testgen.VerificationSuite(spec)
+	loc, err := Diagnose(spec, suite, &core.SystemOracle{Sys: iut}, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v\nremaining:%v", loc.Verdict, loc.Remaining)
+	}
+	got := map[fault.Fault]bool{}
+	for _, f := range loc.Localized.Faults {
+		got[f] = true
+	}
+	if len(got) != 2 || !got[f1] || !got[f2] {
+		t.Fatalf("localized = %s, want both injected faults", loc.Localized.Describe(spec))
+	}
+}
+
+// TestDoubleTransferFaults: two transfer faults, one per machine pair.
+func TestDoubleTransferFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-fault search is slow")
+	}
+	spec := paper.MustFigure1()
+	f1 := fault.Fault{Ref: paper.FaultRef, Kind: fault.KindTransfer, To: "s0"}
+	f2 := fault.Fault{Ref: paper.Ref("M2", "t'1"), Kind: fault.KindTransfer, To: "s0"}
+	iut := applyPair(t, spec, f1, f2)
+
+	suite, _ := testgen.VerificationSuite(spec)
+	loc, err := Diagnose(spec, suite, &core.SystemOracle{Sys: iut}, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	switch loc.Verdict {
+	case core.VerdictLocalized:
+		refs := map[cfsm.Ref]bool{}
+		for _, f := range loc.Localized.Faults {
+			refs[f.Ref] = true
+		}
+		if !refs[f1.Ref] || !refs[f2.Ref] {
+			t.Fatalf("localized = %s, want transitions %v and %v",
+				loc.Localized.Describe(spec), f1.Ref, f2.Ref)
+		}
+	case core.VerdictAmbiguous:
+		// Acceptable only if the true pair is among the survivors.
+		found := false
+		for _, h := range loc.Remaining {
+			refs := map[cfsm.Ref]bool{}
+			for _, f := range h.Faults {
+				refs[f.Ref] = true
+			}
+			if refs[f1.Ref] && refs[f2.Ref] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ambiguous without the true pair (%d remaining)", len(loc.Remaining))
+		}
+	default:
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	spec := paper.MustFigure1()
+	if _, err := Analyze(spec, paper.TestSuite(), nil, Options{}); err == nil {
+		t.Error("want error for missing observations")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed, Options{MaxHypotheses: 1})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !a.Truncated {
+		t.Error("expected truncation with a budget of 1")
+	}
+}

@@ -1,0 +1,164 @@
+// Package paper contains the artifacts of the ICDCS 1993 paper: the
+// three-machine system of Figure 1 (reconstructed from Table 1 and the
+// Section 4 walkthrough — see DESIGN.md §4), the paper's test suite, the
+// injected fault, and the rows of Table 1.
+package paper
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// Machine indices of the Figure 1 system.
+const (
+	M1 = 0
+	M2 = 1
+	M3 = 2
+)
+
+// Figure1 returns the reconstructed three-machine specification of Figure 1.
+//
+// The reconstruction is the unique-up-to-unused-symbols completion forced by
+// the paper's own claims: Table 1's transition rows and output rows, the
+// conflict sets of Step 4, the EndStates/outputs results of Step 5B, the
+// diagnoses Diag1–Diag3, and the two additional diagnostic tests of Step 6
+// with their observed outputs. figure1_test.go asserts each of those claims.
+func Figure1() (*cfsm.System, error) {
+	m1, err := cfsm.NewMachine("M1", "s0", []cfsm.State{"s0", "s1", "s2"}, []cfsm.Transition{
+		{Name: "t1", From: "s0", Input: "a", Output: "c'", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t2", From: "s0", Input: "c", Output: "c'", To: "s2", Dest: M2},
+		{Name: "t3", From: "s0", Input: "b", Output: "d'", To: "s0", Dest: cfsm.DestEnv},
+		{Name: "t4", From: "s1", Input: "b", Output: "d'", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t5", From: "s1", Input: "f", Output: "c'", To: "s1", Dest: M3},
+		{Name: "t6", From: "s1", Input: "c", Output: "c'", To: "s2", Dest: M2},
+		{Name: "t7", From: "s2", Input: "b", Output: "d'", To: "s0", Dest: cfsm.DestEnv},
+		{Name: "t8", From: "s2", Input: "a", Output: "c'", To: "s2", Dest: cfsm.DestEnv},
+		{Name: "t9", From: "s1", Input: "a", Output: "d'", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t10", From: "s2", Input: "d", Output: "d'", To: "s2", Dest: M2},
+		{Name: "t11", From: "s0", Input: "e", Output: "d'", To: "s0", Dest: M3},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paper: build M1: %w", err)
+	}
+
+	m2, err := cfsm.NewMachine("M2", "s0", []cfsm.State{"s0", "s1", "s2"}, []cfsm.Transition{
+		{Name: "t'1", From: "s0", Input: "c'", Output: "a", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t'2", From: "s0", Input: "d'", Output: "b", To: "s0", Dest: cfsm.DestEnv},
+		{Name: "t'3", From: "s1", Input: "c'", Output: "a", To: "s2", Dest: cfsm.DestEnv},
+		{Name: "t'4", From: "s1", Input: "d'", Output: "b", To: "s1", Dest: cfsm.DestEnv},
+		{Name: "t'5", From: "s2", Input: "o", Output: "a", To: "s0", Dest: cfsm.DestEnv},
+		{Name: "t'6", From: "s1", Input: "t", Output: "v", To: "s0", Dest: M3},
+		{Name: "t'7", From: "s0", Input: "q", Output: "a", To: "s1", Dest: M1},
+		{Name: "t'8", From: "s1", Input: "s", Output: "u", To: "s2", Dest: M3},
+		{Name: "t'9", From: "s2", Input: "r", Output: "b", To: "s0", Dest: M1},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paper: build M2: %w", err)
+	}
+
+	m3, err := cfsm.NewMachine("M3", "s0", []cfsm.State{"s0", "s1", "s2"}, []cfsm.Transition{
+		{Name: `t"1`, From: "s0", Input: "c'", Output: "a", To: "s1", Dest: cfsm.DestEnv},
+		{Name: `t"2`, From: "s0", Input: "x", Output: "a", To: "s0", Dest: M1},
+		{Name: `t"3`, From: "s1", Input: "u", Output: "a", To: "s1", Dest: cfsm.DestEnv},
+		{Name: `t"4`, From: "s1", Input: "v", Output: "b", To: "s1", Dest: cfsm.DestEnv},
+		{Name: `t"5`, From: "s1", Input: "x", Output: "b", To: "s0", Dest: M1},
+		{Name: `t"6`, From: "s0", Input: "d'", Output: "b", To: "s2", Dest: cfsm.DestEnv},
+		{Name: `t"7`, From: "s2", Input: "y", Output: "o", To: "s0", Dest: M2},
+		{Name: `t"8`, From: "s1", Input: "d'", Output: "b", To: "s2", Dest: cfsm.DestEnv},
+		{Name: `t"9`, From: "s2", Input: "z", Output: "p", To: "s1", Dest: M2},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paper: build M3: %w", err)
+	}
+
+	return cfsm.NewSystem(m1, m2, m3)
+}
+
+// MustFigure1 returns the Figure 1 system, panicking on construction errors.
+// The construction is covered by tests, so a panic indicates a broken build.
+func MustFigure1() *cfsm.System {
+	s, err := Figure1()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ref builds a transition reference into the Figure 1 system from the
+// machine's display name ("M1", "M2", "M3") and a transition name.
+func Ref(machine, transition string) cfsm.Ref {
+	idx := map[string]int{"M1": M1, "M2": M2, "M3": M3}[machine]
+	return cfsm.Ref{Machine: idx, Name: transition}
+}
+
+// FaultRef references the faulty transition of the paper's implementation:
+// t"4 of M3.
+var FaultRef = cfsm.Ref{Machine: M3, Name: `t"4`}
+
+// FaultyImplementation returns the paper's IUT: the Figure 1 specification
+// with a transfer fault in t"4, which moves to s0 instead of s1.
+func FaultyImplementation() (*cfsm.System, error) {
+	spec, err := Figure1()
+	if err != nil {
+		return nil, err
+	}
+	return spec.Rewire(FaultRef, "", "s0")
+}
+
+// TestSuite returns the paper's test suite
+// TS = { (R, a¹, c'³, c¹, t², x³), (R, a¹, c'², d'², c'³, x³, f¹) }.
+func TestSuite() []cfsm.TestCase {
+	return []cfsm.TestCase{
+		{
+			Name: "tc1",
+			Inputs: []cfsm.Input{
+				cfsm.Reset(),
+				{Port: M1, Sym: "a"},
+				{Port: M3, Sym: "c'"},
+				{Port: M1, Sym: "c"},
+				{Port: M2, Sym: "t"},
+				{Port: M3, Sym: "x"},
+			},
+		},
+		{
+			Name: "tc2",
+			Inputs: []cfsm.Input{
+				cfsm.Reset(),
+				{Port: M1, Sym: "a"},
+				{Port: M2, Sym: "c'"},
+				{Port: M2, Sym: "d'"},
+				{Port: M3, Sym: "c'"},
+				{Port: M3, Sym: "x"},
+				{Port: M1, Sym: "f"},
+			},
+		},
+	}
+}
+
+// Table1Row is one column-set of Table 1 for a single test case.
+type Table1Row struct {
+	Name     string
+	Inputs   string // the paper's input row, e.g. "R, a^1, c'^3, c^1, t^2, x^3"
+	Expected string // the paper's expected output row
+	Observed string // the paper's observed output row
+}
+
+// Table1 returns the rows of Table 1 exactly as printed in the paper
+// (rendered in this library's a^1 notation for the superscripts).
+func Table1() []Table1Row {
+	return []Table1Row{
+		{
+			Name:     "tc1",
+			Inputs:   "R, a^1, c'^3, c^1, t^2, x^3",
+			Expected: "-, c'^1, a^3, a^2, b^3, d'^1",
+			Observed: "-, c'^1, a^3, a^2, b^3, c'^1",
+		},
+		{
+			Name:     "tc2",
+			Inputs:   "R, a^1, c'^2, d'^2, c'^3, x^3, f^1",
+			Expected: "-, c'^1, a^2, b^2, a^3, d'^1, a^3",
+			Observed: "-, c'^1, a^2, b^2, a^3, d'^1, a^3",
+		},
+	}
+}

@@ -1,0 +1,196 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+func TestFigure1Builds(t *testing.T) {
+	sys, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if sys.N() != 3 {
+		t.Fatalf("N = %d, want 3", sys.N())
+	}
+	MustFigure1() // must not panic
+}
+
+// TestFigure1Alphabets checks the reconstruction against the alphabet listing
+// of Section 2.1 (restricted to the symbols the transitions actually use).
+func TestFigure1Alphabets(t *testing.T) {
+	sys := MustFigure1()
+	checkSyms := func(what string, got []cfsm.Symbol, want ...cfsm.Symbol) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Errorf("%s = %v, want %v", what, got, want)
+			return
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s = %v, want %v", what, got, want)
+				return
+			}
+		}
+	}
+	checkSyms("IEO(M1)", sys.IEO(M1), "a", "b")
+	checkSyms("OEO(M1)", sys.OEO(M1), "c'", "d'")
+	checkSyms("OIO(M1>M2)", sys.OIO(M1, M2), "c'", "d'")
+	checkSyms("OIO(M1>M3)", sys.OIO(M1, M3), "c'", "d'")
+	checkSyms("IEO(M2)", sys.IEO(M2), "c'", "d'", "o")
+	checkSyms("OEO(M2)", sys.OEO(M2), "a", "b")
+	checkSyms("OIO(M2>M1)", sys.OIO(M2, M1), "a", "b")
+	checkSyms("OIO(M2>M3)", sys.OIO(M2, M3), "u", "v")
+	checkSyms("IEO(M3)", sys.IEO(M3), "c'", "d'", "u", "v")
+	checkSyms("OEO(M3)", sys.OEO(M3), "a", "b")
+	checkSyms("OIO(M3>M1)", sys.OIO(M3, M1), "a", "b")
+	checkSyms("OIO(M3>M2)", sys.OIO(M3, M2), "o", "p")
+}
+
+// TestTable1 regenerates Table 1: the expected outputs come from simulating
+// the specification, the observed outputs from simulating the faulty
+// implementation, and both must match the paper's printed rows verbatim.
+func TestTable1(t *testing.T) {
+	spec := MustFigure1()
+	iut, err := FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite := TestSuite()
+	rows := Table1()
+	if len(suite) != len(rows) {
+		t.Fatalf("suite has %d cases, table has %d rows", len(suite), len(rows))
+	}
+	for i, tc := range suite {
+		row := rows[i]
+		if got := cfsm.FormatInputs(tc.Inputs); got != row.Inputs {
+			t.Errorf("%s inputs = %q, want %q", tc.Name, got, row.Inputs)
+		}
+		expected, err := spec.Run(tc)
+		if err != nil {
+			t.Fatalf("spec run %s: %v", tc.Name, err)
+		}
+		if got := cfsm.FormatObs(expected); got != row.Expected {
+			t.Errorf("%s expected outputs = %q, want %q", tc.Name, got, row.Expected)
+		}
+		observed, err := iut.Run(tc)
+		if err != nil {
+			t.Fatalf("iut run %s: %v", tc.Name, err)
+		}
+		if got := cfsm.FormatObs(observed); got != row.Observed {
+			t.Errorf("%s observed outputs = %q, want %q", tc.Name, got, row.Observed)
+		}
+	}
+}
+
+// TestTable1SpecTransitions checks the "Spec. transitions" row of Table 1:
+// tc1 executes (t1)(t"1)(t6 t'1)(t'6 t"4)(t"5 t7) and tc2 executes
+// (t1)(t'1)(t'4)(t"1)(t"5 t4)(t5 t"1), after the reset.
+func TestTable1SpecTransitions(t *testing.T) {
+	spec := MustFigure1()
+	suite := TestSuite()
+	want := [][][]string{
+		{{}, {"t1"}, {`t"1`}, {"t6", "t'1"}, {"t'6", `t"4`}, {`t"5`, "t7"}},
+		{{}, {"t1"}, {"t'1"}, {"t'4"}, {`t"1`}, {`t"5`, "t4"}, {"t5", `t"1`}},
+	}
+	for i, tc := range suite {
+		_, steps, err := spec.RunTrace(tc)
+		if err != nil {
+			t.Fatalf("RunTrace %s: %v", tc.Name, err)
+		}
+		if len(steps) != len(want[i]) {
+			t.Fatalf("%s: %d steps, want %d", tc.Name, len(steps), len(want[i]))
+		}
+		for j, ex := range steps {
+			if len(ex) != len(want[i][j]) {
+				t.Errorf("%s step %d executed %v, want %v", tc.Name, j+1, ex, want[i][j])
+				continue
+			}
+			for k := range ex {
+				if ex[k].Trans.Name != want[i][j][k] {
+					t.Errorf("%s step %d transition %d = %s, want %s",
+						tc.Name, j+1, k, ex[k].Trans.Name, want[i][j][k])
+				}
+			}
+		}
+	}
+}
+
+// TestStep6AdditionalTests checks the two additional diagnostic tests of the
+// Section 4 walkthrough against the faulty implementation:
+//
+//	"R, c^1, b^1"        observes "-, a^2, d'^1"   (t7 is cleared)
+//	"R, c'^3, v^3, v^3"  observes "-, a^3, b^3, ε^3" (t"4 convicted)
+func TestStep6AdditionalTests(t *testing.T) {
+	iut, err := FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	tests := []struct {
+		inputs []cfsm.Input
+		want   string
+	}{
+		{
+			inputs: []cfsm.Input{cfsm.Reset(), {Port: M1, Sym: "c"}, {Port: M1, Sym: "b"}},
+			want:   "-, a^2, d'^1",
+		},
+		{
+			inputs: []cfsm.Input{cfsm.Reset(), {Port: M3, Sym: "c'"}, {Port: M3, Sym: "v"}, {Port: M3, Sym: "v"}},
+			want:   "-, a^3, b^3, ε^3",
+		},
+	}
+	for _, tc := range tests {
+		obs, err := iut.Run(cfsm.TestCase{Inputs: tc.inputs})
+		if err != nil {
+			t.Fatalf("run %v: %v", cfsm.FormatInputs(tc.inputs), err)
+		}
+		if got := cfsm.FormatObs(obs); got != tc.want {
+			t.Errorf("run %v = %q, want %q", cfsm.FormatInputs(tc.inputs), got, tc.want)
+		}
+	}
+}
+
+// TestFaultRef sanity-checks the injected fault: the spec's t"4 self-loops on
+// s1 while the implementation's transfers to s0.
+func TestFaultRef(t *testing.T) {
+	spec := MustFigure1()
+	iut, err := FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	st, ok := spec.Transition(FaultRef)
+	if !ok || st.To != "s1" || st.From != "s1" || st.Input != "v" || st.Output != "b" {
+		t.Fatalf("spec t\"4 = %v %v", st, ok)
+	}
+	it, ok := iut.Transition(FaultRef)
+	if !ok || it.To != "s0" {
+		t.Fatalf("iut t\"4 = %v %v", it, ok)
+	}
+}
+
+func TestFigure1JSONAndDOT(t *testing.T) {
+	sys := MustFigure1()
+	data, err := sys.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	back, err := cfsm.ParseSystem(data)
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	for _, tc := range TestSuite() {
+		a, errA := sys.Run(tc)
+		b, errB := back.Run(tc)
+		if errA != nil || errB != nil || !cfsm.ObsEqual(a, b) {
+			t.Fatalf("round-trip behaviour differs on %s", tc.Name)
+		}
+	}
+	dot := sys.DOT()
+	for _, frag := range []string{"M1", "M2", "M3", "t7: b/d'"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+}

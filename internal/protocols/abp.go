@@ -1,0 +1,122 @@
+// Package protocols provides ready-made CFSM models of classic
+// communication protocols, built within the paper's model restrictions
+// (deterministic partial machines, disjoint IEO/IIO alphabets, internal
+// outputs triggering only external-output transitions). They serve as
+// realistic diagnosis workloads beyond the paper's Figure 1 example.
+package protocols
+
+import (
+	"cfsmdiag/internal/cfsm"
+)
+
+// Machine indices of the ABP system.
+const (
+	Sender   = 0
+	Receiver = 1
+)
+
+// ABP returns an alternating-bit-protocol model with two machines.
+//
+// The Sender (port 1) alternates a one-bit sequence number. The tester
+// triggers sends, timeouts (retransmissions) and ack deliveries; the
+// Receiver (port 2) acknowledges in-sequence data and flags duplicates.
+//
+//	Sender states:   r0 (ready, bit 0), w0 (awaiting ack 0),
+//	                 r1 (ready, bit 1), w1 (awaiting ack 1)
+//	Receiver states: e0 (expecting bit 0), e1 (expecting bit 1)
+//
+// Port-1 inputs: send (transmit the current bit), timeout (retransmit),
+// query (sender status). Port-2 inputs: ack (deliver the acknowledgment for
+// the last delivered bit), query (receiver status).
+//
+// Message alphabet: d0/d1 sender→receiver, a0/a1 receiver→sender.
+func ABP() (*cfsm.System, error) {
+	sender, err := cfsm.NewMachine("Sender", "r0",
+		[]cfsm.State{"r0", "w0", "r1", "w1"},
+		[]cfsm.Transition{
+			// Transmissions and retransmissions (internal to the receiver).
+			{Name: "snd0", From: "r0", Input: "send", Output: "d0", To: "w0", Dest: Receiver},
+			{Name: "rt0", From: "w0", Input: "timeout", Output: "d0", To: "w0", Dest: Receiver},
+			{Name: "snd1", From: "r1", Input: "send", Output: "d1", To: "w1", Dest: Receiver},
+			{Name: "rt1", From: "w1", Input: "timeout", Output: "d1", To: "w1", Dest: Receiver},
+			// Acknowledgment receptions (external output at port 1).
+			{Name: "ack0", From: "w0", Input: "a0", Output: "done0", To: "r1", Dest: cfsm.DestEnv},
+			{Name: "ack1", From: "w1", Input: "a1", Output: "done1", To: "r0", Dest: cfsm.DestEnv},
+			// Stale acknowledgments are reported and ignored.
+			{Name: "stale0", From: "w1", Input: "a0", Output: "stale", To: "w1", Dest: cfsm.DestEnv},
+			{Name: "stale1", From: "w0", Input: "a1", Output: "stale", To: "w0", Dest: cfsm.DestEnv},
+			// Status queries.
+			{Name: "qr0", From: "r0", Input: "query", Output: "ready0", To: "r0", Dest: cfsm.DestEnv},
+			{Name: "qw0", From: "w0", Input: "query", Output: "wait0", To: "w0", Dest: cfsm.DestEnv},
+			{Name: "qr1", From: "r1", Input: "query", Output: "ready1", To: "r1", Dest: cfsm.DestEnv},
+			{Name: "qw1", From: "w1", Input: "query", Output: "wait1", To: "w1", Dest: cfsm.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	receiver, err := cfsm.NewMachine("Receiver", "e0",
+		[]cfsm.State{"e0", "e1"},
+		[]cfsm.Transition{
+			// Data receptions (external output at port 2).
+			{Name: "rcv0", From: "e0", Input: "d0", Output: "deliver0", To: "e1", Dest: cfsm.DestEnv},
+			{Name: "rcv1", From: "e1", Input: "d1", Output: "deliver1", To: "e0", Dest: cfsm.DestEnv},
+			// Duplicates (retransmission of the already-delivered bit).
+			{Name: "dup0", From: "e1", Input: "d0", Output: "dup", To: "e1", Dest: cfsm.DestEnv},
+			{Name: "dup1", From: "e0", Input: "d1", Output: "dup", To: "e0", Dest: cfsm.DestEnv},
+			// Acknowledgment transmissions (internal to the sender). After
+			// delivering bit b the receiver is in e(1-b) and acknowledges b.
+			{Name: "sak0", From: "e1", Input: "ack", Output: "a0", To: "e1", Dest: Sender},
+			{Name: "sak1", From: "e0", Input: "ack", Output: "a1", To: "e0", Dest: Sender},
+			// Status queries.
+			{Name: "qe0", From: "e0", Input: "query", Output: "expect0", To: "e0", Dest: cfsm.DestEnv},
+			{Name: "qe1", From: "e1", Input: "query", Output: "expect1", To: "e1", Dest: cfsm.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cfsm.NewSystem(sender, receiver)
+}
+
+// MustABP returns the ABP system, panicking on construction errors; the
+// construction is covered by tests.
+func MustABP() *cfsm.System {
+	s, err := ABP()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ABPSuite returns a functional regression suite for the protocol: a clean
+// two-message exchange, a retransmission round, and a stale-ack round.
+func ABPSuite() []cfsm.TestCase {
+	in := func(port int, sym cfsm.Symbol) cfsm.Input { return cfsm.Input{Port: port, Sym: sym} }
+	return []cfsm.TestCase{
+		{Name: "clean-exchange", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Sender, "send"),    // -> deliver0 @ receiver
+			in(Receiver, "ack"),   // -> done0 @ sender
+			in(Sender, "send"),    // -> deliver1 @ receiver
+			in(Receiver, "ack"),   // -> done1 @ sender
+			in(Sender, "query"),   // -> ready0
+			in(Receiver, "query"), // -> expect0
+		}},
+		{Name: "retransmission", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Sender, "send"),    // -> deliver0
+			in(Sender, "timeout"), // -> dup (receiver already moved to e1)
+			in(Receiver, "ack"),   // -> done0
+			in(Sender, "query"),   // -> ready1
+		}},
+		{Name: "stale-ack", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Sender, "send"),    // -> deliver0
+			in(Receiver, "ack"),   // -> done0
+			in(Sender, "send"),    // -> deliver1
+			in(Receiver, "ack"),   // -> done1
+			in(Sender, "send"),    // -> deliver0 (bit wrapped)
+			in(Sender, "timeout"), // -> dup
+			in(Receiver, "query"), // -> expect1
+		}},
+	}
+}

@@ -1,0 +1,49 @@
+package protocols
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/testgen"
+)
+
+// TestProtocolDetectionRates documents and pins the fault-detection power of
+// the different suite strategies on the protocol workloads (the numbers
+// backing the E10 notes in EXPERIMENTS.md).
+func TestProtocolDetectionRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detection evaluation is slow")
+	}
+	abp := MustABP()
+	tour, _ := testgen.Tour(abp, 0)
+	verify, _ := testgen.VerificationSuite(abp)
+
+	rates := make(map[string]float64)
+	for _, mode := range []struct {
+		label string
+		suite []cfsm.TestCase
+	}{
+		{"functional", ABPSuite()},
+		{"tour", tour},
+		{"verification", verify},
+	} {
+		report, err := testgen.Detection(abp, mode.suite, false, false)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.label, err)
+		}
+		rates[mode.label] = report.DetectionRate()
+		t.Logf("ABP %-12s: %d cases, detected %d/%d (%.1f%%)",
+			mode.label, len(mode.suite), len(report.Detected), report.Faults,
+			100*report.DetectionRate())
+	}
+	if rates["verification"] != 1.0 {
+		t.Errorf("verification suite rate = %v, want 1.0", rates["verification"])
+	}
+	if rates["functional"] >= rates["verification"] && rates["functional"] < 1.0 {
+		t.Errorf("rate ordering broken: %v", rates)
+	}
+	// The 3-case functional suite already detects a sizable share.
+	if rates["functional"] < 0.3 {
+		t.Errorf("functional suite detects only %.1f%%", 100*rates["functional"])
+	}
+}

@@ -1,0 +1,160 @@
+package protocols
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// GoBackN returns a go-back-N sender/receiver model with window size 2 and
+// sequence numbers modulo 4, built within the paper's model restrictions.
+//
+// The sender tracks (base, next): base is the oldest unacknowledged
+// sequence number and next the next to transmit, with 0 ≤ next-base ≤ 2
+// (window 2). The tester triggers transmissions ("send"), go-back-N
+// retransmissions of the base frame ("timeout"), and the receiver's
+// cumulative acknowledgments ("ack"). States are named b<base>n<next>
+// (modulo 4), e.g. "b0n2" = base 0, next 2.
+//
+// The receiver tracks the next expected sequence number (states x0..x3),
+// delivers in-sequence frames, discards out-of-sequence frames (reporting
+// "disc"), and acknowledges cumulatively: ack k means "expecting k", i.e.
+// all frames below k are acknowledged.
+func GoBackN() (*cfsm.System, error) {
+	const mod = 4
+	const window = 2
+
+	frame := func(k int) cfsm.Symbol { return cfsm.Symbol(fmt.Sprintf("f%d", k%mod)) }
+	ackSym := func(k int) cfsm.Symbol { return cfsm.Symbol(fmt.Sprintf("k%d", k%mod)) }
+	senderState := func(base, next int) cfsm.State {
+		return cfsm.State(fmt.Sprintf("b%dn%d", base%mod, next%mod))
+	}
+
+	// Sender states: all (base, next) with 0 <= next-base <= window.
+	var senderStates []cfsm.State
+	var senderTrans []cfsm.Transition
+	n := 0
+	name := func(kind string) string {
+		n++
+		return fmt.Sprintf("%s%d", kind, n)
+	}
+	for base := 0; base < mod; base++ {
+		for d := 0; d <= window; d++ {
+			next := (base + d) % mod
+			st := senderState(base, next)
+			senderStates = append(senderStates, st)
+			// send: transmit frame `next` if the window is open.
+			if d < window {
+				senderTrans = append(senderTrans, cfsm.Transition{
+					Name: name("snd"), From: st, Input: "send",
+					Output: frame(next), To: senderState(base, next+1), Dest: Receiver,
+				})
+			}
+			// timeout: go back N — retransmit the base frame (the model
+			// sends one frame per stimulus; repeated timeouts resend the
+			// rest). The window collapses to base+1 outstanding.
+			if d > 0 {
+				senderTrans = append(senderTrans, cfsm.Transition{
+					Name: name("rtx"), From: st, Input: "timeout",
+					Output: frame(base), To: senderState(base, base+1), Dest: Receiver,
+				})
+			}
+			// Acknowledgment receptions: ack k slides the base to k for any
+			// k within the window span (cumulative). After a go-back the
+			// receiver may acknowledge frames the sender has rolled back
+			// past; the sender then also advances next to k.
+			for a := 1; a <= window; a++ {
+				k := (base + a) % mod
+				nd := d - a
+				if nd < 0 {
+					nd = 0
+				}
+				senderTrans = append(senderTrans, cfsm.Transition{
+					Name: name("ack"), From: st, Input: ackSym(k),
+					Output: cfsm.Symbol(fmt.Sprintf("slide%d", k)), To: senderState(k, k+nd), Dest: cfsm.DestEnv,
+				})
+			}
+			// Status query.
+			senderTrans = append(senderTrans, cfsm.Transition{
+				Name: name("qs"), From: st, Input: "query",
+				Output: cfsm.Symbol(fmt.Sprintf("s_%s", st)), To: st, Dest: cfsm.DestEnv,
+			})
+		}
+	}
+	sender, err := cfsm.NewMachine("Sender", senderState(0, 0), senderStates, senderTrans)
+	if err != nil {
+		return nil, fmt.Errorf("gbn sender: %w", err)
+	}
+
+	// Receiver states: next expected sequence number.
+	var recvStates []cfsm.State
+	var recvTrans []cfsm.Transition
+	for e := 0; e < mod; e++ {
+		st := cfsm.State(fmt.Sprintf("x%d", e))
+		recvStates = append(recvStates, st)
+		for k := 0; k < mod; k++ {
+			if k == e {
+				// In-sequence frame: deliver and advance.
+				recvTrans = append(recvTrans, cfsm.Transition{
+					Name: name("rcv"), From: st, Input: frame(k),
+					Output: cfsm.Symbol(fmt.Sprintf("dlv%d", k)), To: cfsm.State(fmt.Sprintf("x%d", (e+1)%mod)), Dest: cfsm.DestEnv,
+				})
+			} else {
+				// Out-of-sequence frame: discard.
+				recvTrans = append(recvTrans, cfsm.Transition{
+					Name: name("dsc"), From: st, Input: frame(k),
+					Output: "disc", To: st, Dest: cfsm.DestEnv,
+				})
+			}
+		}
+		// Cumulative acknowledgment of everything below e.
+		recvTrans = append(recvTrans, cfsm.Transition{
+			Name: name("sak"), From: st, Input: "ack",
+			Output: ackSym(e), To: st, Dest: Sender,
+		})
+		recvTrans = append(recvTrans, cfsm.Transition{
+			Name: name("qr"), From: st, Input: "query",
+			Output: cfsm.Symbol(fmt.Sprintf("e%d", e)), To: st, Dest: cfsm.DestEnv,
+		})
+	}
+	receiver, err := cfsm.NewMachine("Receiver", "x0", recvStates, recvTrans)
+	if err != nil {
+		return nil, fmt.Errorf("gbn receiver: %w", err)
+	}
+	return cfsm.NewSystem(sender, receiver)
+}
+
+// MustGoBackN returns the go-back-N system, panicking on construction
+// errors.
+func MustGoBackN() *cfsm.System {
+	s, err := GoBackN()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// GoBackNSuite returns a functional suite: a windowed exchange with a
+// cumulative acknowledgment, and a loss/retransmission round.
+func GoBackNSuite() []cfsm.TestCase {
+	in := func(port int, sym cfsm.Symbol) cfsm.Input { return cfsm.Input{Port: port, Sym: sym} }
+	return []cfsm.TestCase{
+		{Name: "windowed", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Sender, "send"),    // f0 -> dlv0
+			in(Sender, "send"),    // f1 -> dlv1
+			in(Receiver, "ack"),   // k2 -> slide2
+			in(Sender, "query"),   // s_b2n2
+			in(Receiver, "query"), // e2
+		}},
+		{Name: "go-back", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Sender, "send"),    // f0 -> dlv0
+			in(Sender, "send"),    // f1 -> dlv1
+			in(Sender, "timeout"), // resend f0 -> disc (receiver expects 2)
+			in(Receiver, "ack"),   // k2 -> slide2 (sender advances past the rollback)
+			in(Sender, "send"),    // f2 -> dlv2
+			in(Receiver, "query"), // e3
+		}},
+	}
+}

@@ -1,0 +1,114 @@
+package protocols
+
+import (
+	"cfsmdiag/internal/cfsm"
+)
+
+// Machine indices of the relay system.
+const (
+	Client = 0
+	Broker = 1
+	Server = 2
+)
+
+// Relay returns a three-machine store-and-forward messaging system: a
+// client submits requests to a broker, the broker (operator-driven, per the
+// synchronization assumption) dispatches each stored request to the server
+// or back to the client, and the server applies or rejects it. Addressing
+// faults are natural here — a broker that dispatches to the wrong machine —
+// which makes the system a good workload for the KindAddress extension.
+//
+//	Client states: idle, pending
+//	Broker states: empty, stored
+//	Server states: ready, busy
+func Relay() (*cfsm.System, error) {
+	client, err := cfsm.NewMachine("Client", "idle",
+		[]cfsm.State{"idle", "pending"},
+		[]cfsm.Transition{
+			// submit: send a request to the broker (also allowed while a
+			// previous request is pending — fire-and-forget semantics).
+			{Name: "c1", From: "idle", Input: "submit", Output: "req", To: "pending", Dest: Broker},
+			{Name: "c6", From: "pending", Input: "submit", Output: "req", To: "pending", Dest: Broker},
+			// Responses routed back by the broker.
+			{Name: "c2", From: "pending", Input: "bounce", Output: "bounced", To: "idle", Dest: cfsm.DestEnv},
+			// Server completion notification.
+			{Name: "c3", From: "pending", Input: "ok", Output: "confirmed", To: "idle", Dest: cfsm.DestEnv},
+			// Status.
+			{Name: "c4", From: "idle", Input: "status", Output: "quiet", To: "idle", Dest: cfsm.DestEnv},
+			{Name: "c5", From: "pending", Input: "status", Output: "waiting", To: "pending", Dest: cfsm.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	broker, err := cfsm.NewMachine("Broker", "empty",
+		[]cfsm.State{"empty", "stored"},
+		[]cfsm.Transition{
+			// Reception of a client request (observable acknowledgment).
+			{Name: "b1", From: "empty", Input: "req", Output: "queued", To: "stored", Dest: cfsm.DestEnv},
+			{Name: "b2", From: "stored", Input: "req", Output: "full", To: "stored", Dest: cfsm.DestEnv},
+			// Operator-driven dispatching.
+			{Name: "b3", From: "stored", Input: "dispatch", Output: "job", To: "empty", Dest: Server},
+			{Name: "b4", From: "stored", Input: "reject", Output: "bounce", To: "empty", Dest: Client},
+			// Status.
+			{Name: "b5", From: "empty", Input: "status", Output: "idle", To: "empty", Dest: cfsm.DestEnv},
+			{Name: "b6", From: "stored", Input: "status", Output: "loaded", To: "stored", Dest: cfsm.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	server, err := cfsm.NewMachine("Server", "ready",
+		[]cfsm.State{"ready", "busy"},
+		[]cfsm.Transition{
+			// Job reception from the broker.
+			{Name: "s1", From: "ready", Input: "job", Output: "accepted", To: "busy", Dest: cfsm.DestEnv},
+			{Name: "s2", From: "busy", Input: "job", Output: "overload", To: "busy", Dest: cfsm.DestEnv},
+			// Completion: notify the client.
+			{Name: "s3", From: "busy", Input: "finish", Output: "ok", To: "ready", Dest: Client},
+			// Status.
+			{Name: "s4", From: "ready", Input: "status", Output: "free", To: "ready", Dest: cfsm.DestEnv},
+			{Name: "s5", From: "busy", Input: "status", Output: "working", To: "busy", Dest: cfsm.DestEnv},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cfsm.NewSystem(client, broker, server)
+}
+
+// MustRelay returns the relay system, panicking on construction errors.
+func MustRelay() *cfsm.System {
+	s, err := Relay()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RelaySuite returns a functional suite: a full round trip, a rejection, and
+// an overload probe.
+func RelaySuite() []cfsm.TestCase {
+	in := func(port int, sym cfsm.Symbol) cfsm.Input { return cfsm.Input{Port: port, Sym: sym} }
+	return []cfsm.TestCase{
+		{Name: "round-trip", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Client, "submit"),   // -> queued @ broker
+			in(Broker, "dispatch"), // -> accepted @ server
+			in(Server, "finish"),   // -> confirmed @ client
+			in(Client, "status"),   // -> quiet
+			in(Server, "status"),   // -> free
+		}},
+		{Name: "rejection", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Client, "submit"),
+			in(Broker, "reject"), // -> bounced @ client
+			in(Broker, "status"), // -> idle
+		}},
+		{Name: "overload", Inputs: []cfsm.Input{
+			cfsm.Reset(),
+			in(Client, "submit"),
+			in(Broker, "dispatch"),
+			in(Client, "submit"),   // second request while server busy
+			in(Broker, "dispatch"), // -> overload @ server
+			in(Server, "status"),   // -> working
+		}},
+	}
+}

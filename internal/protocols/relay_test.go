@@ -1,0 +1,93 @@
+package protocols
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+)
+
+func TestRelayBuilds(t *testing.T) {
+	sys, err := Relay()
+	if err != nil {
+		t.Fatalf("Relay: %v", err)
+	}
+	if sys.N() != 3 {
+		t.Fatalf("N = %d", sys.N())
+	}
+	MustRelay()
+}
+
+func TestRelayRoundTrip(t *testing.T) {
+	sys := MustRelay()
+	obs, err := sys.Run(RelaySuite()[0])
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "-, queued^2, accepted^3, confirmed^1, quiet^1, free^3"
+	if got := cfsm.FormatObs(obs); got != want {
+		t.Fatalf("round trip = %q, want %q", got, want)
+	}
+}
+
+func TestRelayRejectionAndOverload(t *testing.T) {
+	sys := MustRelay()
+	obs, err := sys.Run(RelaySuite()[1])
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := cfsm.FormatObs(obs); got != "-, queued^2, bounced^1, idle^2" {
+		t.Fatalf("rejection = %q", got)
+	}
+	obs, err = sys.Run(RelaySuite()[2])
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := cfsm.FormatObs(obs); got != "-, queued^2, accepted^3, queued^2, overload^3, working^3" {
+		t.Fatalf("overload = %q", got)
+	}
+}
+
+// TestRelayMisroutedDispatch: the broker dispatches jobs to the client
+// instead of the server — an addressing fault, localized through the
+// address-escalation tier.
+func TestRelayMisroutedDispatch(t *testing.T) {
+	spec := MustRelay()
+	bug := fault.Fault{Ref: cfsm.Ref{Machine: Broker, Name: "b3"}, Kind: fault.KindAddress, Dest: Client}
+	iut, err := bug.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	loc, err := core.Diagnose(spec, RelaySuite(), &core.SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictLocalized {
+		t.Fatalf("verdict = %v\n%s%s", loc.Verdict, loc.Analysis.Report(), loc.Report())
+	}
+	if *loc.Fault != bug {
+		t.Fatalf("fault = %+v, want %+v", *loc.Fault, bug)
+	}
+	if !loc.Analysis.AddressEscalated {
+		t.Error("expected the address escalation to run")
+	}
+}
+
+// TestRelayTransferFault: a broker that loses its stored request (b1
+// transfers to empty) is localized by the functional suite.
+func TestRelayTransferFault(t *testing.T) {
+	spec := MustRelay()
+	bug := fault.Fault{Ref: cfsm.Ref{Machine: Broker, Name: "b1"}, Kind: fault.KindTransfer, To: "empty"}
+	iut, err := bug.Apply(spec)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	loc, err := core.Diagnose(spec, RelaySuite(), &core.SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != core.VerdictLocalized || *loc.Fault != bug {
+		t.Fatalf("verdict = %v fault = %v\n%s", loc.Verdict, loc.Fault, loc.Report())
+	}
+}

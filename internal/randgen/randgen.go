@@ -1,0 +1,181 @@
+// Package randgen generates pseudo-random CFSM systems that respect every
+// constraint of the paper's model (Section 2.1): deterministic partial
+// machines, disjoint IEO/IIO input alphabets, and internal outputs that can
+// only trigger external-output transitions of their destination machine.
+// The generator is deterministic for a given seed, which keeps the property
+// tests and the scaling benchmarks reproducible.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// Config parameterizes system generation.
+type Config struct {
+	// N is the number of machines (≥ 1; internal transitions need ≥ 2).
+	N int
+	// States is the number of states per machine (≥ 1).
+	States int
+	// ExtInputs is the number of port-local external input symbols per
+	// machine, beyond the inputs that receive peer messages.
+	ExtInputs int
+	// Messages is the number of message symbols per ordered machine pair
+	// (the size of each OIO_{i>j}); at least 2 makes internal output faults
+	// possible.
+	Messages int
+	// IntInputs is the number of internal-output transitions to attempt per
+	// ordered machine pair.
+	IntInputs int
+	// Density is the probability that a (state, external input) pair gets a
+	// transition, in [0,1]; the spanning tree needed for reachability is
+	// always created.
+	Density float64
+	// Seed seeds the generator.
+	Seed int64
+}
+
+// DefaultConfig returns a small, fully featured configuration.
+func DefaultConfig() Config {
+	return Config{N: 3, States: 3, ExtInputs: 2, Messages: 2, IntInputs: 2, Density: 0.7, Seed: 1}
+}
+
+// Generate builds a valid random system for the configuration.
+func Generate(cfg Config) (*cfsm.System, error) {
+	if cfg.N < 1 || cfg.States < 1 || cfg.ExtInputs < 1 || cfg.Messages < 1 {
+		return nil, fmt.Errorf("randgen: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type protoMachine struct {
+		states []cfsm.State
+		trans  []cfsm.Transition
+		used   map[string]bool // (state|input) pairs already defined
+		names  int
+	}
+	protos := make([]*protoMachine, cfg.N)
+	for i := range protos {
+		p := &protoMachine{used: make(map[string]bool)}
+		for s := 0; s < cfg.States; s++ {
+			p.states = append(p.states, cfsm.State(fmt.Sprintf("s%d", s)))
+		}
+		protos[i] = p
+	}
+
+	key := func(from cfsm.State, in cfsm.Symbol) string { return string(from) + "|" + string(in) }
+	addTrans := func(m int, from cfsm.State, in, out cfsm.Symbol, to cfsm.State, dest int) bool {
+		p := protos[m]
+		if p.used[key(from, in)] {
+			return false
+		}
+		p.used[key(from, in)] = true
+		p.names++
+		p.trans = append(p.trans, cfsm.Transition{
+			Name: fmt.Sprintf("m%dt%d", m+1, p.names), From: from, Input: in, Output: out, To: to, Dest: dest,
+		})
+		return true
+	}
+
+	// Per-machine external alphabets, namespaced to keep IEO/IIO disjoint by
+	// construction.
+	extIn := func(m, k int) cfsm.Symbol { return cfsm.Symbol(fmt.Sprintf("x%d_%d", m+1, k)) }
+	extOut := func(m, k int) cfsm.Symbol { return cfsm.Symbol(fmt.Sprintf("o%d_%d", m+1, k)) }
+	intIn := func(m, peer, k int) cfsm.Symbol { return cfsm.Symbol(fmt.Sprintf("g%d_%d_%d", m+1, peer+1, k)) }
+	msg := func(m, peer, k int) cfsm.Symbol { return cfsm.Symbol(fmt.Sprintf("q%d_%d_%d", m+1, peer+1, k)) }
+
+	// Spanning path through each machine's states over external inputs, so
+	// that every state is reachable within its machine.
+	for m, p := range protos {
+		for s := 0; s+1 < len(p.states); s++ {
+			in := extIn(m, s%cfg.ExtInputs)
+			out := extOut(m, rng.Intn(cfg.ExtInputs))
+			if !addTrans(m, p.states[s], in, out, p.states[s+1], cfsm.DestEnv) {
+				// The input is taken at this state (possible when ExtInputs
+				// < States-1 wraps around); fall back to a fresh synthetic
+				// input to preserve reachability.
+				extra := cfsm.Symbol(fmt.Sprintf("x%d_sp%d", m+1, s))
+				addTrans(m, p.states[s], extra, out, p.states[s+1], cfsm.DestEnv)
+			}
+		}
+	}
+
+	// Random external-output transitions.
+	for m, p := range protos {
+		for _, from := range p.states {
+			for k := 0; k < cfg.ExtInputs; k++ {
+				if rng.Float64() > cfg.Density {
+					continue
+				}
+				out := extOut(m, rng.Intn(cfg.ExtInputs))
+				to := p.states[rng.Intn(len(p.states))]
+				addTrans(m, from, extIn(m, k), out, to, cfsm.DestEnv)
+			}
+		}
+	}
+
+	// Message receptions: for every ordered pair (i, j) and every message
+	// symbol of the channel, machine j receives the message with external-
+	// output transitions in a random non-empty subset of its states. These
+	// are external-output transitions by construction, satisfying the
+	// internal-chain restriction.
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if i == j {
+				continue
+			}
+			p := protos[j]
+			for k := 0; k < cfg.Messages; k++ {
+				sym := msg(i, j, k)
+				defined := false
+				for _, from := range p.states {
+					if rng.Float64() > cfg.Density && defined {
+						continue
+					}
+					out := extOut(j, rng.Intn(cfg.ExtInputs))
+					to := p.states[rng.Intn(len(p.states))]
+					if addTrans(j, from, sym, out, to, cfsm.DestEnv) {
+						defined = true
+					}
+				}
+			}
+		}
+	}
+
+	// Internal-output transitions: machine i sends channel (i, j) messages.
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if i == j {
+				continue
+			}
+			p := protos[i]
+			for k := 0; k < cfg.IntInputs; k++ {
+				from := p.states[rng.Intn(len(p.states))]
+				out := msg(i, j, rng.Intn(cfg.Messages))
+				to := p.states[rng.Intn(len(p.states))]
+				addTrans(i, from, intIn(i, j, k), out, to, j)
+			}
+		}
+	}
+
+	machines := make([]*cfsm.Machine, cfg.N)
+	for m, p := range protos {
+		mach, err := cfsm.NewMachine(fmt.Sprintf("M%d", m+1), p.states[0], p.states, p.trans)
+		if err != nil {
+			return nil, fmt.Errorf("randgen: machine %d: %w", m+1, err)
+		}
+		machines[m] = mach
+	}
+	return cfsm.NewSystem(machines...)
+}
+
+// MustGenerate generates a system, panicking on configuration errors; it is
+// intended for tests and benchmarks with known-good configurations.
+func MustGenerate(cfg Config) *cfsm.System {
+	s, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+// Package report renders a complete diagnosis session as a Markdown
+// document: the verdict, the test results with symptoms highlighted, the
+// candidate-generation walkthrough, the adaptively generated additional
+// tests, and a Mermaid sequence diagram of the convicting test. The CLI's
+// diagnose -report flag emits it for humans and dashboards.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+)
+
+// Markdown renders the diagnosis session.
+func Markdown(loc *core.Localization) (string, error) {
+	a := loc.Analysis
+	var b strings.Builder
+
+	b.WriteString("# CFSM diagnosis report\n\n")
+	fmt.Fprintf(&b, "**Verdict:** %s\n\n", loc.Verdict)
+	if loc.Fault != nil {
+		fmt.Fprintf(&b, "**Fault:** %s\n\n", loc.Fault.Describe(a.Spec))
+	}
+	for _, f := range loc.Remaining {
+		fmt.Fprintf(&b, "- remaining hypothesis: %s\n", f.Describe(a.Spec))
+	}
+	if len(loc.Remaining) > 0 {
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## System\n\n")
+	fmt.Fprintf(&b, "%d machines, %d transitions.\n\n", a.Spec.N(), a.Spec.NumTransitions())
+	b.WriteString("| machine | states | transitions | IEO | IIO |\n")
+	b.WriteString("|---------|-------:|------------:|-----|-----|\n")
+	for i := 0; i < a.Spec.N(); i++ {
+		m := a.Spec.Machine(i)
+		fmt.Fprintf(&b, "| %s | %d | %d | %s | %s |\n",
+			m.Name(), len(m.States()), m.NumTransitions(),
+			symbolList(a.Spec.IEO(i)), symbolList(a.Spec.IIO(i)))
+	}
+	b.WriteString("\n")
+
+	if warnings := core.CheckAssumptions(a.Spec); len(warnings) > 0 {
+		b.WriteString("### Specification warnings\n\n")
+		for _, w := range warnings {
+			fmt.Fprintf(&b, "- %s\n", w)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Test results\n\n")
+	b.WriteString("| case | inputs | expected | observed | symptom |\n")
+	b.WriteString("|------|--------|----------|----------|---------|\n")
+	for i, tc := range a.Suite {
+		symptom := ""
+		if step, ok := a.FirstSymptom[i]; ok {
+			symptom = fmt.Sprintf("step %d", step+1)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			tc.Name,
+			cfsm.FormatInputs(tc.Inputs),
+			cfsm.FormatObs(a.Expected[i]),
+			cfsm.FormatObs(a.Observed[i]),
+			symptom)
+	}
+	b.WriteString("\n")
+
+	if a.HasSymptoms() {
+		b.WriteString("## Candidate generation (Steps 3–5)\n\n```\n")
+		b.WriteString(a.Report())
+		b.WriteString("```\n\n")
+	}
+
+	if len(loc.AdditionalTests) > 0 {
+		b.WriteString("## Additional diagnostic tests (Step 6)\n\n")
+		b.WriteString("| target | test | spec predicts | observed |\n")
+		b.WriteString("|--------|------|---------------|----------|\n")
+		for _, at := range loc.AdditionalTests {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+				a.Spec.RefString(at.Target),
+				cfsm.FormatInputs(at.Test.Inputs),
+				cfsm.FormatObs(at.Expected),
+				cfsm.FormatObs(at.Observed))
+		}
+		b.WriteString("\n")
+	}
+	for _, r := range loc.Cleared {
+		fmt.Fprintf(&b, "- cleared: %s\n", a.Spec.RefString(r))
+	}
+	if len(loc.Cleared) > 0 {
+		b.WriteString("\n")
+	}
+
+	// Sequence diagram of the convicting evidence: the last additional test
+	// if any, otherwise the first symptomatic test case.
+	var convicting *cfsm.TestCase
+	if n := len(loc.AdditionalTests); n > 0 {
+		convicting = &loc.AdditionalTests[n-1].Test
+	} else if a.HasSymptoms() {
+		for i := range a.Suite {
+			if _, ok := a.FirstSymptom[i]; ok {
+				convicting = &a.Suite[i]
+				break
+			}
+		}
+	}
+	if convicting != nil {
+		diag, err := a.Spec.SequenceDiagram(*convicting)
+		if err != nil {
+			return "", fmt.Errorf("report: sequence diagram: %w", err)
+		}
+		b.WriteString("## Convicting test, as the specification executes it\n\n")
+		b.WriteString("```mermaid\n")
+		b.WriteString(diag)
+		b.WriteString("```\n")
+	}
+	return b.String(), nil
+}
+
+func symbolList(syms []cfsm.Symbol) string {
+	parts := make([]string, len(syms))
+	for i, s := range syms {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, " ")
+}

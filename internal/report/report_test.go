@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/paper"
+)
+
+func paperLocalization(t *testing.T) *core.Localization {
+	t.Helper()
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	loc, err := core.Diagnose(spec, paper.TestSuite(), &core.SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	return loc
+}
+
+func TestMarkdownPaperSession(t *testing.T) {
+	loc := paperLocalization(t)
+	md, err := Markdown(loc)
+	if err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	for _, want := range []string{
+		"# CFSM diagnosis report",
+		"**Verdict:** fault localized",
+		`**Fault:** M3.t"4 transfers to s0 instead of s1`,
+		"## Test results",
+		"| tc1 |",
+		"step 6",
+		"## Candidate generation (Steps 3–5)",
+		"Diag1: M1.t7 outputs c' instead of d'",
+		"## Additional diagnostic tests (Step 6)",
+		"R, c^1, b^1",
+		"- cleared: M1.t7",
+		"```mermaid",
+		"sequenceDiagram",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownNoFault(t *testing.T) {
+	spec := paper.MustFigure1()
+	loc, err := core.Diagnose(spec, paper.TestSuite(), &core.SystemOracle{Sys: spec})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	md, err := Markdown(loc)
+	if err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	if !strings.Contains(md, "**Verdict:** no fault detected") {
+		t.Errorf("report missing no-fault verdict:\n%s", md[:200])
+	}
+	if strings.Contains(md, "## Additional diagnostic tests") {
+		t.Error("no-fault report should have no additional-test section")
+	}
+}

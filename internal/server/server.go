@@ -1,0 +1,386 @@
+// Package server exposes the diagnosis library as a JSON-over-HTTP service,
+// so non-Go test harnesses can validate specifications, analyze recorded
+// observations and run full diagnoses. All endpoints are POST with JSON
+// bodies; systems use the cfsm JSON codec, suites and observations the same
+// token formats as the CLI ("a^1", "-", "ε^3").
+//
+// Endpoints:
+//
+//	POST /api/validate  {"spec": <system>}                       -> stats + warnings
+//	POST /api/diagnose  {"spec": <system>, "iut": <system>,
+//	                     "suite": [<case>...]?}                  -> verdict + fault + log
+//	POST /api/analyze   {"spec": <system>, "suite": [<case>...],
+//	                     "observations": [[token...]...]}        -> diagnoses + planned tests
+//	POST /api/suite     {"spec": <system>, "kind": "tour"|
+//	                     "verification"|"verification-minimized"} -> generated suite
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/testgen"
+)
+
+// Handler returns the service's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/validate", handleValidate)
+	mux.HandleFunc("/api/diagnose", handleDiagnose)
+	mux.HandleFunc("/api/analyze", handleAnalyze)
+	mux.HandleFunc("/api/suite", handleSuite)
+	return mux
+}
+
+// maxBody bounds request bodies (systems are small; 8 MiB is generous).
+const maxBody = 8 << 20
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- /api/validate ---
+
+type validateRequest struct {
+	Spec cfsm.SystemJSON `json:"spec"`
+}
+
+type validateResponse struct {
+	Machines    int      `json:"machines"`
+	Transitions int      `json:"transitions"`
+	Warnings    []string `json:"warnings,omitempty"`
+}
+
+func handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req validateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sys, err := cfsm.FromJSON(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := validateResponse{Machines: sys.N(), Transitions: sys.NumTransitions()}
+	for _, warn := range core.CheckAssumptions(sys) {
+		resp.Warnings = append(resp.Warnings, warn.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- shared suite / observation wire formats ---
+
+type testCaseJSON struct {
+	Name   string   `json:"name"`
+	Inputs []string `json:"inputs"`
+}
+
+func decodeSuite(cases []testCaseJSON) ([]cfsm.TestCase, error) {
+	var out []cfsm.TestCase
+	for i, tj := range cases {
+		tc := cfsm.TestCase{Name: tj.Name}
+		if tc.Name == "" {
+			tc.Name = fmt.Sprintf("tc%d", i+1)
+		}
+		for _, tok := range tj.Inputs {
+			in, err := cfsm.ParseInputToken(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", tc.Name, err)
+			}
+			tc.Inputs = append(tc.Inputs, in)
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+func decodeObservations(seqs [][]string) ([][]cfsm.Observation, error) {
+	out := make([][]cfsm.Observation, len(seqs))
+	for i, seq := range seqs {
+		for _, tok := range seq {
+			o, err := cfsm.ParseObservationToken(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sequence %d: %w", i+1, err)
+			}
+			out[i] = append(out[i], o)
+		}
+	}
+	return out, nil
+}
+
+func encodeObservations(obs []cfsm.Observation) []string {
+	out := make([]string, len(obs))
+	for i, o := range obs {
+		out[i] = o.String()
+	}
+	return out
+}
+
+// --- /api/suite ---
+
+type suiteRequest struct {
+	Spec cfsm.SystemJSON `json:"spec"`
+	// Kind selects the generator: "tour" (default), "verification", or
+	// "verification-minimized".
+	Kind string `json:"kind,omitempty"`
+	// MaxLen bounds tour test cases (0 = unbounded; tour only).
+	MaxLen int `json:"maxLen,omitempty"`
+}
+
+type suiteResponse struct {
+	Suite []testCaseJSON `json:"suite"`
+	// Uncovered lists unreachable transitions (tour) or undetectable
+	// faults (verification).
+	Uncovered []string `json:"uncovered,omitempty"`
+}
+
+func handleSuite(w http.ResponseWriter, r *http.Request) {
+	var req suiteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sys, err := cfsm.FromJSON(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	var resp suiteResponse
+	var suite []cfsm.TestCase
+	switch req.Kind {
+	case "", "tour":
+		var uncovered []cfsm.Ref
+		suite, uncovered = testgen.Tour(sys, req.MaxLen)
+		for _, ref := range uncovered {
+			resp.Uncovered = append(resp.Uncovered, sys.RefString(ref))
+		}
+	case "verification", "verification-minimized":
+		var undetectable []fault.Fault
+		suite, undetectable = testgen.VerificationSuite(sys)
+		for _, f := range undetectable {
+			resp.Uncovered = append(resp.Uncovered, f.Describe(sys))
+		}
+		if req.Kind == "verification-minimized" {
+			suite, err = testgen.MinimizeSuite(sys, suite)
+			if err != nil {
+				writeErr(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown suite kind %q", req.Kind))
+		return
+	}
+	for _, tc := range suite {
+		tj := testCaseJSON{Name: tc.Name}
+		for _, in := range tc.Inputs {
+			tj.Inputs = append(tj.Inputs, in.String())
+		}
+		resp.Suite = append(resp.Suite, tj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /api/diagnose ---
+
+type diagnoseRequest struct {
+	Spec  cfsm.SystemJSON `json:"spec"`
+	IUT   cfsm.SystemJSON `json:"iut"`
+	Suite []testCaseJSON  `json:"suite,omitempty"` // default: generated tour
+	// MaxAdditionalTests bounds the adaptive phase (0 = unbounded).
+	MaxAdditionalTests int `json:"maxAdditionalTests,omitempty"`
+}
+
+type additionalTestJSON struct {
+	Target   string   `json:"target"`
+	Inputs   []string `json:"inputs"`
+	Expected []string `json:"expected"`
+	Observed []string `json:"observed"`
+}
+
+type diagnoseResponse struct {
+	Verdict         string               `json:"verdict"`
+	Fault           string               `json:"fault,omitempty"`
+	Remaining       []string             `json:"remaining,omitempty"`
+	Cleared         []string             `json:"cleared,omitempty"`
+	AdditionalTests []additionalTestJSON `json:"additionalTests,omitempty"`
+	SuiteCases      int                  `json:"suiteCases"`
+	TotalTests      int                  `json:"totalTests"`
+	TotalInputs     int                  `json:"totalInputs"`
+}
+
+func handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req diagnoseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	spec, err := cfsm.FromJSON(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("spec: %w", err))
+		return
+	}
+	iut, err := cfsm.FromJSON(req.IUT)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("iut: %w", err))
+		return
+	}
+	var suite []cfsm.TestCase
+	if len(req.Suite) > 0 {
+		suite, err = decodeSuite(req.Suite)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	} else {
+		suite, _ = testgen.Tour(spec, 0)
+	}
+	oracle := &core.SystemOracle{Sys: iut}
+	var opts []core.Option
+	if req.MaxAdditionalTests > 0 {
+		opts = append(opts, core.WithMaxAdditionalTests(req.MaxAdditionalTests))
+	}
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		if observed[i], err = oracle.Execute(tc); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	a, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	loc, err := core.Localize(a, oracle, opts...)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := diagnoseResponse{
+		Verdict:     loc.Verdict.String(),
+		SuiteCases:  len(suite),
+		TotalTests:  oracle.Tests,
+		TotalInputs: oracle.Inputs,
+	}
+	if loc.Fault != nil {
+		resp.Fault = loc.Fault.Describe(spec)
+	}
+	for _, f := range loc.Remaining {
+		resp.Remaining = append(resp.Remaining, f.Describe(spec))
+	}
+	for _, ref := range loc.Cleared {
+		resp.Cleared = append(resp.Cleared, spec.RefString(ref))
+	}
+	for _, at := range loc.AdditionalTests {
+		resp.AdditionalTests = append(resp.AdditionalTests, additionalTestJSON{
+			Target:   spec.RefString(at.Target),
+			Inputs:   encodeInputs(at.Test.Inputs),
+			Expected: encodeObservations(at.Expected),
+			Observed: encodeObservations(at.Observed),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func encodeInputs(ins []cfsm.Input) []string {
+	out := make([]string, len(ins))
+	for i, in := range ins {
+		out[i] = in.String()
+	}
+	return out
+}
+
+// --- /api/analyze ---
+
+type analyzeRequest struct {
+	Spec         cfsm.SystemJSON `json:"spec"`
+	Suite        []testCaseJSON  `json:"suite"`
+	Observations [][]string      `json:"observations"`
+}
+
+type plannedTestJSON struct {
+	Target      string              `json:"target"`
+	Inputs      []string            `json:"inputs"`
+	Predictions map[string][]string `json:"predictions"` // hypothesis -> expected outputs
+}
+
+type analyzeResponse struct {
+	Symptoms  int               `json:"symptoms"`
+	Diagnoses []string          `json:"diagnoses"`
+	Planned   []plannedTestJSON `json:"plannedTests,omitempty"`
+	Report    string            `json:"report"`
+}
+
+func handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	spec, err := cfsm.FromJSON(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("spec: %w", err))
+		return
+	}
+	suite, err := decodeSuite(req.Suite)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	observed, err := decodeObservations(req.Observations)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	a, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := analyzeResponse{Symptoms: len(a.Symptoms), Report: a.Report()}
+	for _, d := range a.Diagnoses {
+		resp.Diagnoses = append(resp.Diagnoses, d.Describe(spec))
+	}
+	for _, p := range core.SuggestNextTests(a) {
+		pj := plannedTestJSON{
+			Target:      spec.RefString(p.Target),
+			Inputs:      encodeInputs(p.Test.Inputs),
+			Predictions: make(map[string][]string, len(p.Predictions)),
+		}
+		for _, pred := range p.Predictions {
+			label := "correct"
+			if pred.Fault != nil {
+				label = pred.Fault.Describe(spec)
+			}
+			pj.Predictions[label] = encodeObservations(pred.Expected)
+		}
+		resp.Planned = append(resp.Planned, pj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,259 @@
+package singlefsm
+
+import (
+	"fmt"
+	"sort"
+
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/fsm"
+)
+
+// Oracle executes a single-FSM test case (an input sequence applied from the
+// initial state) and returns the observed outputs.
+type Oracle interface {
+	Execute(inputs []fsm.Symbol) ([]fsm.Symbol, error)
+}
+
+// MachineOracle is an Oracle backed by a (typically mutated) machine, with
+// cost counters.
+type MachineOracle struct {
+	M      *fsm.FSM
+	Tests  int
+	Inputs int
+}
+
+var _ Oracle = (*MachineOracle)(nil)
+
+// Execute runs the inputs from the initial state.
+func (o *MachineOracle) Execute(inputs []fsm.Symbol) ([]fsm.Symbol, error) {
+	o.Tests++
+	o.Inputs += len(inputs)
+	outs, _ := o.M.Run(o.M.Initial(), inputs)
+	return outs, nil
+}
+
+// Localization is the Step 6 outcome for the single-FSM algorithm.
+type Localization struct {
+	Analysis        *Analysis
+	Localized       *Diagnosis
+	Remaining       []Diagnosis
+	Cleared         []string
+	AdditionalTests [][]fsm.Symbol
+}
+
+// Localize adaptively resolves the diagnoses of an analysis against the
+// oracle, mirroring the CFSM Step 6 on a single machine: per candidate, a
+// transfer sequence avoiding the other candidates, the candidate's input,
+// and distinguishing suffixes eliminate hypotheses until one remains.
+func Localize(a *Analysis, oracle Oracle) (*Localization, error) {
+	loc := &Localization{Analysis: a}
+	if !a.HasSymptoms() || len(a.Diagnoses) == 0 {
+		return loc, nil
+	}
+	if len(a.Diagnoses) == 1 {
+		d := a.Diagnoses[0]
+		loc.Localized = &d
+		return loc, nil
+	}
+
+	byName := make(map[string][]Diagnosis)
+	var order []string
+	for _, d := range a.Diagnoses {
+		if _, ok := byName[d.Transition]; !ok {
+			order = append(order, d.Transition)
+		}
+		byName[d.Transition] = append(byName[d.Transition], d)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if (order[i] == a.UST) != (order[j] == a.UST) {
+			return order[i] == a.UST
+		}
+		return order[i] < order[j]
+	})
+
+	avoidNames := make(map[string]bool, len(order))
+	for _, n := range order {
+		avoidNames[n] = true
+	}
+
+	for _, name := range order {
+		outcome, err := testCandidate(a, oracle, loc, name, byName[name], avoidNames)
+		if err != nil {
+			return nil, err
+		}
+		if outcome.localized != nil {
+			loc.Localized = outcome.localized
+			return loc, nil
+		}
+		if outcome.cleared {
+			loc.Cleared = append(loc.Cleared, name)
+			delete(avoidNames, name)
+			continue
+		}
+		loc.Remaining = append(loc.Remaining, outcome.remaining...)
+	}
+	if len(loc.Remaining) == 1 {
+		d := loc.Remaining[0]
+		loc.Localized = &d
+		loc.Remaining = nil
+	}
+	return loc, nil
+}
+
+type outcome struct {
+	cleared   bool
+	localized *Diagnosis
+	remaining []Diagnosis
+}
+
+type machineVariant struct {
+	diag *Diagnosis
+	m    *fsm.FSM
+}
+
+func testCandidate(a *Analysis, oracle Oracle, loc *Localization, name string, hyps []Diagnosis, avoidNames map[string]bool) (outcome, error) {
+	tr, ok := a.Spec.ByName(name)
+	if !ok {
+		return outcome{}, fmt.Errorf("singlefsm: unknown candidate %q", name)
+	}
+	avoid := func(t fsm.Transition) bool { return avoidNames[t.Name] && t.Name != "" }
+	avoidOthers := func(t fsm.Transition) bool { return avoid(t) && t.Name != name }
+
+	variants := []machineVariant{{m: a.Spec}}
+	for i := range hyps {
+		var out fsm.Symbol
+		var to fsm.State
+		if hyps[i].Kind == fault.KindOutput || hyps[i].Kind == fault.KindBoth {
+			out = hyps[i].Output
+		}
+		if hyps[i].Kind == fault.KindTransfer || hyps[i].Kind == fault.KindBoth {
+			to = hyps[i].To
+		}
+		m, err := a.Spec.Rewire(name, out, to)
+		if err != nil {
+			return outcome{}, fmt.Errorf("singlefsm: rewire %s: %w", name, err)
+		}
+		variants = append(variants, machineVariant{diag: &hyps[i], m: m})
+	}
+
+	transfer, ok := a.Spec.TransferSequence(a.Spec.Initial(), tr.From, avoid)
+	if !ok {
+		return outcome{remaining: hyps}, nil
+	}
+	prefix := append(append([]fsm.Symbol(nil), transfer...), tr.Input)
+
+	live := variants
+	for len(live) > 1 {
+		test, found := nextTest(live, prefix, avoidOthers)
+		if !found {
+			break
+		}
+		observed, err := oracle.Execute(test)
+		if err != nil {
+			return outcome{}, err
+		}
+		loc.AdditionalTests = append(loc.AdditionalTests, test)
+		var next []machineVariant
+		for _, v := range live {
+			predicted, _ := v.m.Run(v.m.Initial(), test)
+			if symbolsEqual(predicted, observed) {
+				next = append(next, v)
+			}
+		}
+		live = next
+	}
+
+	switch {
+	case len(live) == 0:
+		return outcome{cleared: true}, nil
+	case len(live) == 1 && live[0].diag == nil:
+		return outcome{cleared: true}, nil
+	case len(live) == 1:
+		return outcome{localized: live[0].diag}, nil
+	default:
+		var rem []Diagnosis
+		for _, v := range live {
+			if v.diag != nil {
+				rem = append(rem, *v.diag)
+			}
+		}
+		return outcome{remaining: rem}, nil
+	}
+}
+
+func nextTest(live []machineVariant, prefix []fsm.Symbol, avoid fsm.Avoid) ([]fsm.Symbol, bool) {
+	type run struct {
+		outs []fsm.Symbol
+		end  fsm.State
+	}
+	runs := make([]run, len(live))
+	for i, v := range live {
+		outs, end := v.m.Run(v.m.Initial(), prefix)
+		runs[i] = run{outs: outs, end: end}
+	}
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if !symbolsEqual(runs[i].outs, runs[j].outs) {
+				return append([]fsm.Symbol(nil), prefix...), true
+			}
+		}
+	}
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			suffix, ok := distinguishMachines(live[i].m, runs[i].end, live[j].m, runs[j].end, avoid)
+			if !ok {
+				continue
+			}
+			test := append([]fsm.Symbol(nil), prefix...)
+			return append(test, suffix...), true
+		}
+	}
+	return nil, false
+}
+
+// distinguishMachines is the two-machine-text generalization of
+// fsm.DistinguishingSequence: a BFS over pairs of states of two different
+// machines with the same input alphabet.
+func distinguishMachines(ma *fsm.FSM, sa fsm.State, mb *fsm.FSM, sb fsm.State, avoid fsm.Avoid) ([]fsm.Symbol, bool) {
+	type node struct {
+		a, b fsm.State
+		path []fsm.Symbol
+	}
+	inputs := ma.Inputs()
+	seen := map[string]bool{string(sa) + "|" + string(sb): true}
+	frontier := []node{{a: sa, b: sb}}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, in := range inputs {
+			outA, nextA, trA, okA := ma.Step(n.a, in)
+			outB, nextB, trB, okB := mb.Step(n.b, in)
+			if avoid != nil && ((okA && avoid(trA)) || (okB && avoid(trB))) {
+				continue
+			}
+			path := append(append([]fsm.Symbol(nil), n.path...), in)
+			if outA != outB {
+				return path, true
+			}
+			k := string(nextA) + "|" + string(nextB)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			frontier = append(frontier, node{a: nextA, b: nextB, path: path})
+		}
+	}
+	return nil, false
+}
+
+func symbolsEqual(a, b []fsm.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package singlefsm
+
+import (
+	"sort"
+
+	"cfsmdiag/internal/fsm"
+)
+
+// DSMethodSuite generates a distinguishing-sequence-method test suite for a
+// single machine — the second of the "W or DS methods" the paper's
+// conclusion names. When the machine has a preset distinguishing sequence
+// DS, the suite is
+//
+//	suite = P · (ε ∪ I) · DS
+//
+// (state cover, optionally one transition, then the DS to verify the
+// reached state). ok is false when no preset DS exists; callers fall back to
+// the W-method.
+func DSMethodSuite(m *fsm.FSM) (suite [][]fsm.Symbol, ok bool) {
+	ds, ok := m.PresetDS()
+	if !ok {
+		return nil, false
+	}
+	var cover [][]fsm.Symbol
+	states := m.States()
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, s := range states {
+		p, reachable := m.TransferSequence(m.Initial(), s, nil)
+		if !reachable {
+			continue
+		}
+		cover = append(cover, p)
+	}
+	middles := [][]fsm.Symbol{nil}
+	for _, in := range m.Inputs() {
+		middles = append(middles, []fsm.Symbol{in})
+	}
+	seen := make(map[string]bool)
+	for _, p := range cover {
+		for _, mid := range middles {
+			tc := concatSymbols(p, mid, ds)
+			key := symbolsKey(tc)
+			if len(tc) == 0 || seen[key] {
+				continue
+			}
+			seen[key] = true
+			suite = append(suite, tc)
+		}
+	}
+	return suite, true
+}

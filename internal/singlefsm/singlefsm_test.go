@@ -1,0 +1,238 @@
+package singlefsm
+
+import (
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/fsm"
+)
+
+// counter is a 3-state counter machine with distinct outputs per state:
+//
+//	c1: s0 -i/o0-> s1   c2: s1 -i/o1-> s2   c3: s2 -i/o2-> s0
+//	c4: s0 -j/p0-> s0   c5: s1 -j/p1-> s1   c6: s2 -j/p2-> s2
+func counter(t *testing.T) *fsm.FSM {
+	t.Helper()
+	m, err := fsm.New("C", "s0", []fsm.State{"s0", "s1", "s2"}, []fsm.Transition{
+		{Name: "c1", From: "s0", Input: "i", Output: "o0", To: "s1"},
+		{Name: "c2", From: "s1", Input: "i", Output: "o1", To: "s2"},
+		{Name: "c3", From: "s2", Input: "i", Output: "o2", To: "s0"},
+		{Name: "c4", From: "s0", Input: "j", Output: "p0", To: "s0"},
+		{Name: "c5", From: "s1", Input: "j", Output: "p1", To: "s1"},
+		{Name: "c6", From: "s2", Input: "j", Output: "p2", To: "s2"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func analyzeWith(t *testing.T, spec, iut *fsm.FSM, suite [][]fsm.Symbol) *Analysis {
+	t.Helper()
+	observed := make([][]fsm.Symbol, len(suite))
+	for i, tc := range suite {
+		observed[i], _ = iut.Run(iut.Initial(), tc)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+func TestNoSymptoms(t *testing.T) {
+	spec := counter(t)
+	a := analyzeWith(t, spec, spec, [][]fsm.Symbol{{"i", "i", "i"}})
+	if a.HasSymptoms() || len(a.Diagnoses) != 0 {
+		t.Fatalf("unexpected symptoms: %+v", a)
+	}
+	loc, err := Localize(a, &MachineOracle{M: spec})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Localized != nil || len(loc.Remaining) != 0 {
+		t.Fatalf("unexpected localization: %+v", loc)
+	}
+}
+
+func TestOutputFaultDiagnosis(t *testing.T) {
+	spec := counter(t)
+	iut, err := spec.Rewire("c2", "o2", "")
+	if err != nil {
+		t.Fatalf("Rewire: %v", err)
+	}
+	a := analyzeWith(t, spec, iut, [][]fsm.Symbol{{"i", "i", "i"}})
+	if a.UST != "c2" || a.USO != "o2" {
+		t.Fatalf("ust = %q uso = %q", a.UST, a.USO)
+	}
+	loc, err := Localize(a, &MachineOracle{M: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Localized == nil {
+		t.Fatalf("not localized: %+v", loc)
+	}
+	want := Diagnosis{Transition: "c2", Kind: fault.KindOutput, Output: "o2"}
+	if *loc.Localized != want {
+		t.Fatalf("localized = %+v, want %+v", *loc.Localized, want)
+	}
+}
+
+func TestTransferFaultDiagnosis(t *testing.T) {
+	spec := counter(t)
+	iut, err := spec.Rewire("c1", "", "s2")
+	if err != nil {
+		t.Fatalf("Rewire: %v", err)
+	}
+	oracle := &MachineOracle{M: iut}
+	suite := [][]fsm.Symbol{{"i", "j"}}
+	a := analyzeWith(t, spec, iut, suite)
+	if !a.HasSymptoms() {
+		t.Fatal("transfer fault must be detected by the probe suite")
+	}
+	loc, err := Localize(a, oracle)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if loc.Localized == nil {
+		t.Fatalf("not localized: remaining %v", loc.Remaining)
+	}
+	want := Diagnosis{Transition: "c1", Kind: fault.KindTransfer, To: "s2"}
+	if *loc.Localized != want {
+		t.Fatalf("localized = %+v, want %+v", *loc.Localized, want)
+	}
+	if oracle.Tests == 0 {
+		t.Error("adaptive phase should have executed additional tests")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	spec := counter(t)
+	if _, err := Analyze(spec, [][]fsm.Symbol{{"i"}}, nil); err == nil {
+		t.Error("want error for missing observations")
+	}
+	if _, err := Analyze(spec, [][]fsm.Symbol{{"i"}}, [][]fsm.Symbol{{}}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+}
+
+func TestDiagnosisString(t *testing.T) {
+	tests := []struct {
+		d    Diagnosis
+		want string
+	}{
+		{Diagnosis{Transition: "c1", Kind: fault.KindOutput, Output: "o9"}, "c1 has output fault o9"},
+		{Diagnosis{Transition: "c1", Kind: fault.KindTransfer, To: "s2"}, "c1 transfers to s2"},
+		{Diagnosis{Transition: "c1", Kind: fault.KindBoth, Output: "o9", To: "s2"},
+			"c1 has output fault o9 and transfers to s2"},
+	}
+	for _, tc := range tests {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestExhaustiveCost(t *testing.T) {
+	m := counter(t)
+	tests, inputs, skipped := ExhaustiveCost(m)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if tests == 0 || inputs == 0 {
+		t.Fatal("zero cost for a nonempty machine")
+	}
+	// 6 transitions, each verified against every characterization sequence:
+	// at least one test per transition.
+	if tests < m.NumTransitions() {
+		t.Errorf("tests = %d, want >= %d", tests, m.NumTransitions())
+	}
+	if inputs <= tests {
+		t.Errorf("inputs = %d should exceed tests = %d", inputs, tests)
+	}
+}
+
+func TestExhaustiveCostUnreachable(t *testing.T) {
+	m, err := fsm.New("U", "s0", []fsm.State{"s0", "s1"}, []fsm.Transition{
+		{Name: "t1", From: "s0", Input: "i", Output: "o", To: "s0"},
+		{Name: "t2", From: "s1", Input: "i", Output: "q", To: "s1"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, _, skipped := ExhaustiveCost(m)
+	if len(skipped) != 1 || skipped[0] != "t2" {
+		t.Fatalf("skipped = %v, want [t2]", skipped)
+	}
+}
+
+// TestSweepAllSingleFaults exhaustively injects every output and transfer
+// fault into the counter machine and checks the algorithm localizes the
+// faulty transition whenever the probing suite detects the fault.
+func TestSweepAllSingleFaults(t *testing.T) {
+	spec := counter(t)
+	suite := [][]fsm.Symbol{{"i", "i", "i", "j"}, {"j", "i", "j", "i", "j"}}
+	outputs := spec.Outputs()
+	detected, localized := 0, 0
+	for _, tr := range spec.Transitions() {
+		var muts []*fsm.FSM
+		var descr []string
+		for _, o := range outputs {
+			if o == tr.Output {
+				continue
+			}
+			m, err := spec.Rewire(tr.Name, o, "")
+			if err != nil {
+				t.Fatalf("Rewire: %v", err)
+			}
+			muts = append(muts, m)
+			descr = append(descr, tr.Name+" output "+string(o))
+		}
+		for _, s := range spec.States() {
+			if s == tr.To {
+				continue
+			}
+			m, err := spec.Rewire(tr.Name, "", s)
+			if err != nil {
+				t.Fatalf("Rewire: %v", err)
+			}
+			muts = append(muts, m)
+			descr = append(descr, tr.Name+" to "+string(s))
+		}
+		for k, iut := range muts {
+			a := analyzeWith(t, spec, iut, suite)
+			if !a.HasSymptoms() {
+				continue // this suite does not detect the mutant
+			}
+			detected++
+			loc, err := Localize(a, &MachineOracle{M: iut})
+			if err != nil {
+				t.Fatalf("Localize(%s): %v", descr[k], err)
+			}
+			if loc.Localized == nil {
+				t.Errorf("%s: not localized (remaining %v)", descr[k], loc.Remaining)
+				continue
+			}
+			if loc.Localized.Transition != tr.Name {
+				t.Errorf("%s: localized wrong transition %s", descr[k], loc.Localized.Transition)
+				continue
+			}
+			localized++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("the probing suite detected no mutant at all")
+	}
+	if localized != detected {
+		t.Errorf("localized %d of %d detected mutants", localized, detected)
+	}
+}
+
+func TestLocalizeReportStrings(t *testing.T) {
+	// Smoke-test that diagnoses render reasonably in aggregate output.
+	d := Diagnosis{Transition: "c1", Kind: fault.KindTransfer, To: "s2"}
+	if !strings.Contains(d.String(), "c1") {
+		t.Error("diagnosis string missing transition name")
+	}
+}

@@ -1,0 +1,86 @@
+package singlefsm
+
+import (
+	"sort"
+
+	"cfsmdiag/internal/fsm"
+)
+
+// WMethodSuite generates the classical W-method test suite for a single
+// machine (Chow 1978, reference [2] of the paper): the concatenation of a
+// state cover P (a shortest transfer sequence to every reachable state,
+// including the empty sequence), the input alphabet (to exercise every
+// transition), and a characterization set W (to verify the reached state).
+//
+//	suite = P · (ε ∪ I) · W
+//
+// Under the usual assumptions (the implementation has no more states than
+// the specification) the suite detects every output and transfer fault; it
+// is the "test selection method with a strong diagnostic power" the paper's
+// conclusion compares against. Unreachable states are skipped.
+func WMethodSuite(m *fsm.FSM) [][]fsm.Symbol {
+	w, _ := m.CharacterizationSet(m.States(), nil)
+	if len(w) == 0 {
+		w = [][]fsm.Symbol{nil} // all states equivalent: output checks only
+	}
+
+	// State cover, ordered by state name for determinism.
+	var cover [][]fsm.Symbol
+	states := m.States()
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, s := range states {
+		p, ok := m.TransferSequence(m.Initial(), s, nil)
+		if !ok {
+			continue
+		}
+		cover = append(cover, p)
+	}
+
+	middles := [][]fsm.Symbol{nil}
+	for _, in := range m.Inputs() {
+		middles = append(middles, []fsm.Symbol{in})
+	}
+
+	var suite [][]fsm.Symbol
+	seen := make(map[string]bool)
+	for _, p := range cover {
+		for _, mid := range middles {
+			for _, wi := range w {
+				tc := concatSymbols(p, mid, wi)
+				key := symbolsKey(tc)
+				if len(tc) == 0 || seen[key] {
+					continue
+				}
+				seen[key] = true
+				suite = append(suite, tc)
+			}
+		}
+	}
+	return suite
+}
+
+func concatSymbols(parts ...[]fsm.Symbol) []fsm.Symbol {
+	var out []fsm.Symbol
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func symbolsKey(seq []fsm.Symbol) string {
+	key := ""
+	for _, s := range seq {
+		key += string(s) + "\x00"
+	}
+	return key
+}
+
+// SuiteInputs counts the total inputs of a single-machine suite, including
+// one implicit reset per test case.
+func SuiteInputs(suite [][]fsm.Symbol) int {
+	n := 0
+	for _, tc := range suite {
+		n += len(tc) + 1
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package testgen
+
+import (
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+)
+
+// DetectionReport records how well an initial test suite supports diagnosis
+// of a specification: which single-transition faults it detects (diagnosis
+// can only start once a symptom appears), which detectable faults it misses,
+// and which faults are undetectable in principle (their mutants are
+// observationally equivalent to the specification). Tools use it to judge a
+// regression suite before relying on the diagnostic algorithm.
+type DetectionReport struct {
+	Spec  *cfsm.System
+	Suite []cfsm.TestCase
+	// Detected maps each detected fault to the index of the first test case
+	// that reveals it.
+	Detected map[string]int
+	// Missed lists detectable faults the suite does not reveal.
+	Missed []fault.Fault
+	// Undetectable lists faults whose mutants are equivalent to the spec.
+	Undetectable []fault.Fault
+	// Faults is the enumerated fault space, for totals.
+	Faults int
+}
+
+// DetectionRate returns the fraction of detectable faults the suite detects
+// (1.0 when there are none).
+func (r DetectionReport) DetectionRate() float64 {
+	detectable := r.Faults - len(r.Undetectable)
+	if detectable == 0 {
+		return 1.0
+	}
+	return float64(len(r.Detected)) / float64(detectable)
+}
+
+// Detection evaluates the suite against the complete single-transition fault
+// model. includeAddress adds the addressing-fault extension to the space.
+// checkEquivalence controls whether missed faults are classified as missed
+// versus undetectable (the equivalence check costs a pairwise search per
+// missed fault).
+func Detection(spec *cfsm.System, suite []cfsm.TestCase, includeAddress, checkEquivalence bool) (DetectionReport, error) {
+	report := DetectionReport{
+		Spec:     spec,
+		Suite:    suite,
+		Detected: make(map[string]int),
+	}
+	expected := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		obs, err := spec.Run(tc)
+		if err != nil {
+			return report, err
+		}
+		expected[i] = obs
+	}
+
+	mutants := fault.Mutants(spec)
+	if includeAddress {
+		mutants = append(mutants, fault.AddressMutants(spec)...)
+	}
+	report.Faults = len(mutants)
+	for _, m := range mutants {
+		caseIdx := -1
+		for i, tc := range suite {
+			obs, err := m.System.Run(tc)
+			if err != nil {
+				return report, err
+			}
+			if !cfsm.ObsEqual(obs, expected[i]) {
+				caseIdx = i
+				break
+			}
+		}
+		if caseIdx >= 0 {
+			report.Detected[m.Fault.Describe(spec)] = caseIdx
+			continue
+		}
+		if checkEquivalence && SystemsEquivalent(spec, m.System) {
+			report.Undetectable = append(report.Undetectable, m.Fault)
+			continue
+		}
+		report.Missed = append(report.Missed, m.Fault)
+	}
+	return report, nil
+}

@@ -1,0 +1,62 @@
+package testgen
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/paper"
+)
+
+func TestDetectionPaperSuite(t *testing.T) {
+	spec := paper.MustFigure1()
+	report, err := Detection(spec, paper.TestSuite(), false, false)
+	if err != nil {
+		t.Fatalf("Detection: %v", err)
+	}
+	if report.Faults != 145 {
+		t.Fatalf("fault space = %d, want 145", report.Faults)
+	}
+	// Measured in the E5 sweep: the paper's two test cases detect 45 of the
+	// 145 mutants.
+	if len(report.Detected) != 45 {
+		t.Errorf("detected = %d, want 45", len(report.Detected))
+	}
+	if len(report.Missed) != 100 {
+		t.Errorf("missed = %d, want 100", len(report.Missed))
+	}
+	// The paper's own fault must be detected by tc1 (index 0).
+	f := paper.TestSuite()
+	_ = f
+	key := `M3.t"4 transfers to s0 instead of s1`
+	if idx, ok := report.Detected[key]; !ok || idx != 0 {
+		t.Errorf("paper fault detection = %d/%v, want case 0", idx, ok)
+	}
+	if got := report.DetectionRate(); got < 0.3 || got > 0.32 {
+		t.Errorf("DetectionRate = %v, want ≈ 45/145", got)
+	}
+}
+
+func TestDetectionVerificationSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detection evaluation is slow")
+	}
+	spec := paper.MustFigure1()
+	suite, _ := VerificationSuite(spec)
+	report, err := Detection(spec, suite, true, true)
+	if err != nil {
+		t.Fatalf("Detection: %v", err)
+	}
+	if len(report.Missed) != 0 {
+		t.Errorf("verification suite missed %d detectable faults: %v",
+			len(report.Missed), report.Missed)
+	}
+	if report.DetectionRate() != 1.0 {
+		t.Errorf("DetectionRate = %v, want 1.0", report.DetectionRate())
+	}
+}
+
+func TestDetectionRateNoFaults(t *testing.T) {
+	r := DetectionReport{}
+	if r.DetectionRate() != 1.0 {
+		t.Errorf("empty report rate = %v, want 1.0", r.DetectionRate())
+	}
+}

@@ -1,0 +1,89 @@
+package testgen
+
+import (
+	"cfsmdiag/internal/cfsm"
+)
+
+// Variant is one behavioural hypothesis: a system (the specification, or the
+// specification rewired with a hypothesized fault) together with its current
+// global configuration. Step 6 reduces both the "limited characterization
+// set" W_k (transfer-fault hypotheses — same system text, different states)
+// and the "distinguishing set" U_k (output-fault hypotheses — different
+// system texts) to the problem of telling variants apart by their observable
+// responses; this package solves the general problem.
+type Variant struct {
+	Sys *cfsm.System
+	Cfg cfsm.Config
+}
+
+// Distinguish finds a shortest input sequence whose observation sequences
+// under the two variants differ, exercising no avoided transition in either
+// variant's prediction. It is the CFSM generalization of the classical
+// distinguishing-sequence search: breadth-first over pairs of global
+// configurations, with the twist that the two sides may run different
+// (mutated) transition relations.
+//
+// ok is false when the variants are equivalent under the avoidance
+// constraint (or the search exceeds its exploration limit).
+func Distinguish(a, b Variant, avoid RefSet) (seq []cfsm.Input, ok bool) {
+	return DistinguishOver(a, b, AllInputs(a.Sys), avoid)
+}
+
+// DistinguishOver is Distinguish with a restricted input universe: only the
+// given inputs may appear in the sequence. The restriction supports the
+// unsynchronized-ports extension, where only single-port sequences behave
+// deterministically and multi-port probes would race.
+func DistinguishOver(a, b Variant, inputs []cfsm.Input, avoid RefSet) (seq []cfsm.Input, ok bool) {
+	if a.Sys.N() != b.Sys.N() {
+		return nil, false
+	}
+	type node struct {
+		ca, cb cfsm.Config
+		path   []cfsm.Input
+	}
+	key := func(ca, cb cfsm.Config) string { return ca.Key() + "||" + cb.Key() }
+	seen := map[string]bool{key(a.Cfg, b.Cfg): true}
+	frontier := []node{{ca: a.Cfg, cb: b.Cfg}}
+	for len(frontier) > 0 && len(seen) < searchLimit {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, in := range inputs {
+			nextA, obsA, traceA, errA := a.Sys.Apply(n.ca, in)
+			nextB, obsB, traceB, errB := b.Sys.Apply(n.cb, in)
+			if errA != nil || errB != nil {
+				continue
+			}
+			if hitsAvoid(avoid, traceA) || hitsAvoid(avoid, traceB) {
+				continue
+			}
+			path := append(append([]cfsm.Input(nil), n.path...), in)
+			if obsA != obsB {
+				return path, true
+			}
+			k := key(nextA, nextB)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			frontier = append(frontier, node{ca: nextA, cb: nextB, path: path})
+		}
+	}
+	return nil, false
+}
+
+// EquivalentVariants reports whether two variants are observationally
+// equivalent: no input sequence separates them.
+func EquivalentVariants(a, b Variant) bool {
+	_, distinguishable := Distinguish(a, b, nil)
+	return !distinguishable
+}
+
+// SystemsEquivalent reports whether two systems started in their initial
+// configurations are observationally equivalent. It is used by the fault
+// sweep to identify mutants that are undetectable in principle.
+func SystemsEquivalent(a, b *cfsm.System) bool {
+	return EquivalentVariants(
+		Variant{Sys: a, Cfg: a.InitialConfig()},
+		Variant{Sys: b, Cfg: b.InitialConfig()},
+	)
+}

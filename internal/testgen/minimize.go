@@ -1,0 +1,84 @@
+package testgen
+
+import (
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+)
+
+// MinimizeSuite returns a subset of the suite with the same single-
+// transition fault-detection power, computed by greedy set cover over the
+// detection matrix (which test case detects which mutant). Test cases that
+// detect no mutant the rest does not are dropped; ties are broken toward
+// earlier, then shorter, test cases, so hand-written regression cases tend
+// to survive generated ones.
+//
+// The result detects exactly the mutants the input suite detects — no more,
+// no less — so minimizing a fault-model-complete verification suite keeps
+// it complete.
+func MinimizeSuite(spec *cfsm.System, suite []cfsm.TestCase) ([]cfsm.TestCase, error) {
+	expected := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		obs, err := spec.Run(tc)
+		if err != nil {
+			return nil, err
+		}
+		expected[i] = obs
+	}
+
+	// detects[i] lists the mutant indices test case i detects.
+	mutants := fault.Mutants(spec)
+	detects := make([][]int, len(suite))
+	detectable := make(map[int]bool)
+	for mi, m := range mutants {
+		for i, tc := range suite {
+			obs, err := m.System.Run(tc)
+			if err != nil {
+				return nil, err
+			}
+			if !cfsm.ObsEqual(obs, expected[i]) {
+				detects[i] = append(detects[i], mi)
+				detectable[mi] = true
+			}
+		}
+	}
+
+	covered := make(map[int]bool, len(detectable))
+	var picked []int
+	for len(covered) < len(detectable) {
+		best, bestGain := -1, 0
+		for i := range suite {
+			gain := 0
+			for _, mi := range detects[i] {
+				if !covered[mi] {
+					gain++
+				}
+			}
+			better := gain > bestGain ||
+				(gain == bestGain && gain > 0 &&
+					len(suite[i].Inputs) < len(suite[best].Inputs))
+			if better {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break // cannot happen: every detectable mutant has a detector
+		}
+		picked = append(picked, best)
+		for _, mi := range detects[best] {
+			covered[mi] = true
+		}
+	}
+
+	// Preserve original suite order.
+	inPicked := make(map[int]bool, len(picked))
+	for _, i := range picked {
+		inPicked[i] = true
+	}
+	var out []cfsm.TestCase
+	for i, tc := range suite {
+		if inPicked[i] {
+			out = append(out, tc)
+		}
+	}
+	return out, nil
+}

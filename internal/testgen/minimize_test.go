@@ -1,0 +1,64 @@
+package testgen
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/paper"
+)
+
+func TestMinimizeSuiteKeepsDetectionPower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite minimization evaluation is slow")
+	}
+	spec := paper.MustFigure1()
+	suite, _ := VerificationSuite(spec)
+	minimized, err := MinimizeSuite(spec, suite)
+	if err != nil {
+		t.Fatalf("MinimizeSuite: %v", err)
+	}
+	if len(minimized) == 0 || len(minimized) > len(suite) {
+		t.Fatalf("minimized = %d of %d cases", len(minimized), len(suite))
+	}
+	t.Logf("verification suite minimized: %d -> %d cases (%d -> %d inputs)",
+		len(suite), len(minimized), SuiteInputs(suite), SuiteInputs(minimized))
+
+	// Detection rate must be preserved exactly.
+	before, err := Detection(spec, suite, false, false)
+	if err != nil {
+		t.Fatalf("Detection(before): %v", err)
+	}
+	after, err := Detection(spec, minimized, false, false)
+	if err != nil {
+		t.Fatalf("Detection(after): %v", err)
+	}
+	if len(after.Detected) != len(before.Detected) {
+		t.Fatalf("detection power changed: %d -> %d", len(before.Detected), len(after.Detected))
+	}
+}
+
+func TestMinimizeSuiteDropsRedundancy(t *testing.T) {
+	spec := paper.MustFigure1()
+	// Duplicate the paper suite: the copies are pure redundancy.
+	suite := append(paper.TestSuite(), paper.TestSuite()...)
+	minimized, err := MinimizeSuite(spec, suite)
+	if err != nil {
+		t.Fatalf("MinimizeSuite: %v", err)
+	}
+	if len(minimized) >= len(suite) {
+		t.Fatalf("minimization dropped nothing: %d of %d", len(minimized), len(suite))
+	}
+}
+
+func TestMinimizeSuiteNoDetection(t *testing.T) {
+	spec := paper.MustFigure1()
+	// A suite that detects nothing minimizes to the empty suite.
+	suite := []cfsm.TestCase{{Name: "noop", Inputs: []cfsm.Input{cfsm.Reset()}}}
+	minimized, err := MinimizeSuite(spec, suite)
+	if err != nil {
+		t.Fatalf("MinimizeSuite: %v", err)
+	}
+	if len(minimized) != 0 {
+		t.Fatalf("minimized = %v, want empty", minimized)
+	}
+}

@@ -1,0 +1,94 @@
+package testgen
+
+import (
+	"cfsmdiag/internal/cfsm"
+)
+
+// TransferResult is a successful transfer search: the input sequence (not
+// including the leading reset) and the global configuration it reaches.
+type TransferResult struct {
+	Inputs []cfsm.Input
+	Config cfsm.Config
+}
+
+// TransferToState finds a shortest input sequence that takes the system from
+// its initial configuration to any configuration in which the given machine
+// is in the given state, without exercising any avoided transition. The
+// search is breadth-first over global configurations, so the result is
+// length-minimal among avoid-respecting sequences.
+//
+// This implements the "transfer sequence" of Step 6: "an input sequence …
+// required to take the machine from its initial state to the starting state
+// of T_k", generalized to the global system so that the side effects on the
+// other machines are tracked too.
+func TransferToState(sys *cfsm.System, machine int, target cfsm.State, avoid RefSet) (TransferResult, bool) {
+	goal := func(cfg cfsm.Config) bool { return cfg[machine] == target }
+	return TransferToConfig(sys, goal, avoid)
+}
+
+// TransferToConfig finds a shortest avoid-respecting input sequence from the
+// initial configuration to any configuration satisfying goal.
+func TransferToConfig(sys *cfsm.System, goal func(cfsm.Config) bool, avoid RefSet) (TransferResult, bool) {
+	start := sys.InitialConfig()
+	if goal(start) {
+		return TransferResult{Config: start}, true
+	}
+	type node struct {
+		cfg  cfsm.Config
+		path []cfsm.Input
+	}
+	inputs := AllInputs(sys)
+	seen := map[string]bool{start.Key(): true}
+	frontier := []node{{cfg: start}}
+	for len(frontier) > 0 && len(seen) < searchLimit {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, in := range inputs {
+			next, obs, trace, err := sys.Apply(n.cfg, in)
+			if err != nil {
+				continue
+			}
+			if obs.Sym == cfsm.Epsilon && len(trace) == 0 {
+				continue // undefined input: no progress
+			}
+			if hitsAvoid(avoid, trace) {
+				continue
+			}
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			path := append(append([]cfsm.Input(nil), n.path...), in)
+			if goal(next) {
+				return TransferResult{Inputs: path, Config: next}, true
+			}
+			frontier = append(frontier, node{cfg: next, path: path})
+		}
+	}
+	return TransferResult{}, false
+}
+
+// ReachableConfigs returns every global configuration reachable from the
+// initial configuration (under no avoidance), keyed by Config.Key().
+func ReachableConfigs(sys *cfsm.System) map[string]cfsm.Config {
+	start := sys.InitialConfig()
+	seen := map[string]cfsm.Config{start.Key(): start}
+	frontier := []cfsm.Config{start}
+	inputs := AllInputs(sys)
+	for len(frontier) > 0 && len(seen) < searchLimit {
+		cfg := frontier[0]
+		frontier = frontier[1:]
+		for _, in := range inputs {
+			next, _, _, err := sys.Apply(cfg, in)
+			if err != nil {
+				continue
+			}
+			if _, ok := seen[next.Key()]; !ok {
+				seen[next.Key()] = next
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return seen
+}
