@@ -11,6 +11,7 @@ package cfsmdiag_test
 // BenchmarkE3AdaptiveDiagnosis — Steps 1–6 on the paper scenario
 // BenchmarkE4Figure1           — construct + validate the Figure 1 system
 // BenchmarkE5FaultSweep        — exhaustive mutant sweep (paper TS)
+// BenchmarkE5FaultSweepParallel— worker-pool sweep, serial vs. NumCPU
 // BenchmarkE6CostPoint         — cost comparison on the Figure 1 system
 // BenchmarkE6Scaling           — diagnosis on random systems, N = 2..4
 // BenchmarkProductComposition  — the exponential baseline the paper avoids
@@ -20,6 +21,7 @@ package cfsmdiag_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cfsmdiag/internal/cfsm"
@@ -93,6 +95,34 @@ func BenchmarkE5FaultSweep(b *testing.B) {
 		if err != nil || res.Counts[experiments.OutcomeInconsistent] != 0 {
 			b.Fatalf("sweep failed: %v", err)
 		}
+	}
+}
+
+// BenchmarkE5FaultSweepParallel compares the worker-pool sweep engine
+// against the serial path on the paper system. Run with -benchmem to see
+// the allocation profile; the "mutants/s" metric is the sweep throughput.
+// On a multi-core machine the workers=NumCPU sub-benchmark should scale
+// near-linearly, since mutant diagnoses share only read-only state.
+func BenchmarkE5FaultSweepParallel(b *testing.B) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+	mutants := len(fault.Enumerate(spec))
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSweepOpts(spec, suite,
+					experiments.SweepOptions{Workers: workers})
+				if err != nil || res.Counts[experiments.OutcomeInconsistent] != 0 {
+					b.Fatalf("sweep failed: %v", err)
+				}
+			}
+			b.ReportMetric(float64(mutants)*float64(b.N)/b.Elapsed().Seconds(), "mutants/s")
+		})
 	}
 }
 

@@ -11,6 +11,8 @@
 //	cfsmdiag verifysuite <system.json> [-minimize]        fault-model-complete suite
 //	cfsmdiag detect      <system.json> [-suite s] [-address]  detection report
 //	cfsmdiag mutants     <system.json>                    enumerate faults
+//	cfsmdiag sweep       <system.json>|-paper [-workers N] [-equiv] [-benchjson f]
+//	                     exhaustive parallel mutant sweep (E5)
 //	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
 //	cfsmdiag diagnose    -spec s.json -iut i.json [-suite t.json] [-report] [-trace]
 //	cfsmdiag record      <system.json> -suite t.json      observation log
@@ -49,7 +51,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|inject|diagnose> ...")
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|seq|verifysuite|detect|analyze|record|serve> ...")
 	}
 	switch args[0] {
 	case "validate":
@@ -62,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		return cmdTour(args[1:], out)
 	case "mutants":
 		return cmdMutants(args[1:], out)
+	case "sweep":
+		return cmdSweep(args[1:], out)
 	case "inject":
 		return cmdInject(args[1:], out)
 	case "diagnose":

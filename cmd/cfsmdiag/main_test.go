@@ -346,6 +346,40 @@ func TestCLIOfflineWorkflow(t *testing.T) {
 	}
 }
 
+func TestCLISweep(t *testing.T) {
+	path := writeSystem(t, paper.MustFigure1(), "fig1.json")
+	// The sweep over a system file must report all 145 mutants and the
+	// outcome counts of the tour-suite sweep, and the result must not depend
+	// on the worker count.
+	for _, workers := range []string{"1", "4"} {
+		out, err := runCLI(t, "sweep", path, "-workers", workers)
+		if err != nil {
+			t.Fatalf("sweep -workers %s: %v", workers, err)
+		}
+		if !strings.Contains(out, "swept 145 mutants with "+workers+" workers") {
+			t.Errorf("sweep -workers %s output missing header:\n%s", workers, out)
+		}
+		if !strings.Contains(out, "localized-correct:         136") {
+			t.Errorf("sweep -workers %s output missing outcome counts:\n%s", workers, out)
+		}
+	}
+	// The built-in paper system gives the same sweep without a file.
+	out, err := runCLI(t, "sweep", "-paper")
+	if err != nil {
+		t.Fatalf("sweep -paper: %v", err)
+	}
+	if !strings.Contains(out, "swept 145 mutants") {
+		t.Errorf("sweep -paper output:\n%s", out)
+	}
+	// Usage errors.
+	if _, err := runCLI(t, "sweep"); err == nil {
+		t.Error("want usage error for sweep without file")
+	}
+	if _, err := runCLI(t, "sweep", "-paper", path); err == nil {
+		t.Error("want usage error for -paper with a positional file")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if _, err := runCLI(t); err == nil {
 		t.Error("want usage error for no args")

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/experiments"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/testgen"
+)
+
+// cmdSweep runs the exhaustive single-transition mutant sweep (experiment
+// E5) over a system, fanned out over a worker pool. The result is identical
+// for any -workers value; only the wall-clock changes.
+func cmdSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	suitePath := fs.String("suite", "", "test suite JSON (default: generated transition tour)")
+	workers := fs.Int("workers", 0, "parallel diagnosis workers (0 = GOMAXPROCS)")
+	equiv := fs.Bool("equiv", false, "check undetected/wrongly-localized mutants for observational equivalence (slow)")
+	usePaper := fs.Bool("paper", false, "sweep the built-in Figure 1 paper system instead of a JSON file")
+	benchJSON := fs.String("benchjson", "", "measure serial vs. parallel sweep and simulator allocations, write the record to this path (e.g. BENCH_sweep.json)")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	var sys *cfsm.System
+	var err error
+	label := ""
+	switch {
+	case *usePaper:
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: cfsmdiag sweep -paper [-workers N] (no system file with -paper)")
+		}
+		sys = paper.MustFigure1()
+		label = "figure1"
+	case fs.NArg() == 1:
+		sys, err = loadSystem(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		label = fs.Arg(0)
+	default:
+		return fmt.Errorf("usage: cfsmdiag sweep <system.json> [-suite s.json] [-workers N] [-equiv] [-benchjson out.json]")
+	}
+
+	var suite []cfsm.TestCase
+	if *suitePath != "" {
+		data, err := os.ReadFile(*suitePath)
+		if err != nil {
+			return err
+		}
+		suite, err = parseSuite(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		var uncovered []cfsm.Ref
+		suite, uncovered = testgen.Tour(sys, 0)
+		if len(uncovered) > 0 {
+			fmt.Fprintf(out, "note: %d unreachable transitions not covered by the generated tour\n", len(uncovered))
+		}
+	}
+
+	if *benchJSON != "" {
+		return writeSweepBench(label, sys, suite, *workers, *benchJSON, out)
+	}
+
+	effective := *workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	opts := experiments.SweepOptions{Workers: effective, CheckEquivalence: *equiv}
+	start := time.Now()
+	res, err := experiments.RunSweepOpts(sys, suite, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "swept %d mutants with %d workers in %v (%.0f mutants/sec)\n",
+		len(res.Reports), effective, elapsed,
+		float64(len(res.Reports))/elapsed.Seconds())
+	for o := experiments.OutcomeUndetected; o <= experiments.OutcomeInconsistent; o++ {
+		if res.Counts[o] > 0 {
+			fmt.Fprintf(out, "  %-26s %d\n", o.String()+":", res.Counts[o])
+		}
+	}
+	if res.UndetectedEquivalent > 0 {
+		fmt.Fprintf(out, "  (of the undetected, %d are provably equivalent to the spec)\n", res.UndetectedEquivalent)
+	}
+	if res.Detected > 0 {
+		fmt.Fprintf(out, "adaptive cost: %.2f additional tests per detected mutant\n",
+			float64(res.TotalAdditionalTests)/float64(res.Detected))
+	}
+	return nil
+}
+
+// SweepBenchRecord is the machine-readable performance record emitted by
+// `cfsmdiag sweep -benchjson`. It pins the sweep throughput and the
+// simulator allocation profile so later changes have a trajectory to
+// regress against.
+type SweepBenchRecord struct {
+	System     string `json:"system"`
+	Mutants    int    `json:"mutants"`
+	SuiteCases int    `json:"suite_cases"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+
+	SerialNsPerOp         int64   `json:"serial_ns_per_op"`
+	SerialMutantsPerSec   float64 `json:"serial_mutants_per_sec"`
+	SerialAllocsPerOp     int64   `json:"serial_allocs_per_op"`
+	ParallelNsPerOp       int64   `json:"parallel_ns_per_op"`
+	ParallelMutantsPerSec float64 `json:"parallel_mutants_per_sec"`
+	ParallelAllocsPerOp   int64   `json:"parallel_allocs_per_op"`
+	Speedup               float64 `json:"speedup"`
+
+	SimulationNsPerOp     int64 `json:"simulation_ns_per_op"`
+	SimulationAllocsPerOp int64 `json:"simulation_allocs_per_op"`
+	SimulationBytesPerOp  int64 `json:"simulation_bytes_per_op"`
+}
+
+// writeSweepBench benchmarks the serial (Workers: 1) and parallel sweep on
+// the given system plus the raw simulator hot path, and writes the record
+// as indented JSON.
+func writeSweepBench(label string, sys *cfsm.System, suite []cfsm.TestCase, workers int, path string, out io.Writer) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mutants := len(fault.Enumerate(sys))
+	rec := SweepBenchRecord{
+		System:     label,
+		Mutants:    mutants,
+		SuiteCases: len(suite),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+
+	sweepBench := func(w int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunSweepOpts(sys, suite,
+					experiments.SweepOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	serial := sweepBench(1)
+	rec.SerialNsPerOp = serial.NsPerOp()
+	rec.SerialMutantsPerSec = float64(mutants) / (float64(serial.NsPerOp()) / 1e9)
+	rec.SerialAllocsPerOp = serial.AllocsPerOp()
+
+	parallel := sweepBench(workers)
+	rec.ParallelNsPerOp = parallel.NsPerOp()
+	rec.ParallelMutantsPerSec = float64(mutants) / (float64(parallel.NsPerOp()) / 1e9)
+	rec.ParallelAllocsPerOp = parallel.AllocsPerOp()
+	rec.Speedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+
+	sim := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, tc := range suite {
+				if _, err := sys.Run(tc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	rec.SimulationNsPerOp = sim.NsPerOp()
+	rec.SimulationAllocsPerOp = sim.AllocsPerOp()
+	rec.SimulationBytesPerOp = sim.AllocedBytesPerOp()
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: serial %.0f mutants/sec, parallel(%d) %.0f mutants/sec (%.2fx), simulation %d allocs/op\n",
+		path, rec.SerialMutantsPerSec, workers, rec.ParallelMutantsPerSec, rec.Speedup, rec.SimulationAllocsPerOp)
+	return nil
+}

@@ -20,7 +20,7 @@ func symbolSet(syms map[Symbol]bool) []Symbol {
 // IEO returns the inputs of machine i's external-output transitions, sorted.
 func (s *System) IEO(i int) []Symbol {
 	set := make(map[Symbol]bool)
-	for _, t := range s.machines[i].Transitions() {
+	for _, t := range s.machines[i].transitions() {
 		if !t.Internal() {
 			set[t.Input] = true
 		}
@@ -31,7 +31,7 @@ func (s *System) IEO(i int) []Symbol {
 // IIO returns the inputs of machine i's internal-output transitions, sorted.
 func (s *System) IIO(i int) []Symbol {
 	set := make(map[Symbol]bool)
-	for _, t := range s.machines[i].Transitions() {
+	for _, t := range s.machines[i].transitions() {
 		if t.Internal() {
 			set[t.Input] = true
 		}
@@ -42,7 +42,7 @@ func (s *System) IIO(i int) []Symbol {
 // Inputs returns machine i's full input alphabet I_i = IEO_i ∪ IIO_i, sorted.
 func (s *System) Inputs(i int) []Symbol {
 	set := make(map[Symbol]bool)
-	for _, t := range s.machines[i].Transitions() {
+	for _, t := range s.machines[i].transitions() {
 		set[t.Input] = true
 	}
 	return symbolSet(set)
@@ -51,7 +51,7 @@ func (s *System) Inputs(i int) []Symbol {
 // OEO returns the outputs of machine i's external-output transitions, sorted.
 func (s *System) OEO(i int) []Symbol {
 	set := make(map[Symbol]bool)
-	for _, t := range s.machines[i].Transitions() {
+	for _, t := range s.machines[i].transitions() {
 		if !t.Internal() {
 			set[t.Output] = true
 		}
@@ -65,7 +65,7 @@ func (s *System) OEO(i int) []Symbol {
 // of the expected output").
 func (s *System) OIO(i, j int) []Symbol {
 	set := make(map[Symbol]bool)
-	for _, t := range s.machines[i].Transitions() {
+	for _, t := range s.machines[i].transitions() {
 		if t.Internal() && t.Dest == j {
 			set[t.Output] = true
 		}

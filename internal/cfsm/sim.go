@@ -124,6 +124,15 @@ var ErrChainedInternal = errors.New("cfsm: internal output triggered another int
 //     observation at the destination port; if the destination machine has no
 //     transition for the symbol in its current state, Epsilon is observed at
 //     the destination port.
+//
+// When no transition fires (the undefined-input case) the configuration is
+// unchanged and Apply returns cfg itself, not a copy; callers that mutate the
+// successor must clone it first. Whenever a transition fires the returned
+// configuration is a fresh clone. Apply never mutates cfg.
+//
+// Apply is safe for concurrent use: a System is immutable after
+// construction, so any number of goroutines may simulate the same System
+// (each with its own Config) in parallel.
 func (s *System) Apply(cfg Config, in Input) (Config, Observation, []Executed, error) {
 	if in.IsReset() {
 		return s.InitialConfig(), Observation{Sym: Null, Port: in.Port}, nil, nil
@@ -137,7 +146,9 @@ func (s *System) Apply(cfg Config, in Input) (Config, Observation, []Executed, e
 	m := s.machines[in.Port]
 	t, ok := m.Lookup(cfg[in.Port], in.Sym)
 	if !ok {
-		return cfg.Clone(), Observation{Sym: Epsilon, Port: in.Port}, nil, nil
+		// The configuration is unchanged: share it instead of cloning. This
+		// removes the dominant allocation when simulating partial machines.
+		return cfg, Observation{Sym: Epsilon, Port: in.Port}, nil, nil
 	}
 	next := cfg.Clone()
 	next[in.Port] = t.To
@@ -162,38 +173,136 @@ func (s *System) Apply(cfg Config, in Input) (Config, Observation, []Executed, e
 	return next, Observation{Sym: t2.Output, Port: j}, trace, nil
 }
 
+// Runner executes inputs against a system while reusing a scratch
+// configuration and trace buffer, so that a steady-state step performs no
+// heap allocation (Apply, by contrast, clones the configuration whenever a
+// transition fires). It is the simulator hot path under Run, RunTrace and
+// RunSuite, and the tool of choice for long-running simulations such as the
+// exhaustive mutant sweeps.
+//
+// A Runner is NOT safe for concurrent use; give each goroutine its own
+// Runner. The System it runs is immutable and may be shared freely.
+type Runner struct {
+	sys   *System
+	cfg   Config
+	trace [2]Executed
+}
+
+// NewRunner returns a Runner positioned at the system's initial
+// configuration.
+func (s *System) NewRunner() *Runner {
+	return &Runner{sys: s, cfg: s.InitialConfig()}
+}
+
+// Reset returns the runner to the initial configuration without allocating.
+func (r *Runner) Reset() {
+	for i, m := range r.sys.machines {
+		r.cfg[i] = m.initial
+	}
+}
+
+// Config returns the runner's current configuration. The slice is the
+// runner's scratch state: it is valid until the next Step or Reset and must
+// be cloned before being retained or mutated.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Step processes one input in place, advancing the runner's configuration.
+// It has the exact semantics of System.Apply but reuses the runner's scratch
+// buffers: the returned Executed slice is valid only until the next Step or
+// Reset (clone it to retain it). After a non-nil error the runner's
+// configuration is unspecified; Reset before reusing it.
+func (r *Runner) Step(in Input) (Observation, []Executed, error) {
+	s := r.sys
+	if in.IsReset() {
+		r.Reset()
+		return Observation{Sym: Null, Port: in.Port}, nil, nil
+	}
+	if in.Port < 0 || in.Port >= len(s.machines) {
+		return Observation{}, nil, fmt.Errorf("cfsm: input %v addresses unknown port %d", in, in.Port)
+	}
+	m := s.machines[in.Port]
+	t, ok := m.Lookup(r.cfg[in.Port], in.Sym)
+	if !ok {
+		return Observation{Sym: Epsilon, Port: in.Port}, nil, nil
+	}
+	r.cfg[in.Port] = t.To
+	r.trace[0] = Executed{Machine: in.Port, Trans: t}
+	if !t.Internal() {
+		return Observation{Sym: t.Output, Port: in.Port}, r.trace[:1], nil
+	}
+	j := t.Dest
+	recv := s.machines[j]
+	t2, ok := recv.Lookup(r.cfg[j], t.Output)
+	if !ok {
+		// The forwarded symbol is undefined in the receiver's current state:
+		// nothing observable happens at the receiver beyond silence.
+		return Observation{Sym: Epsilon, Port: j}, r.trace[:1], nil
+	}
+	if t2.Internal() {
+		return Observation{}, nil, fmt.Errorf("%w: %s.%s -> %s.%s",
+			ErrChainedInternal, m.name, t.Name, recv.name, t2.Name)
+	}
+	r.cfg[j] = t2.To
+	r.trace[1] = Executed{Machine: j, Trans: t2}
+	return Observation{Sym: t2.Output, Port: j}, r.trace[:2], nil
+}
+
+// Run executes a test case from the initial configuration and returns the
+// observation sequence. The runner is left in the configuration the test
+// case reaches.
+func (r *Runner) Run(tc TestCase) ([]Observation, error) {
+	obs := make([]Observation, 0, len(tc.Inputs))
+	for i, in := range tc.Inputs {
+		o, _, err := r.Step(in)
+		if err != nil {
+			return nil, fmt.Errorf("test case %s, step %d (%v): %w", tc.Name, i+1, in, err)
+		}
+		obs = append(obs, o)
+	}
+	return obs, nil
+}
+
 // Run executes a test case from the initial configuration and returns the
 // observation sequence.
 func (s *System) Run(tc TestCase) ([]Observation, error) {
-	obs, _, err := s.RunTrace(tc)
-	return obs, err
+	r := s.NewRunner()
+	return r.Run(tc)
 }
 
 // RunTrace executes a test case from the initial configuration and returns
 // the observation sequence together with, for each input, the transitions
 // the system executed while processing it.
 func (s *System) RunTrace(tc TestCase) ([]Observation, [][]Executed, error) {
-	cfg := s.InitialConfig()
+	r := s.NewRunner()
 	obs := make([]Observation, 0, len(tc.Inputs))
 	steps := make([][]Executed, 0, len(tc.Inputs))
 	for i, in := range tc.Inputs {
-		next, o, ex, err := s.Apply(cfg, in)
+		o, ex, err := r.Step(in)
 		if err != nil {
 			return nil, nil, fmt.Errorf("test case %s, step %d (%v): %w", tc.Name, i+1, in, err)
 		}
-		cfg = next
 		obs = append(obs, o)
-		steps = append(steps, ex)
+		// The runner's trace buffer is reused on the next Step; copy the
+		// entries that must outlive it. Steps that fire no transition record
+		// nil, matching the historical Apply-based behaviour.
+		if len(ex) == 0 {
+			steps = append(steps, nil)
+		} else {
+			steps = append(steps, append([]Executed(nil), ex...))
+		}
 	}
 	return obs, steps, nil
 }
 
 // RunSuite executes every test case of a suite and returns the observation
-// sequences in suite order.
+// sequences in suite order. A single runner is reused across the suite, so
+// per-case cost is one observation-slice allocation.
 func (s *System) RunSuite(suite []TestCase) ([][]Observation, error) {
+	r := s.NewRunner()
 	out := make([][]Observation, len(suite))
 	for i, tc := range suite {
-		obs, err := s.Run(tc)
+		r.Reset()
+		obs, err := r.Run(tc)
 		if err != nil {
 			return nil, err
 		}

@@ -68,13 +68,20 @@ func (t Transition) String() string {
 	return fmt.Sprintf("%s: %s -%s/%s-> %s", name, t.From, t.Input, out, t.To)
 }
 
-// Machine is one deterministic partial FSM of a system.
+// Machine is one deterministic partial FSM of a system. Machines are
+// immutable after construction (the rewiring operations return modified
+// copies), so they are safe for concurrent use by any number of goroutines.
 type Machine struct {
 	name    string
 	initial State
 	states  []State
 	trans   map[fsm.Key]Transition
 	byName  map[string]fsm.Key
+	// sorted caches the transitions ordered by (From, Input); it is built at
+	// construction and kept in sync by setTransition, so the hot loops over
+	// Transitions (validation, Refs, the alphabet accessors, fault
+	// enumeration) never re-sort.
+	sorted []Transition
 }
 
 // NewMachine builds one machine of a system. Determinism, unique transition
@@ -133,7 +140,37 @@ func NewMachine(name string, initial State, states []State, transitions []Transi
 		m.trans[k] = t
 		m.byName[t.Name] = k
 	}
+	m.rebuildSorted()
 	return m, nil
+}
+
+// rebuildSorted recomputes the cached (From, Input)-ordered transition slice
+// from the transition map.
+func (m *Machine) rebuildSorted() {
+	m.sorted = make([]Transition, 0, len(m.trans))
+	for _, t := range m.trans {
+		m.sorted = append(m.sorted, t)
+	}
+	sort.Slice(m.sorted, func(i, j int) bool {
+		if m.sorted[i].From != m.sorted[j].From {
+			return m.sorted[i].From < m.sorted[j].From
+		}
+		return m.sorted[i].Input < m.sorted[j].Input
+	})
+}
+
+// setTransition replaces the transition stored under k, keeping the sorted
+// cache consistent. The replacement must preserve the transition's name and
+// (From, Input) key — exactly what the rewiring operations do — so the cache
+// order is unaffected and only the matching entry needs updating.
+func (m *Machine) setTransition(k fsm.Key, t Transition) {
+	m.trans[k] = t
+	for i := range m.sorted {
+		if m.sorted[i].Name == t.Name {
+			m.sorted[i] = t
+			return
+		}
+	}
 }
 
 // Name returns the machine's display name.
@@ -171,20 +208,15 @@ func (m *Machine) ByName(name string) (Transition, bool) {
 }
 
 // Transitions returns all transitions sorted by (From, Input). The slice is a
-// copy.
+// copy of a cache precomputed at construction time, so calling it in hot
+// loops costs one copy, never a re-sort.
 func (m *Machine) Transitions() []Transition {
-	out := make([]Transition, 0, len(m.trans))
-	for _, t := range m.trans {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].Input < out[j].Input
-	})
-	return out
+	return append([]Transition(nil), m.sorted...)
 }
+
+// transitions returns the cached sorted slice without copying, for
+// package-internal read-only iteration on hot paths.
+func (m *Machine) transitions() []Transition { return m.sorted }
 
 // NumTransitions returns the number of defined transitions.
 func (m *Machine) NumTransitions() int { return len(m.trans) }
@@ -196,6 +228,7 @@ func (m *Machine) clone() *Machine {
 		states:  append([]State(nil), m.states...),
 		trans:   make(map[fsm.Key]Transition, len(m.trans)),
 		byName:  make(map[string]fsm.Key, len(m.byName)),
+		sorted:  append([]Transition(nil), m.sorted...),
 	}
 	for k, t := range m.trans {
 		c.trans[k] = t
@@ -212,6 +245,12 @@ const ResetSymbol Symbol = "R"
 
 // System is a system of N communicating finite state machines. Systems are
 // immutable after construction; Rewire returns modified copies.
+//
+// Because a System (and its Machines) is never mutated after NewSystem
+// returns — all state lives in maps and slices that are only read — a single
+// *System may be shared by any number of goroutines simulating, diagnosing
+// or enumerating faults concurrently, with no synchronization. Per-run
+// mutable state (configurations, runners, oracles) must be per-goroutine.
 type System struct {
 	machines []*Machine
 }
@@ -252,7 +291,7 @@ func (s *System) validate() error {
 	for i, m := range s.machines {
 		ieo := make(map[Symbol]bool)
 		iio := make(map[Symbol]bool)
-		for _, t := range m.Transitions() {
+		for _, t := range m.transitions() {
 			if t.Input == ResetSymbol {
 				return fmt.Errorf("cfsm %s: transition %s uses the reserved reset input %q",
 					m.name, t.Name, ResetSymbol)
@@ -281,12 +320,12 @@ func (s *System) validate() error {
 	// machine i to machine j, every transition of j on input y must be
 	// external, so that the chain terminates after the second transition.
 	for i, m := range s.machines {
-		for _, t := range m.Transitions() {
+		for _, t := range m.transitions() {
 			if !t.Internal() {
 				continue
 			}
 			recv := s.machines[t.Dest]
-			for _, u := range recv.Transitions() {
+			for _, u := range recv.transitions() {
 				if u.Input == t.Output && u.Internal() {
 					return fmt.Errorf("cfsm: internal chain: %s.%s sends %q to %s, whose transition %s forwards it internally (the model allows only internal→external pairs)",
 						m.name, t.Name, t.Output, recv.name, u.Name)
@@ -350,7 +389,7 @@ func (s *System) Transition(r Ref) (Transition, bool) {
 func (s *System) Refs() []Ref {
 	var out []Ref
 	for i, m := range s.machines {
-		for _, t := range m.Transitions() {
+		for _, t := range m.transitions() {
 			out = append(out, Ref{Machine: i, Name: t.Name})
 		}
 	}
@@ -380,7 +419,7 @@ func (s *System) Rewire(r Ref, newOutput Symbol, newTo State) (*System, error) {
 	if newTo != "" {
 		t.To = newTo
 	}
-	mc.trans[k] = t
+	mc.setTransition(k, t)
 	ms[r.Machine] = mc
 	out := &System{machines: ms}
 	if err := out.validate(); err != nil {
@@ -413,7 +452,7 @@ func (s *System) RewireAddress(r Ref, newDest int) (*System, error) {
 	mc := s.machines[r.Machine].clone()
 	k := mc.byName[r.Name]
 	t.Dest = newDest
-	mc.trans[k] = t
+	mc.setTransition(k, t)
 	ms[r.Machine] = mc
 	out := &System{machines: ms}
 	if err := out.validate(); err != nil {

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/core"
@@ -68,24 +70,34 @@ func RunCost(label string, sys *cfsm.System, sampleStride int) (CostPoint, error
 	point.ExhaustiveTests, point.ExhaustiveIn, _ = singlefsm.ExhaustiveCost(prod)
 
 	suite, _ := testgen.Tour(sys, 0)
-	mutants := fault.Mutants(sys)
 	totalTests, totalInputs := 0, 0
-	for i := 0; i < len(mutants); i += sampleStride {
-		m := mutants[i]
+	idx := -1
+	err = fault.ForEachMutant(sys, func(m fault.Mutant) error {
+		// Stream the mutant space instead of materializing it: only every
+		// sampleStride-th mutant is diagnosed, and no mutant system outlives
+		// its diagnosis.
+		idx++
+		if idx%sampleStride != 0 {
+			return nil
+		}
 		point.MutantsSampled++
 		oracle := &core.SystemOracle{Sys: m.System}
 		loc, err := core.Diagnose(sys, suite, oracle)
 		if err != nil {
-			return point, fmt.Errorf("diagnose %s: %w", m.Fault.Describe(sys), err)
+			return fmt.Errorf("diagnose %s: %w", m.Fault.Describe(sys), err)
 		}
 		if loc.Verdict == core.VerdictNoFault {
-			continue
+			return nil
 		}
 		point.MutantsDetected++
 		totalTests += oracle.Tests - len(suite)
 		for _, at := range loc.AdditionalTests {
 			totalInputs += len(at.Test.Inputs)
 		}
+		return nil
+	})
+	if err != nil {
+		return point, err
 	}
 	if point.MutantsDetected > 0 {
 		point.AvgAdaptiveTests = float64(totalTests) / float64(point.MutantsDetected)
@@ -95,27 +107,93 @@ func RunCost(label string, sys *cfsm.System, sampleStride int) (CostPoint, error
 }
 
 // CostSweep runs RunCost over a family of random systems of growing size
-// (N = 2..maxN machines), plus the paper's Figure 1 system when includePaper
-// is set. It is the data behind the E6 table.
+// (N = 2..maxN machines). It is the data behind the E6 table, parallelized
+// over runtime.GOMAXPROCS(0) workers; point order is deterministic.
 func CostSweep(maxN int, statesPerMachine int, sampleStride int, seeds []int64) ([]CostPoint, error) {
-	var out []CostPoint
+	return CostSweepOpts(maxN, statesPerMachine, sampleStride, seeds, SweepOptions{})
+}
+
+// CostSweepOpts is CostSweep with an explicit worker count (opts.Workers, 0
+// = GOMAXPROCS). Each (N, seed) point — generation, product construction and
+// sampled mutant diagnoses — runs on one worker; results are merged back
+// into the same (N-major, seed-minor) order the serial loop produced, and
+// the first error in that order wins, so output is independent of the
+// worker count.
+func CostSweepOpts(maxN int, statesPerMachine int, sampleStride int, seeds []int64, opts SweepOptions) ([]CostPoint, error) {
+	type job struct {
+		n    int
+		seed int64
+	}
+	var jobsList []job
 	for n := 2; n <= maxN; n++ {
 		for _, seed := range seeds {
-			cfg := randgen.DefaultConfig()
-			cfg.N = n
-			cfg.States = statesPerMachine
-			cfg.Seed = seed
-			sys, err := randgen.Generate(cfg)
-			if err != nil {
-				return nil, err
-			}
-			label := fmt.Sprintf("rand(N=%d,S=%d,seed=%d)", n, statesPerMachine, seed)
-			p, err := RunCost(label, sys, sampleStride)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", label, err)
-			}
-			out = append(out, p)
+			jobsList = append(jobsList, job{n: n, seed: seed})
 		}
 	}
-	return out, nil
+	points := make([]CostPoint, len(jobsList))
+	errs := make([]error, len(jobsList))
+	runPoint := func(i int) error {
+		j := jobsList[i]
+		cfg := randgen.DefaultConfig()
+		cfg.N = j.n
+		cfg.States = statesPerMachine
+		cfg.Seed = j.seed
+		sys, err := randgen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("rand(N=%d,S=%d,seed=%d)", j.n, statesPerMachine, j.seed)
+		p, err := RunCost(label, sys, sampleStride)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		points[i] = p
+		return nil
+	}
+
+	workers := opts.workers()
+	if workers > len(jobsList) {
+		workers = len(jobsList)
+	}
+	if workers <= 1 {
+		for i := range jobsList {
+			if err := runPoint(i); err != nil {
+				return nil, err
+			}
+		}
+		return points, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range jobsList {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if errs[i] = runPoint(i); errs[i] != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
 }

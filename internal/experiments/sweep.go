@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/core"
@@ -90,69 +93,183 @@ type SweepResult struct {
 	Detected              int
 }
 
+// SweepOptions configures a sweep run.
+type SweepOptions struct {
+	// CheckEquivalence controls whether undetected and wrongly-localized
+	// mutants are checked for observational equivalence (quadratic-ish;
+	// disable in benchmarks).
+	CheckEquivalence bool
+	// Workers is the number of goroutines diagnosing mutants concurrently.
+	// Zero or negative selects runtime.GOMAXPROCS(0). Workers == 1 runs the
+	// exact historical serial path. Any worker count produces a
+	// byte-identical SweepResult: reports stay in fault-enumeration order
+	// and every count is merged deterministically.
+	Workers int
+}
+
+func (o SweepOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
 // RunSweep injects every single-transition fault into the specification,
 // executes the given initial suite against each mutant, runs the full
-// diagnosis and classifies the result (experiment E5). checkEquivalence
-// controls whether undetected and wrongly-localized mutants are checked for
-// observational equivalence (quadratic-ish; disable in benchmarks).
+// diagnosis and classifies the result (experiment E5). It parallelizes over
+// runtime.GOMAXPROCS(0) workers; the result is identical to a serial run.
+// checkEquivalence is as in SweepOptions.
 func RunSweep(spec *cfsm.System, suite []cfsm.TestCase, checkEquivalence bool) (SweepResult, error) {
+	return RunSweepOpts(spec, suite, SweepOptions{CheckEquivalence: checkEquivalence})
+}
+
+// RunSweepOpts is RunSweep with explicit worker and equivalence options.
+//
+// The mutant space is embarrassingly parallel: the specification and suite
+// are shared read-only (see the cfsm.System concurrency guarantee) and each
+// mutant's diagnosis is independent. Mutant systems are built inside the
+// workers, one fault at a time, so the sweep never materializes the full
+// mutant set. The first diagnosis error — in fault-enumeration order, as in
+// the serial run — cancels the remaining work and is returned with the
+// deterministic prefix of reports that precede the failing mutant.
+func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (SweepResult, error) {
 	res := SweepResult{
 		Spec:   spec,
 		Suite:  suite,
 		Counts: make(map[MutantOutcome]int),
 	}
-	for _, m := range fault.Mutants(spec) {
-		report := MutantReport{Fault: m.Fault}
-		oracle := &core.SystemOracle{Sys: m.System}
-		loc, err := core.Diagnose(spec, suite, oracle)
-		if err != nil {
-			return res, fmt.Errorf("diagnose %s: %w", m.Fault.Describe(spec), err)
+	workers := opts.workers()
+	if workers == 1 {
+		err := fault.ForEachMutant(spec, func(m fault.Mutant) error {
+			report, err := diagnoseMutant(spec, suite, m, opts.CheckEquivalence)
+			if err != nil {
+				return err
+			}
+			res.add(report)
+			return nil
+		})
+		return res, err
+	}
+
+	faults := fault.Enumerate(spec)
+	type outcome struct {
+		done   bool // a mutant was built and diagnosed (or failed)
+		report MutantReport
+		err    error
+	}
+	results := make([]outcome, len(faults))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range faults {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
 		}
-		suiteTests := len(suite)
-		report.AdditionalTests = oracle.Tests - suiteTests
-		report.AdditionalIn = oracle.Inputs
-		switch loc.Verdict {
-		case core.VerdictNoFault:
-			report.Outcome = OutcomeUndetected
-			if checkEquivalence {
-				report.EquivalentToSpec = testgen.SystemsEquivalent(spec, m.System)
-				if report.EquivalentToSpec {
-					res.UndetectedEquivalent++
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				sys, err := faults[idx].Apply(spec)
+				if err != nil {
+					// Mirrors the skip in fault.ForEachMutant; cannot happen
+					// for Enumerate's output.
+					continue
+				}
+				m := fault.Mutant{Fault: faults[idx], System: sys}
+				report, err := diagnoseMutant(spec, suite, m, opts.CheckEquivalence)
+				// Each worker writes only its own index; no lock needed.
+				results[idx] = outcome{done: true, report: report, err: err}
+				if err != nil {
+					cancel()
+					return
 				}
 			}
-		case core.VerdictLocalized:
-			res.Detected++
-			switch {
-			case loc.Fault.Ref == m.Fault.Ref:
-				report.Outcome = OutcomeLocalizedCorrect
-				report.ExactFault = *loc.Fault == m.Fault
-			default:
-				report.Outcome = OutcomeLocalizedWrong
-				if checkEquivalence && diagnosedEquivalent(spec, *loc.Fault, m.System) {
-					report.Outcome = OutcomeLocalizedEquivalent
-				}
-			}
-		case core.VerdictAmbiguous:
-			res.Detected++
-			report.Outcome = OutcomeAmbiguousMissesTruth
-			for _, r := range loc.Remaining {
-				if r.Ref == m.Fault.Ref {
-					report.Outcome = OutcomeAmbiguousContainsTruth
-					break
-				}
-			}
-		default:
-			res.Detected++
-			report.Outcome = OutcomeInconsistent
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge in fault-enumeration order. Jobs are dispatched in
+	// index order, so when a worker errored every lower-index job has
+	// completed: the loop below reproduces exactly the serial prefix and the
+	// serial first-error.
+	for i := range results {
+		if !results[i].done {
+			continue
 		}
-		if report.Outcome != OutcomeUndetected {
-			res.TotalAdditionalTests += report.AdditionalTests
-			res.TotalAdditionalInputs += report.AdditionalIn
+		if results[i].err != nil {
+			return res, results[i].err
 		}
-		res.Counts[report.Outcome]++
-		res.Reports = append(res.Reports, report)
+		res.add(results[i].report)
 	}
 	return res, nil
+}
+
+// add folds one mutant report into the aggregate, exactly as the historical
+// serial loop did.
+func (res *SweepResult) add(report MutantReport) {
+	if report.Outcome == OutcomeUndetected {
+		if report.EquivalentToSpec {
+			res.UndetectedEquivalent++
+		}
+	} else {
+		res.Detected++
+		res.TotalAdditionalTests += report.AdditionalTests
+		res.TotalAdditionalInputs += report.AdditionalIn
+	}
+	res.Counts[report.Outcome]++
+	res.Reports = append(res.Reports, report)
+}
+
+// diagnoseMutant runs the full Steps 1–6 diagnosis of one mutant against the
+// specification and classifies the outcome. It is pure with respect to
+// shared state — spec and suite are read-only — and therefore safe to call
+// from concurrent sweep workers.
+func diagnoseMutant(spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, checkEquivalence bool) (MutantReport, error) {
+	report := MutantReport{Fault: m.Fault}
+	oracle := &core.SystemOracle{Sys: m.System}
+	loc, err := core.Diagnose(spec, suite, oracle)
+	if err != nil {
+		return report, fmt.Errorf("diagnose %s: %w", m.Fault.Describe(spec), err)
+	}
+	report.AdditionalTests = oracle.Tests - len(suite)
+	report.AdditionalIn = oracle.Inputs
+	switch loc.Verdict {
+	case core.VerdictNoFault:
+		report.Outcome = OutcomeUndetected
+		if checkEquivalence {
+			report.EquivalentToSpec = testgen.SystemsEquivalent(spec, m.System)
+		}
+	case core.VerdictLocalized:
+		switch {
+		case loc.Fault.Ref == m.Fault.Ref:
+			report.Outcome = OutcomeLocalizedCorrect
+			report.ExactFault = *loc.Fault == m.Fault
+		default:
+			report.Outcome = OutcomeLocalizedWrong
+			if checkEquivalence && diagnosedEquivalent(spec, *loc.Fault, m.System) {
+				report.Outcome = OutcomeLocalizedEquivalent
+			}
+		}
+	case core.VerdictAmbiguous:
+		report.Outcome = OutcomeAmbiguousMissesTruth
+		for _, r := range loc.Remaining {
+			if r.Ref == m.Fault.Ref {
+				report.Outcome = OutcomeAmbiguousContainsTruth
+				break
+			}
+		}
+	default:
+		report.Outcome = OutcomeInconsistent
+	}
+	return report, nil
 }
 
 func diagnosedEquivalent(spec *cfsm.System, diagnosed fault.Fault, mutant *cfsm.System) bool {

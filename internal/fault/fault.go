@@ -183,18 +183,34 @@ type Mutant struct {
 	System *cfsm.System
 }
 
-// Mutants applies every enumerated fault to the specification. Faults whose
-// application fails validation (which cannot happen for Enumerate's output)
-// are skipped.
-func Mutants(spec *cfsm.System) []Mutant {
-	faults := Enumerate(spec)
-	out := make([]Mutant, 0, len(faults))
-	for _, f := range faults {
+// ForEachMutant streams the complete single-transition mutant space of the
+// specification in Enumerate order: each fault is applied and the resulting
+// mutant passed to fn before the next one is built, so only one mutant
+// system is alive at a time (Mutants, by contrast, materializes the whole
+// O(|faults|) set of system clones up front). Faults whose application fails
+// validation (which cannot happen for Enumerate's output) are skipped. A
+// non-nil error from fn stops the enumeration and is returned.
+func ForEachMutant(spec *cfsm.System, fn func(Mutant) error) error {
+	for _, f := range Enumerate(spec) {
 		sys, err := f.Apply(spec)
 		if err != nil {
 			continue
 		}
-		out = append(out, Mutant{Fault: f, System: sys})
+		if err := fn(Mutant{Fault: f, System: sys}); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// Mutants applies every enumerated fault to the specification and collects
+// the results. It is a thin materializing wrapper around ForEachMutant; use
+// the streaming form when the mutants are consumed one at a time.
+func Mutants(spec *cfsm.System) []Mutant {
+	var out []Mutant
+	_ = ForEachMutant(spec, func(m Mutant) error {
+		out = append(out, m)
+		return nil
+	})
 	return out
 }

@@ -63,6 +63,8 @@ type Key struct {
 
 // FSM is a deterministic, partially specified finite state machine.
 // The zero value is not usable; construct machines with New or Builder.
+// An FSM is immutable after construction (Rewire returns a modified copy),
+// so it is safe for concurrent use by any number of goroutines.
 type FSM struct {
 	name    string
 	initial State
@@ -71,6 +73,10 @@ type FSM struct {
 	outputs []Symbol
 	trans   map[Key]Transition
 	byName  map[string]Key
+	// sorted caches the transitions ordered by (From, Input); Transitions is
+	// called from hot loops (fault enumeration, minimization, DOT export) and
+	// must not rebuild and re-sort on every call.
+	sorted []Transition
 }
 
 // New builds a machine and validates it: the initial state must be declared,
@@ -139,7 +145,23 @@ func New(name string, initial State, states []State, transitions []Transition) (
 	}
 	m.inputs = sortedSymbols(inputSet)
 	m.outputs = sortedSymbols(outputSet)
+	m.rebuildSorted()
 	return m, nil
+}
+
+// rebuildSorted recomputes the cached (From, Input)-ordered transition
+// slice.
+func (m *FSM) rebuildSorted() {
+	m.sorted = make([]Transition, 0, len(m.trans))
+	for _, t := range m.trans {
+		m.sorted = append(m.sorted, t)
+	}
+	sort.Slice(m.sorted, func(i, j int) bool {
+		if m.sorted[i].From != m.sorted[j].From {
+			return m.sorted[i].From < m.sorted[j].From
+		}
+		return m.sorted[i].Input < m.sorted[j].Input
+	})
 }
 
 func sortedSymbols(set map[Symbol]bool) []Symbol {
@@ -192,19 +214,10 @@ func (m *FSM) ByName(name string) (Transition, bool) {
 }
 
 // Transitions returns all transitions sorted by (From, Input) for
-// deterministic iteration. The slice is a copy.
+// deterministic iteration. The slice is a copy of a cache precomputed at
+// construction time, so repeated calls never re-sort.
 func (m *FSM) Transitions() []Transition {
-	out := make([]Transition, 0, len(m.trans))
-	for _, t := range m.trans {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].Input < out[j].Input
-	})
-	return out
+	return append([]Transition(nil), m.sorted...)
 }
 
 // NumTransitions returns the number of defined transitions.
@@ -220,6 +233,7 @@ func (m *FSM) Clone() *FSM {
 		outputs: append([]Symbol(nil), m.outputs...),
 		trans:   make(map[Key]Transition, len(m.trans)),
 		byName:  make(map[string]Key, len(m.byName)),
+		sorted:  append([]Transition(nil), m.sorted...),
 	}
 	for k, t := range m.trans {
 		c.trans[k] = t
@@ -251,6 +265,14 @@ func (m *FSM) Rewire(name string, newOutput Symbol, newTo State) (*FSM, error) {
 		t.To = newTo
 	}
 	c.trans[k] = t
+	// The rewire keeps the transition's (From, Input) key, so the cached
+	// order is unchanged; update the matching entry in place.
+	for i := range c.sorted {
+		if c.sorted[i].Name == t.Name {
+			c.sorted[i] = t
+			break
+		}
+	}
 	// Recompute the output alphabet, which may have changed.
 	outputSet := make(map[Symbol]bool, len(c.trans))
 	for _, tr := range c.trans {
