@@ -14,10 +14,11 @@
 //	cfsmdiag sweep       <system.json>|-paper [-workers N] [-equiv] [-benchjson f]
 //	                     exhaustive parallel mutant sweep (E5)
 //	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
-//	cfsmdiag diagnose    -spec s.json -iut i.json [-suite t.json] [-report] [-trace]
+//	cfsmdiag diagnose    -spec s.json -iut i.json [-suite t.json] [-report] [-trace] [-stats]
 //	cfsmdiag record      <system.json> -suite t.json      observation log
 //	cfsmdiag analyze     -spec s.json -suite t.json -obs o.json   offline analysis
-//	cfsmdiag serve       [-addr host:port]                JSON-over-HTTP service
+//	cfsmdiag serve       [-addr host:port] [-timeout d] [-pprof] [-logjson] [-quiet]
+//	                     versioned JSON-over-HTTP service with /metrics + /healthz
 //
 // The diagnose subcommand runs the full algorithm of the paper: it executes
 // the suite (a generated transition tour when -suite is omitted) against the
@@ -26,17 +27,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/report"
 	"cfsmdiag/internal/server"
 	"cfsmdiag/internal/testgen"
@@ -242,6 +248,7 @@ func cmdDiagnose(args []string, out io.Writer) error {
 	suitePath := fs.String("suite", "", "test suite JSON (default: generated transition tour)")
 	asMarkdown := fs.Bool("report", false, "emit a Markdown diagnosis report instead of the plain walkthrough")
 	trace := fs.Bool("trace", false, "narrate the adaptive localization as it runs")
+	stats := fs.Bool("stats", false, "append a cost report (oracle queries, refinement rounds, simulator steps, wall time)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -273,6 +280,13 @@ func cmdDiagnose(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "note: %d unreachable transitions not covered by the generated tour\n", len(uncovered))
 		}
 	}
+	var collector *statsCollector
+	var opts []core.Option
+	if *stats {
+		collector = newStatsCollector()
+		defer collector.close()
+		opts = append(opts, core.WithRegistry(collector.reg))
+	}
 	oracle := &core.SystemOracle{Sys: iut}
 	observed := make([][]cfsm.Observation, len(suite))
 	for i, tc := range suite {
@@ -282,11 +296,10 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		}
 		observed[i] = obs
 	}
-	a, err := core.Analyze(spec, suite, observed)
+	a, err := core.Analyze(spec, suite, observed, opts...)
 	if err != nil {
 		return err
 	}
-	var opts []core.Option
 	if *trace {
 		opts = append(opts, core.WithTracer(&core.TextTracer{W: out, Spec: spec}))
 	}
@@ -300,11 +313,17 @@ func cmdDiagnose(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, md)
+		if collector != nil {
+			collector.printDiagnose(out, oracle, loc)
+		}
 		return nil
 	}
 	fmt.Fprint(out, a.Report())
 	fmt.Fprint(out, loc.Report())
 	fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", oracle.Tests, oracle.Inputs, len(suite))
+	if collector != nil {
+		collector.printDiagnose(out, oracle, loc)
+	}
 	return nil
 }
 
@@ -506,20 +525,54 @@ func cmdRecord(args []string, out io.Writer) error {
 }
 
 // cmdServe runs the JSON-over-HTTP diagnosis service (internal/server):
-// /api/validate, /api/diagnose, /api/analyze.
+// /v1/validate, /v1/suite, /v1/analyze, /v1/diagnose (plus the deprecated
+// /api/* aliases), /healthz and /metrics. It shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests.
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	timeout := fs.Duration("timeout", time.Minute, "per-request timeout (0 = none)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logJSON := fs.Bool("logjson", false, "emit access logs as JSON instead of text")
+	quiet := fs.Bool("quiet", false, "disable access logging")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
+	var logger *obs.Logger // nil disables
+	if !*quiet {
+		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON)
+	}
+	handler := server.New(server.Config{
+		Registry:            obs.New(),
+		Logger:              logger,
+		RequestTimeout:      *timeout,
+		EnablePprof:         *pprofOn,
+		InstrumentSimulator: true,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "cfsmdiag service listening on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	return srv.Serve(ln)
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Fprintln(out, "shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
 }
 
 // parseArgs parses flags that may appear before or after the positional

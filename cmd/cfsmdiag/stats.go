@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/experiments"
+	"cfsmdiag/internal/obs"
+)
+
+// statsCollector backs the -stats flag: a private metrics registry with the
+// process-global simulator instrumentation installed, plus a start time. The
+// report prints the paper's cost currencies (diagnostic tests, inputs,
+// refinement rounds) next to the runtime ones (simulator steps, wall time).
+type statsCollector struct {
+	reg   *obs.Registry
+	start time.Time
+}
+
+func newStatsCollector() *statsCollector {
+	reg := obs.New()
+	core.RegisterMetrics(reg)
+	experiments.RegisterSweepMetrics(reg)
+	cfsm.InstrumentSimulator(cfsm.NewSimMetrics(reg))
+	return &statsCollector{reg: reg, start: time.Now()}
+}
+
+// close uninstalls the simulator hook so a later command in the same process
+// (tests) is not counted against this collector.
+func (s *statsCollector) close() { cfsm.InstrumentSimulator(nil) }
+
+func (s *statsCollector) counter(name string) int64 {
+	return s.reg.Counter(name, "").Value()
+}
+
+func (s *statsCollector) histogram(name string, buckets []float64) (count uint64, sum float64) {
+	h := s.reg.Histogram(name, "", buckets)
+	return h.Count(), h.Sum()
+}
+
+func statsLine(out io.Writer, label string, format string, args ...any) {
+	fmt.Fprintf(out, "  %-28s "+format+"\n", append([]any{label}, args...)...)
+}
+
+// printDiagnose reports the cost of one diagnosis. Oracle totals come from
+// the oracle itself (they include the initial suite execution); round and
+// verdict detail comes from the registry.
+func (s *statsCollector) printDiagnose(out io.Writer, oracle *core.SystemOracle, loc *core.Localization) {
+	elapsed := time.Since(s.start)
+	fmt.Fprintln(out, "--- cost report ---")
+	statsLine(out, "wall time:", "%v", elapsed.Round(time.Microsecond))
+	statsLine(out, "oracle queries (tests):", "%d", oracle.Tests)
+	statsLine(out, "oracle inputs:", "%d", oracle.Inputs)
+	statsLine(out, "additional tests:", "%d", len(loc.AdditionalTests))
+	_, rounds := s.histogram("cfsmdiag_localize_rounds", obs.DefaultSizeBuckets)
+	statsLine(out, "refinement rounds:", "%.0f", rounds)
+	statsLine(out, "simulator steps:", "%d", s.counter("cfsmdiag_sim_steps_total"))
+	statsLine(out, "simulator resets:", "%d", s.counter("cfsmdiag_sim_resets_total"))
+}
+
+// printSweep reports the aggregate cost of a mutant sweep.
+func (s *statsCollector) printSweep(out io.Writer, res experiments.SweepResult) {
+	elapsed := time.Since(s.start)
+	fmt.Fprintln(out, "--- cost report ---")
+	statsLine(out, "wall time:", "%v", elapsed.Round(time.Microsecond))
+	statsLine(out, "mutants swept:", "%d", len(res.Reports))
+	statsLine(out, "oracle queries (tests):", "%d", s.counter("cfsmdiag_oracle_queries_total"))
+	statsLine(out, "oracle inputs:", "%d", s.counter("cfsmdiag_oracle_inputs_total"))
+	statsLine(out, "additional tests:", "%d", res.TotalAdditionalTests)
+	if count, sum := s.histogram("cfsmdiag_sweep_mutant_seconds", obs.DefaultLatencyBuckets); count > 0 {
+		statsLine(out, "mean per-mutant latency:", "%v", time.Duration(sum/float64(count)*float64(time.Second)).Round(time.Microsecond))
+	}
+	statsLine(out, "simulator steps:", "%d", s.counter("cfsmdiag_sim_steps_total"))
+	statsLine(out, "simulator resets:", "%d", s.counter("cfsmdiag_sim_resets_total"))
+}

@@ -27,6 +27,7 @@ func cmdSweep(args []string, out io.Writer) error {
 	equiv := fs.Bool("equiv", false, "check undetected/wrongly-localized mutants for observational equivalence (slow)")
 	usePaper := fs.Bool("paper", false, "sweep the built-in Figure 1 paper system instead of a JSON file")
 	benchJSON := fs.String("benchjson", "", "measure serial vs. parallel sweep and simulator allocations, write the record to this path (e.g. BENCH_sweep.json)")
+	stats := fs.Bool("stats", false, "append a cost report (oracle queries, per-mutant latency, simulator steps)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -77,6 +78,12 @@ func cmdSweep(args []string, out io.Writer) error {
 		effective = runtime.GOMAXPROCS(0)
 	}
 	opts := experiments.SweepOptions{Workers: effective, CheckEquivalence: *equiv}
+	var collector *statsCollector
+	if *stats {
+		collector = newStatsCollector()
+		defer collector.close()
+		opts.Registry = collector.reg
+	}
 	start := time.Now()
 	res, err := experiments.RunSweepOpts(sys, suite, opts)
 	if err != nil {
@@ -97,6 +104,9 @@ func cmdSweep(args []string, out io.Writer) error {
 	if res.Detected > 0 {
 		fmt.Fprintf(out, "adaptive cost: %.2f additional tests per detected mutant\n",
 			float64(res.TotalAdditionalTests)/float64(res.Detected))
+	}
+	if collector != nil {
+		collector.printSweep(out, res)
 	}
 	return nil
 }

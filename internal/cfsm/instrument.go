@@ -1,0 +1,51 @@
+package cfsm
+
+import (
+	"sync/atomic"
+
+	"cfsmdiag/internal/obs"
+)
+
+// SimMetrics holds the simulator's counters. The fields are nil-safe obs
+// handles, so a partially populated struct is fine.
+type SimMetrics struct {
+	// Steps counts every input processed by System.Apply or Runner.Step,
+	// resets included.
+	Steps *obs.Counter
+	// Resets counts system resets (explicit Runner.Reset calls and R inputs).
+	Resets *obs.Counter
+}
+
+// NewSimMetrics resolves the simulator's metric families on a registry. On a
+// nil registry every handle is nil (a no-op).
+func NewSimMetrics(r *obs.Registry) *SimMetrics {
+	return &SimMetrics{
+		Steps:  r.Counter("cfsmdiag_sim_steps_total", "Simulator inputs processed (resets included)."),
+		Resets: r.Counter("cfsmdiag_sim_resets_total", "Simulator resets (explicit resets and R inputs)."),
+	}
+}
+
+// simMetrics is the process-wide instrumentation hook. It is disabled (nil)
+// by default so the hot path pays one atomic load and a branch per step; see
+// BenchmarkSimulation for the budget.
+var simMetrics atomic.Pointer[SimMetrics]
+
+// InstrumentSimulator installs process-wide simulator instrumentation; nil
+// disables it again. Counting happens on every System.Apply and Runner.Step
+// in the process, so enable it from one place (the server or CLI entry
+// point), not from library code.
+func InstrumentSimulator(m *SimMetrics) {
+	simMetrics.Store(m)
+}
+
+func recordStep() {
+	if m := simMetrics.Load(); m != nil {
+		m.Steps.Inc()
+	}
+}
+
+func recordReset() {
+	if m := simMetrics.Load(); m != nil {
+		m.Resets.Inc()
+	}
+}

@@ -1,0 +1,59 @@
+package cfsm
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/obs"
+)
+
+func instrumentedSystem(t *testing.T) *System {
+	t.Helper()
+	m, err := NewMachine("M1", "s0", []State{"s0", "s1"}, []Transition{
+		{Name: "t1", From: "s0", To: "s1", Input: "a", Output: "x", Dest: DestEnv},
+		{Name: "t2", From: "s1", To: "s0", Input: "b", Output: "y", Dest: DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	sys, err := NewSystem(m)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestInstrumentSimulator(t *testing.T) {
+	sys := instrumentedSystem(t)
+	reg := obs.New()
+	m := NewSimMetrics(reg)
+	InstrumentSimulator(m)
+	defer InstrumentSimulator(nil)
+
+	tc := TestCase{Name: "t", Inputs: []Input{Reset(), {Port: 0, Sym: "a"}, {Port: 0, Sym: "b"}}}
+	if _, err := sys.Run(tc); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Steps.Value(); got != 3 {
+		t.Errorf("steps = %d, want 3", got)
+	}
+	if got := m.Resets.Value(); got != 1 {
+		t.Errorf("resets = %d, want 1", got)
+	}
+
+	// Apply counts too.
+	if _, _, _, err := sys.Apply(sys.InitialConfig(), Input{Port: 0, Sym: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Steps.Value(); got != 4 {
+		t.Errorf("steps after Apply = %d, want 4", got)
+	}
+
+	// Disabling stops counting without disturbing existing values.
+	InstrumentSimulator(nil)
+	if _, err := sys.Run(tc); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Steps.Value(); got != 4 {
+		t.Errorf("steps after disable = %d, want 4", got)
+	}
+}

@@ -134,7 +134,9 @@ var ErrChainedInternal = errors.New("cfsm: internal output triggered another int
 // construction, so any number of goroutines may simulate the same System
 // (each with its own Config) in parallel.
 func (s *System) Apply(cfg Config, in Input) (Config, Observation, []Executed, error) {
+	recordStep()
 	if in.IsReset() {
+		recordReset()
 		return s.InitialConfig(), Observation{Sym: Null, Port: in.Port}, nil, nil
 	}
 	if in.Port < 0 || in.Port >= len(s.machines) {
@@ -196,6 +198,7 @@ func (s *System) NewRunner() *Runner {
 
 // Reset returns the runner to the initial configuration without allocating.
 func (r *Runner) Reset() {
+	recordReset()
 	for i, m := range r.sys.machines {
 		r.cfg[i] = m.initial
 	}
@@ -212,6 +215,7 @@ func (r *Runner) Config() Config { return r.cfg }
 // Reset (clone it to retain it). After a non-nil error the runner's
 // configuration is unspecified; Reset before reusing it.
 func (r *Runner) Step(in Input) (Observation, []Executed, error) {
+	recordStep()
 	s := r.sys
 	if in.IsReset() {
 		r.Reset()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -114,11 +115,16 @@ type Localization struct {
 // variant survives alone the fault is localized and, per the single-fault
 // hypothesis, the search stops and remaining diagnoses are discarded.
 func Localize(a *Analysis, oracle Oracle, opts ...Option) (*Localization, error) {
-	cfg := defaultSettings()
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	loc, err := localizeOnce(a, oracle, &cfg)
+	return LocalizeContext(context.Background(), a, oracle, opts...)
+}
+
+// localize is the shared body of Localize and LocalizeContext: it wraps the
+// oracle with context enforcement and metrics, runs the Step-6 loop and
+// records the localization's cost and verdict.
+func localize(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings) (*Localization, error) {
+	m := newMetrics(cfg.registry)
+	oracle = wrapOracle(oracle, ctx, m)
+	loc, err := localizeOnce(ctx, a, oracle, cfg, m)
 	if err != nil {
 		return nil, err
 	}
@@ -132,16 +138,19 @@ func Localize(a *Analysis, oracle Oracle, opts ...Option) (*Localization, error)
 		case cfg.combinedEscalation && !a.Escalated:
 			widened = a.EscalateCombined()
 			cfg.tracer.Escalated("combined", len(a.Diagnoses))
+			m.escalated("combined")
 		case cfg.addressEscalation && !a.AddressEscalated:
 			widened = a.EscalateAddress()
 			cfg.tracer.Escalated("address", len(a.Diagnoses))
+			m.escalated("address")
 		default:
+			m.finish(loc)
 			return loc, nil
 		}
 		if !widened {
 			continue
 		}
-		retry, err := localizeOnce(a, oracle, &cfg)
+		retry, err := localizeOnce(ctx, a, oracle, cfg, m)
 		if err != nil {
 			return nil, err
 		}
@@ -149,10 +158,11 @@ func Localize(a *Analysis, oracle Oracle, opts ...Option) (*Localization, error)
 		retry.Cleared = append(loc.Cleared, retry.Cleared...)
 		loc = retry
 	}
+	m.finish(loc)
 	return loc, nil
 }
 
-func localizeOnce(a *Analysis, oracle Oracle, cfg *settings) (*Localization, error) {
+func localizeOnce(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings, m metrics) (*Localization, error) {
 	loc := &Localization{Analysis: a}
 	if !a.HasSymptoms() {
 		loc.Verdict = VerdictNoFault
@@ -179,10 +189,16 @@ func localizeOnce(a *Analysis, oracle Oracle, cfg *settings) (*Localization, err
 	avoidAll := testgen.NewRefSet(order...)
 	pending := order
 
+	rounds := 0
 	for progress := true; progress && len(pending) > 0; {
 		progress = false
+		rounds++
+		m.roundCandidates.ObserveInt(len(pending))
 		var still []cfsm.Ref
 		for _, ref := range pending {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: localization aborted: %w", err)
+			}
 			hyps := byRef[ref]
 			cfg.tracer.CandidateStart(ref, len(hyps))
 			outcome, err := testCandidate(a, oracle, loc, ref, hyps, avoidAll.Without(ref), cfg)
@@ -194,6 +210,7 @@ func localizeOnce(a *Analysis, oracle Oracle, cfg *settings) (*Localization, err
 				cfg.tracer.CandidateResolved(ref, "convicted")
 				loc.Verdict = VerdictLocalized
 				loc.Fault = outcome.localized
+				m.rounds.ObserveInt(rounds)
 				return loc, nil
 			case outcome.cleared:
 				cfg.tracer.CandidateResolved(ref, "cleared")
@@ -211,6 +228,7 @@ func localizeOnce(a *Analysis, oracle Oracle, cfg *settings) (*Localization, err
 		}
 		pending = still
 	}
+	m.rounds.ObserveInt(rounds)
 	for _, ref := range pending {
 		loc.Remaining = append(loc.Remaining, byRef[ref]...)
 	}
@@ -430,19 +448,8 @@ func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observat
 
 // Diagnose is the end-to-end convenience entry point: it executes the test
 // suite against the oracle (Step 2), analyzes the results (Steps 1 and 3–5)
-// and localizes the fault (Step 6).
-func Diagnose(spec *cfsm.System, suite []cfsm.TestCase, oracle Oracle) (*Localization, error) {
-	observed := make([][]cfsm.Observation, len(suite))
-	for i, tc := range suite {
-		obs, err := oracle.Execute(tc)
-		if err != nil {
-			return nil, fmt.Errorf("core: execute %s: %w", tc.Name, err)
-		}
-		observed[i] = obs
-	}
-	a, err := Analyze(spec, suite, observed)
-	if err != nil {
-		return nil, err
-	}
-	return Localize(a, oracle)
+// and localizes the fault (Step 6). See DiagnoseContext for the cancelable
+// variant.
+func Diagnose(spec *cfsm.System, suite []cfsm.TestCase, oracle Oracle, opts ...Option) (*Localization, error) {
+	return DiagnoseContext(context.Background(), spec, suite, oracle, opts...)
 }

@@ -116,8 +116,14 @@ func (a *Analysis) HasSymptoms() bool { return len(a.Symptoms) > 0 }
 
 // Analyze performs Steps 1–5 for the given specification, test suite and
 // observed outputs (one observation sequence per test case, as produced by
-// executing the suite on the implementation under test).
-func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observation) (*Analysis, error) {
+// executing the suite on the implementation under test). Options other than
+// WithRegistry are ignored here; they configure the Step-6 entry points.
+func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observation, opts ...Option) (*Analysis, error) {
+	cfg := defaultSettings()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	m := newMetrics(cfg.registry)
 	if len(observed) != len(suite) {
 		return nil, fmt.Errorf("core: %d observation sequences for %d test cases", len(observed), len(suite))
 	}
@@ -147,7 +153,10 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		traces[i] = steps
 	}
 	a.findSymptoms(traces)
+	m.analyses.Inc()
+	m.symptoms.Add(int64(len(a.Symptoms)))
 	if !a.HasSymptoms() {
+		m.diagnosisSize.ObserveInt(0)
 		return a, nil
 	}
 
@@ -161,6 +170,14 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 
 	// Step 5C: prune and emit diagnoses.
 	a.emitDiagnoses()
+	for _, sets := range a.Conflicts {
+		size := 0
+		for _, refs := range sets {
+			size += len(refs)
+		}
+		m.conflictSize.ObserveInt(size)
+	}
+	m.diagnosisSize.ObserveInt(len(a.Diagnoses))
 	return a, nil
 }
 

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/obs"
+	"cfsmdiag/internal/paper"
+)
+
+// cancelingOracle executes against a system but cancels the shared context
+// after a fixed number of queries — a deliberately slow/hung IUT stand-in
+// whose client walks away mid-localization.
+type cancelingOracle struct {
+	inner       SystemOracle
+	cancel      context.CancelFunc
+	cancelAfter int
+}
+
+func (o *cancelingOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	obs, err := o.inner.Execute(tc)
+	if o.inner.Tests >= o.cancelAfter {
+		o.cancel()
+	}
+	return obs, err
+}
+
+func paperAnalysisIUT(t *testing.T) (*Analysis, *cfsm.System) {
+	t.Helper()
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	suite := paper.TestSuite()
+	observed, err := iut.RunSuite(suite)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	a, err := Analyze(spec, suite, observed)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a, iut
+}
+
+// TestLocalizeContextCanceled verifies that canceling the request context
+// aborts an in-flight localization at the next oracle boundary instead of
+// running the Step-6 loop to completion.
+func TestLocalizeContextCanceled(t *testing.T) {
+	a, iut := paperAnalysisIUT(t)
+
+	// Sanity: the uncanceled localization needs several additional tests.
+	full, err := Localize(a, &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(full.AdditionalTests) < 2 {
+		t.Fatalf("fixture needs %d additional tests; want >= 2 for a meaningful cancellation", len(full.AdditionalTests))
+	}
+
+	a2, _ := paperAnalysisIUT(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	oracle := &cancelingOracle{inner: SystemOracle{Sys: iut}, cancel: cancel, cancelAfter: 1}
+	_, err = LocalizeContext(ctx, a2, oracle)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if oracle.inner.Tests >= len(full.AdditionalTests) {
+		t.Errorf("oracle executed %d tests after cancellation; full run needs %d", oracle.inner.Tests, len(full.AdditionalTests))
+	}
+}
+
+// TestLocalizeContextPreCanceled: an already-canceled context never reaches
+// the oracle.
+func TestLocalizeContextPreCanceled(t *testing.T) {
+	a, iut := paperAnalysisIUT(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	oracle := &SystemOracle{Sys: iut}
+	_, err := LocalizeContext(ctx, a, oracle)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if oracle.Tests != 0 {
+		t.Errorf("oracle executed %d tests under a canceled context", oracle.Tests)
+	}
+}
+
+// blockingOracle is a ContextOracle that hangs until its context is done —
+// the pathological hung-IUT case. ExecuteContext honors cancellation inside
+// a single query.
+type blockingOracle struct{}
+
+func (blockingOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	return blockingOracle{}.ExecuteContext(context.Background(), tc)
+}
+
+func (blockingOracle) ExecuteContext(ctx context.Context, tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestDiagnoseContextTimeoutWithBlockingOracle(t *testing.T) {
+	spec := paper.MustFigure1()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := DiagnoseContext(ctx, spec, paper.TestSuite(), blockingOracle{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the blocking oracle was not interrupted", elapsed)
+	}
+}
+
+func TestDiagnoseContextMatchesDiagnose(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	plain, err := Diagnose(spec, paper.TestSuite(), &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	ctxed, err := DiagnoseContext(context.Background(), spec, paper.TestSuite(), &SystemOracle{Sys: iut})
+	if err != nil {
+		t.Fatalf("DiagnoseContext: %v", err)
+	}
+	if plain.Verdict != ctxed.Verdict || plain.Fault.Describe(spec) != ctxed.Fault.Describe(spec) {
+		t.Fatalf("context variant diverged: %v/%v vs %v/%v",
+			plain.Verdict, plain.Fault.Describe(spec), ctxed.Verdict, ctxed.Fault.Describe(spec))
+	}
+	if len(plain.AdditionalTests) != len(ctxed.AdditionalTests) {
+		t.Fatalf("additional tests: %d vs %d", len(plain.AdditionalTests), len(ctxed.AdditionalTests))
+	}
+}
+
+// TestDiagnoseMetrics checks the paper-cost accounting: oracle queries equal
+// the oracle's own test count, a verdict is recorded, and symptoms are
+// counted.
+func TestDiagnoseMetrics(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatalf("FaultyImplementation: %v", err)
+	}
+	reg := obs.New()
+	RegisterMetrics(reg)
+	oracle := &SystemOracle{Sys: iut}
+	loc, err := Diagnose(spec, paper.TestSuite(), oracle, WithRegistry(reg))
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if loc.Verdict != VerdictLocalized {
+		t.Fatalf("verdict = %v", loc.Verdict)
+	}
+	queries := reg.Counter(metricOracleQueries, "").Value()
+	if queries != int64(oracle.Tests) {
+		t.Errorf("oracle queries metric = %d, oracle counted %d", queries, oracle.Tests)
+	}
+	inputs := reg.Counter(metricOracleInputs, "").Value()
+	if inputs != int64(oracle.Inputs) {
+		t.Errorf("oracle inputs metric = %d, oracle counted %d", inputs, oracle.Inputs)
+	}
+	if got := reg.Counter(metricSymptoms, "").Value(); got == 0 {
+		t.Error("no symptoms recorded")
+	}
+	if got := reg.Counter(metricVerdicts, "", obs.L("verdict", "localized")).Value(); got != 1 {
+		t.Errorf("localized verdict count = %d, want 1", got)
+	}
+	if got := reg.Histogram(metricAdditionalTests, "", obs.DefaultSizeBuckets).Count(); got != 1 {
+		t.Errorf("additional-tests histogram count = %d, want 1", got)
+	}
+	if got := reg.Histogram(metricRoundCandidates, "", obs.DefaultSizeBuckets).Count(); got == 0 {
+		t.Error("no refinement rounds recorded")
+	}
+}

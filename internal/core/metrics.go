@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/obs"
+)
+
+// Metric families of the diagnosis pipeline. Each name maps to a quantity of
+// the paper: oracle queries are the number of diagnostic tests (the paper's
+// cost currency), round candidates track the Diag_i refinement shrinkage,
+// and verdicts classify Step-6 outcomes.
+const (
+	metricOracleQueries   = "cfsmdiag_oracle_queries_total"
+	metricOracleInputs    = "cfsmdiag_oracle_inputs_total"
+	metricAnalyses        = "cfsmdiag_analyses_total"
+	metricSymptoms        = "cfsmdiag_symptoms_total"
+	metricDiagnosisSize   = "cfsmdiag_analysis_diagnoses"
+	metricConflictSize    = "cfsmdiag_analysis_conflict_size"
+	metricRoundCandidates = "cfsmdiag_localize_round_candidates"
+	metricRounds          = "cfsmdiag_localize_rounds"
+	metricAdditionalTests = "cfsmdiag_localize_additional_tests"
+	metricVerdicts        = "cfsmdiag_localize_verdicts_total"
+	metricEscalations     = "cfsmdiag_localize_escalations_total"
+)
+
+// metrics bundles the pipeline's pre-resolved instrument handles. Every
+// field is a nil-safe obs handle, so the zero value (observability disabled)
+// costs a pointer test per site.
+type metrics struct {
+	reg             *obs.Registry // for label-dependent series (verdicts, escalations)
+	oracleQueries   *obs.Counter
+	oracleInputs    *obs.Counter
+	analyses        *obs.Counter
+	symptoms        *obs.Counter
+	diagnosisSize   *obs.Histogram
+	conflictSize    *obs.Histogram
+	roundCandidates *obs.Histogram
+	rounds          *obs.Histogram
+	additionalTests *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	if r == nil {
+		return metrics{}
+	}
+	return metrics{
+		reg:             r,
+		oracleQueries:   r.Counter(metricOracleQueries, "Test cases executed against the implementation-under-test oracle (the paper's number of diagnostic tests)."),
+		oracleInputs:    r.Counter(metricOracleInputs, "Inputs applied through the oracle across all executed test cases."),
+		analyses:        r.Counter(metricAnalyses, "Step 1-5 analyses performed."),
+		symptoms:        r.Counter(metricSymptoms, "Symptoms (expected/observed output differences) found by Step 3."),
+		diagnosisSize:   r.Histogram(metricDiagnosisSize, "Surviving fault hypotheses per analysis (size of the Diag set).", obs.DefaultSizeBuckets),
+		conflictSize:    r.Histogram(metricConflictSize, "Conflict-set sizes per symptomatic test case (Step 4).", obs.DefaultSizeBuckets),
+		roundCandidates: r.Histogram(metricRoundCandidates, "Unresolved candidate transitions at the start of each Step-6 refinement round (the Diag_i shrinkage).", obs.DefaultSizeBuckets),
+		rounds:          r.Histogram(metricRounds, "Step-6 refinement rounds per localization.", obs.DefaultSizeBuckets),
+		additionalTests: r.Histogram(metricAdditionalTests, "Adaptively generated additional diagnostic tests per localization.", obs.DefaultSizeBuckets),
+	}
+}
+
+// RegisterMetrics pre-registers the core pipeline's metric families on a
+// registry so an exposition endpoint lists them before the first diagnosis
+// runs. It is safe to call more than once and a no-op on nil.
+func RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	newMetrics(r)
+	for v := VerdictNoFault; v <= VerdictInconsistent; v++ {
+		r.Counter(metricVerdicts, "Step-6 localization verdicts.", obs.L("verdict", v.label()))
+	}
+	for _, kind := range []string{"combined", "address"} {
+		r.Counter(metricEscalations, "Hypothesis-space escalations during localization.", obs.L("kind", kind))
+	}
+}
+
+func (m metrics) verdict(v Verdict) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter(metricVerdicts, "Step-6 localization verdicts.", obs.L("verdict", v.label())).Inc()
+}
+
+func (m metrics) escalated(kind string) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter(metricEscalations, "Hypothesis-space escalations during localization.", obs.L("kind", kind)).Inc()
+}
+
+// finish records a completed localization's verdict and adaptive-test cost.
+func (m metrics) finish(loc *Localization) {
+	m.verdict(loc.Verdict)
+	m.additionalTests.ObserveInt(len(loc.AdditionalTests))
+}
+
+// label is the metric-friendly verdict name (String() is prose).
+func (v Verdict) label() string {
+	switch v {
+	case VerdictNoFault:
+		return "no_fault"
+	case VerdictLocalized:
+		return "localized"
+	case VerdictAmbiguous:
+		return "ambiguous"
+	case VerdictInconsistent:
+		return "inconsistent"
+	default:
+		return "unknown"
+	}
+}
+
+// obsOracle decorates an Oracle with context enforcement and query counting.
+// It checks the context before every execution so a canceled request stops
+// the adaptive loop at the next oracle boundary, and routes through
+// ExecuteContext when the wrapped oracle supports it.
+type obsOracle struct {
+	inner Oracle
+	ctx   context.Context
+	m     metrics
+}
+
+func (o obsOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	if err := o.ctx.Err(); err != nil {
+		return nil, err
+	}
+	o.m.oracleQueries.Inc()
+	o.m.oracleInputs.Add(int64(len(tc.Inputs)))
+	if co, ok := o.inner.(ContextOracle); ok {
+		return co.ExecuteContext(o.ctx, tc)
+	}
+	return o.inner.Execute(tc)
+}

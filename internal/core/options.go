@@ -1,6 +1,8 @@
 package core
 
-// Option configures Localize.
+import "cfsmdiag/internal/obs"
+
+// Option configures Analyze, Localize and the context-aware variants.
 type Option func(*settings)
 
 type settings struct {
@@ -8,6 +10,7 @@ type settings struct {
 	combinedEscalation bool // widen to combined faults before giving up
 	addressEscalation  bool // widen to addressing faults before giving up
 	tracer             Tracer
+	registry           *obs.Registry // nil = observability disabled
 }
 
 func defaultSettings() settings {
@@ -40,4 +43,12 @@ func WithoutCombinedEscalation() Option {
 // only the paper's output/transfer fault model is hypothesized.
 func WithoutAddressEscalation() Option {
 	return func(s *settings) { s.addressEscalation = false }
+}
+
+// WithRegistry attaches an observability registry: oracle queries, symptom
+// counts, candidate-set sizes per refinement round and Step-6 verdicts are
+// recorded on it (see metrics.go for the family names). A nil registry — the
+// default — disables instrumentation at no cost to the hot path.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *settings) { s.registry = r }
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/testgen"
 )
 
@@ -105,6 +107,68 @@ type SweepOptions struct {
 	// byte-identical SweepResult: reports stay in fault-enumeration order
 	// and every count is merged deterministically.
 	Workers int
+	// Registry receives the sweep's telemetry (per-mutant latency histogram,
+	// busy-worker gauge, outcome counters, whole-sweep duration). Nil — the
+	// default — disables instrumentation.
+	Registry *obs.Registry
+}
+
+// Metric families of the sweep engine.
+const (
+	metricSweepDuration  = "cfsmdiag_sweep_duration_seconds"
+	metricSweepMutant    = "cfsmdiag_sweep_mutant_seconds"
+	metricSweepMutants   = "cfsmdiag_sweep_mutants_total"
+	metricSweepBusy      = "cfsmdiag_sweep_workers_busy"
+	metricSweepWorkers   = "cfsmdiag_sweep_workers"
+	metricSweepAddlTests = "cfsmdiag_sweep_additional_tests_total"
+)
+
+// sweepMetrics bundles the sweep's pre-resolved handles; all nil-safe.
+type sweepMetrics struct {
+	reg      *obs.Registry
+	duration *obs.Histogram
+	mutant   *obs.Histogram
+	busy     *obs.Gauge
+	workers  *obs.Gauge
+	addl     *obs.Counter
+}
+
+func newSweepMetrics(r *obs.Registry) sweepMetrics {
+	if r == nil {
+		return sweepMetrics{}
+	}
+	return sweepMetrics{
+		reg:      r,
+		duration: r.Histogram(metricSweepDuration, "Wall time of whole mutant sweeps.", obs.DefaultLatencyBuckets),
+		mutant:   r.Histogram(metricSweepMutant, "Per-mutant diagnosis latency within a sweep.", obs.DefaultLatencyBuckets),
+		busy:     r.Gauge(metricSweepBusy, "Sweep workers currently diagnosing a mutant (utilization against cfsmdiag_sweep_workers)."),
+		workers:  r.Gauge(metricSweepWorkers, "Configured worker count of the most recent sweep."),
+		addl:     r.Counter(metricSweepAddlTests, "Additional diagnostic tests generated across swept mutants."),
+	}
+}
+
+// RegisterSweepMetrics pre-registers the sweep's metric families on a
+// registry so an exposition endpoint lists them before the first sweep runs.
+// No-op on nil.
+func RegisterSweepMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	newSweepMetrics(r)
+	for o := OutcomeUndetected; o <= OutcomeInconsistent; o++ {
+		r.Counter(metricSweepMutants, "Swept mutants by diagnosis outcome.", obs.L("outcome", o.String()))
+	}
+}
+
+// observe records one mutant's outcome and latency.
+func (m sweepMetrics) observe(report MutantReport, elapsed time.Duration) {
+	if m.reg == nil {
+		return
+	}
+	m.mutant.Observe(elapsed.Seconds())
+	m.addl.Add(int64(report.AdditionalTests))
+	m.reg.Counter(metricSweepMutants, "Swept mutants by diagnosis outcome.",
+		obs.L("outcome", report.Outcome.String())).Inc()
 }
 
 func (o SweepOptions) workers() int {
@@ -133,18 +197,41 @@ func RunSweep(spec *cfsm.System, suite []cfsm.TestCase, checkEquivalence bool) (
 // the serial run — cancels the remaining work and is returned with the
 // deterministic prefix of reports that precede the failing mutant.
 func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (SweepResult, error) {
+	return RunSweepContext(context.Background(), spec, suite, opts)
+}
+
+// RunSweepContext is RunSweepOpts with cancellation: canceling the context
+// stops the worker dispatch, aborts in-flight diagnoses at their next oracle
+// boundary, and returns ctx.Err() together with the deterministic prefix of
+// reports completed before the cancellation.
+func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (SweepResult, error) {
 	res := SweepResult{
 		Spec:   spec,
 		Suite:  suite,
 		Counts: make(map[MutantOutcome]int),
 	}
+	met := newSweepMetrics(opts.Registry)
 	workers := opts.workers()
+	met.workers.Set(int64(workers))
+	sweepStart := time.Now()
+	defer func() { met.duration.Observe(time.Since(sweepStart).Seconds()) }()
+
 	if workers == 1 {
 		err := fault.ForEachMutant(spec, func(m fault.Mutant) error {
-			report, err := diagnoseMutant(spec, suite, m, opts.CheckEquivalence)
-			if err != nil {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
+			met.busy.Inc()
+			start := time.Now()
+			report, err := diagnoseMutant(ctx, spec, suite, m, opts)
+			met.busy.Dec()
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return ctxErr
+				}
+				return err
+			}
+			met.observe(report, time.Since(start))
 			res.add(report)
 			return nil
 		})
@@ -153,12 +240,13 @@ func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (
 
 	faults := fault.Enumerate(spec)
 	type outcome struct {
-		done   bool // a mutant was built and diagnosed (or failed)
-		report MutantReport
-		err    error
+		done    bool // the job ran (diagnosed, failed, or apply-skipped)
+		skipped bool // fault could not be applied; mirrors ForEachMutant's skip
+		report  MutantReport
+		err     error
 	}
 	results := make([]outcome, len(faults))
-	ctx, cancel := context.WithCancel(context.Background())
+	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	jobs := make(chan int)
 	go func() {
@@ -166,7 +254,7 @@ func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (
 		for i := range faults {
 			select {
 			case jobs <- i:
-			case <-ctx.Done():
+			case <-wctx.Done():
 				return
 			}
 		}
@@ -181,16 +269,21 @@ func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (
 				if err != nil {
 					// Mirrors the skip in fault.ForEachMutant; cannot happen
 					// for Enumerate's output.
+					results[idx] = outcome{done: true, skipped: true}
 					continue
 				}
 				m := fault.Mutant{Fault: faults[idx], System: sys}
-				report, err := diagnoseMutant(spec, suite, m, opts.CheckEquivalence)
+				met.busy.Inc()
+				start := time.Now()
+				report, err := diagnoseMutant(wctx, spec, suite, m, opts)
+				met.busy.Dec()
 				// Each worker writes only its own index; no lock needed.
 				results[idx] = outcome{done: true, report: report, err: err}
 				if err != nil {
 					cancel()
 					return
 				}
+				met.observe(report, time.Since(start))
 			}
 		}()
 	}
@@ -199,15 +292,25 @@ func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (
 	// Deterministic merge in fault-enumeration order. Jobs are dispatched in
 	// index order, so when a worker errored every lower-index job has
 	// completed: the loop below reproduces exactly the serial prefix and the
-	// serial first-error.
+	// serial first-error. On external cancellation the contiguous completed
+	// prefix is merged and ctx.Err() returned.
 	for i := range results {
 		if !results[i].done {
+			break // job never ran: external cancellation hole
+		}
+		if results[i].skipped {
 			continue
 		}
 		if results[i].err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return res, ctxErr
+			}
 			return res, results[i].err
 		}
 		res.add(results[i].report)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	return res, nil
 }
@@ -232,10 +335,10 @@ func (res *SweepResult) add(report MutantReport) {
 // specification and classifies the outcome. It is pure with respect to
 // shared state — spec and suite are read-only — and therefore safe to call
 // from concurrent sweep workers.
-func diagnoseMutant(spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, checkEquivalence bool) (MutantReport, error) {
+func diagnoseMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, opts SweepOptions) (MutantReport, error) {
 	report := MutantReport{Fault: m.Fault}
 	oracle := &core.SystemOracle{Sys: m.System}
-	loc, err := core.Diagnose(spec, suite, oracle)
+	loc, err := core.DiagnoseContext(ctx, spec, suite, oracle, core.WithRegistry(opts.Registry))
 	if err != nil {
 		return report, fmt.Errorf("diagnose %s: %w", m.Fault.Describe(spec), err)
 	}
@@ -244,7 +347,7 @@ func diagnoseMutant(spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, ch
 	switch loc.Verdict {
 	case core.VerdictNoFault:
 		report.Outcome = OutcomeUndetected
-		if checkEquivalence {
+		if opts.CheckEquivalence {
 			report.EquivalentToSpec = testgen.SystemsEquivalent(spec, m.System)
 		}
 	case core.VerdictLocalized:
@@ -254,7 +357,7 @@ func diagnoseMutant(spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, ch
 			report.ExactFault = *loc.Fault == m.Fault
 		default:
 			report.Outcome = OutcomeLocalizedWrong
-			if checkEquivalence && diagnosedEquivalent(spec, *loc.Fault, m.System) {
+			if opts.CheckEquivalence && diagnosedEquivalent(spec, *loc.Fault, m.System) {
 				report.Outcome = OutcomeLocalizedEquivalent
 			}
 		}

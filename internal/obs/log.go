@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Logger is a nil-safe structured-logging facade over log/slog. A nil
+// *Logger discards every record, so libraries can log unconditionally and
+// callers opt in by supplying one. The facade intentionally exposes only the
+// leveled message calls plus With; anything fancier should take the
+// underlying *slog.Logger via Slog.
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger builds a Logger writing text or JSON records at the given level.
+func NewLogger(w io.Writer, level slog.Level, json bool) *Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return &Logger{s: slog.New(h)}
+}
+
+// WrapSlog adapts an existing slog logger (nil yields the no-op Logger).
+func WrapSlog(s *slog.Logger) *Logger {
+	if s == nil {
+		return nil
+	}
+	return &Logger{s: s}
+}
+
+// Slog returns the underlying slog logger (nil on the no-op Logger).
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.s
+}
+
+// With returns a Logger with the given attributes bound.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.s.Debug(msg, args...)
+	}
+}
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.s.Info(msg, args...)
+	}
+}
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.s.Warn(msg, args...)
+	}
+}
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.s.Error(msg, args...)
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families and series in deterministic
+// (sorted) order. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type entry struct {
+		key string
+		m   any
+	}
+	entries := make([]entry, len(keys))
+	for i, k := range keys {
+		entries[i] = entry{key: k, m: f.series[k]}
+	}
+	f.mu.Unlock()
+
+	for _, e := range entries {
+		switch m := e.m.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, braced(e.key), m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, braced(e.key), m.Value())
+		case *Histogram:
+			writeHistogram(w, f.name, e.key, m)
+		}
+	}
+	return nil
+}
+
+// braced renders a canonical label string as a Prometheus label block.
+func braced(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// withLabel appends one label to a canonical label string (used for le=...).
+func withLabel(key, extra string) string {
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + key + "," + extra + "}"
+}
+
+func writeHistogram(w *bufio.Writer, name, key string, h *Histogram) {
+	cumulative := uint64(0)
+	for i, ub := range h.upper {
+		cumulative += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			withLabel(key, `le="`+formatFloat(ub)+`"`), cumulative)
+	}
+	cumulative += h.counts[len(h.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(key, `le="+Inf"`), cumulative)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(key), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(key), h.Count())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format. A nil registry serves an empty (but valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

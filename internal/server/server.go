@@ -1,46 +1,188 @@
 // Package server exposes the diagnosis library as a JSON-over-HTTP service,
 // so non-Go test harnesses can validate specifications, analyze recorded
-// observations and run full diagnoses. All endpoints are POST with JSON
-// bodies; systems use the cfsm JSON codec, suites and observations the same
-// token formats as the CLI ("a^1", "-", "ε^3").
+// observations and run full diagnoses. All diagnosis endpoints are POST with
+// JSON bodies; systems use the cfsm JSON codec, suites and observations the
+// same token formats as the CLI ("a^1", "-", "ε^3").
 //
-// Endpoints:
+// # Endpoints (v1)
 //
-//	POST /api/validate  {"spec": <system>}                       -> stats + warnings
-//	POST /api/diagnose  {"spec": <system>, "iut": <system>,
-//	                     "suite": [<case>...]?}                  -> verdict + fault + log
-//	POST /api/analyze   {"spec": <system>, "suite": [<case>...],
-//	                     "observations": [[token...]...]}        -> diagnoses + planned tests
-//	POST /api/suite     {"spec": <system>, "kind": "tour"|
-//	                     "verification"|"verification-minimized"} -> generated suite
+//	POST /v1/validate  {"spec": <system>}                       -> stats + warnings
+//	POST /v1/suite     {"spec": <system>, "kind": "tour"|
+//	                    "verification"|"verification-minimized"} -> generated suite
+//	POST /v1/analyze   {"spec": <system>, "suite": [<case>...],
+//	                    "observations": [[token...]...]}        -> diagnoses + planned tests
+//	POST /v1/diagnose  {"spec": <system>, "iut": <system>,
+//	                    "suite": [<case>...]?}                  -> verdict + fault + log
+//	GET  /healthz                                               -> liveness probe
+//	GET  /metrics                                               -> Prometheus text exposition
+//
+// The unversioned /api/* paths from the first release are served as
+// deprecated aliases of the matching /v1/* route; they answer with a
+// "Deprecation: true" header and a Link to the successor and will be removed
+// one release after the v1 surface shipped.
+//
+// # Errors
+//
+// Every error response carries a single envelope:
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+//
+// with codes bad_request, method_not_allowed, unsupported_media_type,
+// payload_too_large, suite_too_large, unprocessable, not_found, timeout,
+// canceled and internal. Wrong methods answer 405 with an Allow header;
+// non-JSON content types answer 415.
+//
+// # Observability
+//
+// Every request is measured (cfsmdiag_http_* families), assigned a request
+// ID (X-Request-ID, generated when absent) and access-logged through the
+// configured obs.Logger. The diagnosis pipeline itself reports oracle
+// queries, symptom counts and verdicts on the same registry; /metrics
+// exposes everything. Request bodies are capped, hostile suite sizes are
+// rejected, and a configurable per-request timeout cancels in-flight
+// localizations when the client disconnects.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/experiments"
 	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/testgen"
 )
 
-// Handler returns the service's HTTP handler.
-func Handler() http.Handler {
+// Config tunes the service. The zero value is production-safe: metrics on a
+// fresh registry, no logging, 8 MiB bodies, 4096-case suites and no timeout.
+type Config struct {
+	// Registry receives request and pipeline metrics and backs /metrics.
+	// Nil selects a fresh private registry so /metrics always works.
+	Registry *obs.Registry
+	// Logger receives access logs and operational warnings; nil disables.
+	Logger *obs.Logger
+	// RequestTimeout bounds each request's context; once exceeded the
+	// in-flight localization is canceled and the client gets 504. Zero
+	// disables the timeout (the client's disconnect still cancels).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxSuiteCases caps test cases per request (default 4096), and also
+	// bounds the observation-sequence count on /v1/analyze.
+	MaxSuiteCases int
+	// MaxCaseInputs caps inputs per test case (default 65536).
+	MaxCaseInputs int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// InstrumentSimulator installs the process-wide simulator step/reset
+	// counters on Registry (cfsm.InstrumentSimulator). Because the hook is
+	// process-global, enable it from exactly one server per process.
+	InstrumentSimulator bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = obs.New()
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSuiteCases <= 0 {
+		c.MaxSuiteCases = 4096
+	}
+	if c.MaxCaseInputs <= 0 {
+		c.MaxCaseInputs = 65536
+	}
+	return c
+}
+
+// api is the configured service.
+type api struct {
+	cfg Config
+	m   httpMetrics
+}
+
+// New returns the service's HTTP handler with the given configuration.
+func New(cfg Config) http.Handler {
+	cfg = cfg.withDefaults()
+	s := &api{cfg: cfg, m: newHTTPMetrics(cfg.Registry)}
+
+	// Pre-register the pipeline families so /metrics lists the full schema
+	// (request latency, oracle queries, sweep durations, simulator steps)
+	// before the first diagnosis runs.
+	core.RegisterMetrics(cfg.Registry)
+	experiments.RegisterSweepMetrics(cfg.Registry)
+	sim := cfsm.NewSimMetrics(cfg.Registry)
+	if cfg.InstrumentSimulator {
+		cfsm.InstrumentSimulator(sim)
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/validate", handleValidate)
-	mux.HandleFunc("/api/diagnose", handleDiagnose)
-	mux.HandleFunc("/api/analyze", handleAnalyze)
-	mux.HandleFunc("/api/suite", handleSuite)
+	routes := []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/v1/validate", s.handleValidate},
+		{"/v1/suite", s.handleSuite},
+		{"/v1/analyze", s.handleAnalyze},
+		{"/v1/diagnose", s.handleDiagnose},
+	}
+	for _, rt := range routes {
+		mux.Handle(rt.path, s.wrap(rt.path, s.post(rt.h)))
+		// Deprecated unversioned alias, kept for one release.
+		alias := "/api" + rt.path[len("/v1"):]
+		mux.Handle(alias, s.wrap(alias, s.deprecated(rt.path, s.post(rt.h))))
+	}
+	mux.Handle("/healthz", s.wrap("/healthz", s.handleHealthz))
+	mux.Handle("/metrics", s.wrap("/metrics", s.handleMetrics))
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.Handle("/", s.wrap("other", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no such route %s", r.URL.Path))
+	}))
 	return mux
 }
 
-// maxBody bounds request bodies (systems are small; 8 MiB is generous).
-const maxBody = 8 << 20
+// Handler returns the service with the default configuration. It remains the
+// zero-configuration entry point used by earlier releases.
+func Handler() http.Handler { return New(Config{}) }
 
-type errorBody struct {
-	Error string `json:"error"`
+// --- error envelope ---
+
+// Error codes of the v1 envelope.
+const (
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeUnsupportedMedia = "unsupported_media_type"
+	codePayloadTooLarge  = "payload_too_large"
+	codeSuiteTooLarge    = "suite_too_large"
+	codeUnprocessable    = "unprocessable"
+	codeNotFound         = "not_found"
+	codeTimeout          = "timeout"
+	codeCanceled         = "canceled"
+	codeInternal         = "internal"
+)
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -49,25 +191,113 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return false
+// writePipelineErr maps a diagnosis-pipeline error onto the envelope:
+// timeouts and client disconnects get their own codes, everything else is a
+// semantic (unprocessable) failure.
+func writePipelineErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, codeTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// 499 is the de-facto "client closed request" status; the client is
+		// usually gone, but the envelope keeps logs and tests uniform.
+		writeErr(w, 499, codeCanceled, err)
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+}
+
+// post enforces method and content type for the JSON endpoints.
+func (s *api) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeErr(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+				fmt.Errorf("%s requires POST", r.URL.Path))
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			mt, _, err := mime.ParseMediaType(ct)
+			if err != nil || mt != "application/json" {
+				writeErr(w, http.StatusUnsupportedMediaType, codeUnsupportedMedia,
+					fmt.Errorf("content type %q is not application/json", ct))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// deprecated marks an unversioned alias: Deprecation and successor-Link
+// headers on every response, plus a log line for migration tracking.
+func (s *api) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		s.cfg.Logger.Warn("deprecated route", "route", r.URL.Path, "successor", successor)
+		h(w, r)
+	}
+}
+
+// decode reads and decodes a JSON body under the configured size cap.
+func (s *api) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
 }
 
-// --- /api/validate ---
+// checkSuiteSize rejects absurd suites before they reach the simulator.
+func (s *api) checkSuiteSize(w http.ResponseWriter, what string, cases int, inputs func(i int) int) bool {
+	if cases > s.cfg.MaxSuiteCases {
+		writeErr(w, http.StatusUnprocessableEntity, codeSuiteTooLarge,
+			fmt.Errorf("%s has %d cases; the limit is %d", what, cases, s.cfg.MaxSuiteCases))
+		return false
+	}
+	for i := 0; i < cases; i++ {
+		if n := inputs(i); n > s.cfg.MaxCaseInputs {
+			writeErr(w, http.StatusUnprocessableEntity, codeSuiteTooLarge,
+				fmt.Errorf("%s case %d has %d inputs; the limit is %d", what, i+1, n, s.cfg.MaxCaseInputs))
+			return false
+		}
+	}
+	return true
+}
+
+// --- GET /healthz and GET /metrics ---
+
+func (s *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeErr(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, fmt.Errorf("/healthz requires GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeErr(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, fmt.Errorf("/metrics requires GET"))
+		return
+	}
+	s.cfg.Registry.Handler().ServeHTTP(w, r)
+}
+
+// --- POST /v1/validate ---
 
 type validateRequest struct {
 	Spec cfsm.SystemJSON `json:"spec"`
@@ -79,14 +309,14 @@ type validateResponse struct {
 	Warnings    []string `json:"warnings,omitempty"`
 }
 
-func handleValidate(w http.ResponseWriter, r *http.Request) {
+func (s *api) handleValidate(w http.ResponseWriter, r *http.Request) {
 	var req validateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	sys, err := cfsm.FromJSON(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
 	}
 	resp := validateResponse{Machines: sys.N(), Transitions: sys.NumTransitions()}
@@ -144,7 +374,15 @@ func encodeObservations(obs []cfsm.Observation) []string {
 	return out
 }
 
-// --- /api/suite ---
+func encodeInputs(ins []cfsm.Input) []string {
+	out := make([]string, len(ins))
+	for i, in := range ins {
+		out[i] = in.String()
+	}
+	return out
+}
+
+// --- POST /v1/suite ---
 
 type suiteRequest struct {
 	Spec cfsm.SystemJSON `json:"spec"`
@@ -162,14 +400,14 @@ type suiteResponse struct {
 	Uncovered []string `json:"uncovered,omitempty"`
 }
 
-func handleSuite(w http.ResponseWriter, r *http.Request) {
+func (s *api) handleSuite(w http.ResponseWriter, r *http.Request) {
 	var req suiteRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	sys, err := cfsm.FromJSON(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
 	}
 	var resp suiteResponse
@@ -190,12 +428,12 @@ func handleSuite(w http.ResponseWriter, r *http.Request) {
 		if req.Kind == "verification-minimized" {
 			suite, err = testgen.MinimizeSuite(sys, suite)
 			if err != nil {
-				writeErr(w, http.StatusUnprocessableEntity, err)
+				writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 				return
 			}
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown suite kind %q", req.Kind))
+		writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("unknown suite kind %q", req.Kind))
 		return
 	}
 	for _, tc := range suite {
@@ -208,7 +446,7 @@ func handleSuite(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// --- /api/diagnose ---
+// --- POST /v1/diagnose ---
 
 type diagnoseRequest struct {
 	Spec  cfsm.SystemJSON `json:"spec"`
@@ -236,51 +474,45 @@ type diagnoseResponse struct {
 	TotalInputs     int                  `json:"totalInputs"`
 }
 
-func handleDiagnose(w http.ResponseWriter, r *http.Request) {
+func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	var req diagnoseRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.checkSuiteSize(w, "suite", len(req.Suite), func(i int) int { return len(req.Suite[i].Inputs) }) {
 		return
 	}
 	spec, err := cfsm.FromJSON(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("spec: %w", err))
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, fmt.Errorf("spec: %w", err))
 		return
 	}
 	iut, err := cfsm.FromJSON(req.IUT)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("iut: %w", err))
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, fmt.Errorf("iut: %w", err))
 		return
 	}
 	var suite []cfsm.TestCase
 	if len(req.Suite) > 0 {
 		suite, err = decodeSuite(req.Suite)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 			return
 		}
 	} else {
 		suite, _ = testgen.Tour(spec, 0)
 	}
 	oracle := &core.SystemOracle{Sys: iut}
-	var opts []core.Option
+	opts := []core.Option{core.WithRegistry(s.cfg.Registry)}
 	if req.MaxAdditionalTests > 0 {
 		opts = append(opts, core.WithMaxAdditionalTests(req.MaxAdditionalTests))
 	}
-	observed := make([][]cfsm.Observation, len(suite))
-	for i, tc := range suite {
-		if observed[i], err = oracle.Execute(tc); err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-	}
-	a, err := core.Analyze(spec, suite, observed)
+	// The request context carries the configured timeout and the client's
+	// disconnect; a slow adaptive localization stops at the next oracle
+	// boundary once it is done.
+	loc, err := core.DiagnoseContext(r.Context(), spec, suite, oracle, opts...)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	loc, err := core.Localize(a, oracle, opts...)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writePipelineErr(w, err)
 		return
 	}
 	resp := diagnoseResponse{
@@ -309,15 +541,7 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func encodeInputs(ins []cfsm.Input) []string {
-	out := make([]string, len(ins))
-	for i, in := range ins {
-		out[i] = in.String()
-	}
-	return out
-}
-
-// --- /api/analyze ---
+// --- POST /v1/analyze ---
 
 type analyzeRequest struct {
 	Spec         cfsm.SystemJSON `json:"spec"`
@@ -338,29 +562,35 @@ type analyzeResponse struct {
 	Report    string            `json:"report"`
 }
 
-func handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *api) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.checkSuiteSize(w, "suite", len(req.Suite), func(i int) int { return len(req.Suite[i].Inputs) }) {
+		return
+	}
+	if !s.checkSuiteSize(w, "observations", len(req.Observations), func(i int) int { return len(req.Observations[i]) }) {
 		return
 	}
 	spec, err := cfsm.FromJSON(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("spec: %w", err))
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, fmt.Errorf("spec: %w", err))
 		return
 	}
 	suite, err := decodeSuite(req.Suite)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
 	}
 	observed, err := decodeObservations(req.Observations)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
 	}
-	a, err := core.Analyze(spec, suite, observed)
+	a, err := core.Analyze(spec, suite, observed, core.WithRegistry(s.cfg.Registry))
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writePipelineErr(w, err)
 		return
 	}
 	resp := analyzeResponse{Symptoms: len(a.Symptoms), Report: a.Report()}
