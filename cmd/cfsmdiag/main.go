@@ -14,19 +14,27 @@
 //	cfsmdiag sweep       <system.json>|-paper [-workers N] [-equiv] [-benchjson f]
 //	                     exhaustive parallel mutant sweep (E5)
 //	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
-//	cfsmdiag diagnose    -spec s.json -iut i.json [-suite t.json] [-report] [-trace] [-stats]
+//	cfsmdiag diagnose    -spec s.json -iut i.json | -paper  [-suite t.json] [-report]
+//	                     [-narrate] [-trace out.jsonl] [-chrome out.json] [-explain] [-stats]
+//	cfsmdiag replay      <trace.jsonl> [-explain] [-chrome out.json]
+//	                     re-run a recorded diagnosis offline (zero live oracle calls)
 //	cfsmdiag record      <system.json> -suite t.json      observation log
 //	cfsmdiag analyze     -spec s.json -suite t.json -obs o.json   offline analysis
-//	cfsmdiag serve       [-addr host:port] [-timeout d] [-pprof] [-logjson] [-quiet]
+//	cfsmdiag serve       [-addr host:port] [-timeout d] [-pprof] [-tracing=false]
+//	                     [-logjson] [-quiet]
 //	                     versioned JSON-over-HTTP service with /metrics + /healthz
 //
 // The diagnose subcommand runs the full algorithm of the paper: it executes
 // the suite (a generated transition tour when -suite is omitted) against the
 // IUT, analyzes the symptoms, and adaptively localizes the fault, printing
-// the Section 4-style walkthrough.
+// the Section 4-style walkthrough. With -trace it also records a structured
+// JSONL trace of every pipeline step; the replay subcommand re-runs the
+// adaptive localization from such a trace, answering every diagnostic test
+// from the recording instead of a live implementation.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -36,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,9 +52,12 @@ import (
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/report"
 	"cfsmdiag/internal/server"
 	"cfsmdiag/internal/testgen"
+	"cfsmdiag/internal/trace"
 )
 
 func main() {
@@ -57,7 +69,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|seq|verifysuite|detect|analyze|record|serve> ...")
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve> ...")
 	}
 	switch args[0] {
 	case "validate":
@@ -76,6 +88,8 @@ func run(args []string, out io.Writer) error {
 		return cmdInject(args[1:], out)
 	case "diagnose":
 		return cmdDiagnose(args[1:], out)
+	case "replay":
+		return cmdReplay(args[1:], out)
 	case "seq":
 		return cmdSeq(args[1:], out)
 	case "verifysuite":
@@ -246,25 +260,40 @@ func cmdDiagnose(args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "specification system JSON")
 	iutPath := fs.String("iut", "", "implementation-under-test system JSON")
 	suitePath := fs.String("suite", "", "test suite JSON (default: generated transition tour)")
+	usePaper := fs.Bool("paper", false, "diagnose the built-in Figure 1 walkthrough (M3.t\"4 transfer fault) instead of -spec/-iut files")
 	asMarkdown := fs.Bool("report", false, "emit a Markdown diagnosis report instead of the plain walkthrough")
-	trace := fs.Bool("trace", false, "narrate the adaptive localization as it runs")
+	narrate := fs.Bool("narrate", false, "narrate the adaptive localization as it runs")
+	tracePath := fs.String("trace", "", "write a structured JSONL trace to this path (replayable with `cfsmdiag replay`)")
+	chromePath := fs.String("chrome", "", "write a Chrome trace-event file to this path (load in Perfetto or chrome://tracing)")
+	explain := fs.Bool("explain", false, "append the Markdown explanation report (the paper's Section 4 narrative)")
 	stats := fs.Bool("stats", false, "append a cost report (oracle queries, refinement rounds, simulator steps, wall time)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
-	if *specPath == "" || *iutPath == "" {
-		return fmt.Errorf("usage: cfsmdiag diagnose -spec <spec.json> -iut <iut.json> [-suite <suite.json>]")
-	}
-	spec, err := loadSystem(*specPath)
-	if err != nil {
-		return fmt.Errorf("spec: %w", err)
-	}
-	iut, err := loadSystem(*iutPath)
-	if err != nil {
-		return fmt.Errorf("iut: %w", err)
+	var spec, iut *cfsm.System
+	var err error
+	switch {
+	case *usePaper:
+		if *specPath != "" || *iutPath != "" {
+			return fmt.Errorf("-paper replaces -spec and -iut")
+		}
+		spec = paper.MustFigure1()
+		if iut, err = paper.FaultyImplementation(); err != nil {
+			return err
+		}
+	case *specPath != "" && *iutPath != "":
+		if spec, err = loadSystem(*specPath); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		if iut, err = loadSystem(*iutPath); err != nil {
+			return fmt.Errorf("iut: %w", err)
+		}
+	default:
+		return fmt.Errorf("usage: cfsmdiag diagnose -spec <spec.json> -iut <iut.json> | -paper  [-suite <suite.json>] [-trace out.jsonl] [-explain]")
 	}
 	var suite []cfsm.TestCase
-	if *suitePath != "" {
+	switch {
+	case *suitePath != "":
 		data, err := os.ReadFile(*suitePath)
 		if err != nil {
 			return err
@@ -273,7 +302,9 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-	} else {
+	case *usePaper:
+		suite = paper.TestSuite()
+	default:
 		var uncovered []cfsm.Ref
 		suite, uncovered = testgen.Tour(spec, 0)
 		if len(uncovered) > 0 {
@@ -287,6 +318,11 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		defer collector.close()
 		opts = append(opts, core.WithRegistry(collector.reg))
 	}
+	var tr *trace.Tracer
+	if *tracePath != "" || *chromePath != "" {
+		tr = trace.New()
+		opts = append(opts, core.WithTrace(tr))
+	}
 	oracle := &core.SystemOracle{Sys: iut}
 	observed := make([][]cfsm.Observation, len(suite))
 	for i, tc := range suite {
@@ -296,11 +332,16 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		}
 		observed[i] = obs
 	}
+	// The replay header (spec, suite, observed outputs) goes in front of the
+	// analysis events so the JSONL file is a self-contained recorded run.
+	if err := replay.Record(tr, spec, suite, observed); err != nil {
+		return err
+	}
 	a, err := core.Analyze(spec, suite, observed, opts...)
 	if err != nil {
 		return err
 	}
-	if *trace {
+	if *narrate {
 		opts = append(opts, core.WithTracer(&core.TextTracer{W: out, Spec: spec}))
 	}
 	loc, err := core.Localize(a, oracle, opts...)
@@ -313,16 +354,96 @@ func cmdDiagnose(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, md)
-		if collector != nil {
-			collector.printDiagnose(out, oracle, loc)
-		}
-		return nil
+	} else {
+		fmt.Fprint(out, a.Report())
+		fmt.Fprint(out, loc.Report())
+		fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", oracle.Tests, oracle.Inputs, len(suite))
 	}
-	fmt.Fprint(out, a.Report())
-	fmt.Fprint(out, loc.Report())
-	fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", oracle.Tests, oracle.Inputs, len(suite))
+	if *explain {
+		fmt.Fprint(out, report.Explanation(loc))
+	}
 	if collector != nil {
 		collector.printDiagnose(out, oracle, loc)
+	}
+	if *tracePath != "" {
+		if err := writeTraceFile(*tracePath, tr.Events(), trace.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: wrote %d events to %s (replay with `cfsmdiag replay %s`)\n",
+			tr.Len(), *tracePath, *tracePath)
+	}
+	if *chromePath != "" {
+		if err := writeTraceFile(*chromePath, tr.Events(), trace.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *chromePath)
+	}
+	return nil
+}
+
+// writeTraceFile exports events to path with the given exporter.
+func writeTraceFile(path string, events []trace.Event, write func(io.Writer, []trace.Event) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// cmdReplay re-runs a recorded diagnosis offline. The JSONL trace doubles as
+// a canned oracle — every diagnostic test Step 6 asks for is answered from
+// the recording — so the localization reproduces without the implementation.
+func cmdReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	explain := fs.Bool("explain", false, "append the Markdown explanation report")
+	chromePath := fs.String("chrome", "", "also export the recorded trace as a Chrome trace-event file")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cfsmdiag replay <trace.jsonl> [-explain] [-chrome out.json]")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	n, err := trace.ValidateJSONL(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("%s: invalid trace: %w", fs.Arg(0), err)
+	}
+	events, err := trace.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	rec, err := replay.Load(events)
+	if err != nil {
+		return err
+	}
+	loc, oracle, err := rec.Localize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replaying %d recorded events: %d suite cases, %d canned diagnostic answers\n",
+		n, len(rec.Suite), len(rec.Answers))
+	fmt.Fprint(out, loc.Analysis.Report())
+	fmt.Fprint(out, loc.Report())
+	fmt.Fprintf(out, "replay: %d oracle queries served from the recording, 0 live executions\n", oracle.Queries)
+	if err := rec.Check(loc); err != nil {
+		return fmt.Errorf("replay diverged from the recorded run: %w", err)
+	}
+	fmt.Fprintln(out, "replay: verdict matches the recorded run")
+	if *explain {
+		fmt.Fprint(out, report.Explanation(loc))
+	}
+	if *chromePath != "" {
+		if err := writeTraceFile(*chromePath, events, trace.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: wrote Chrome trace to %s\n", *chromePath)
 	}
 	return nil
 }
@@ -533,6 +654,7 @@ func cmdServe(args []string, out io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	timeout := fs.Duration("timeout", time.Minute, "per-request timeout (0 = none)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	tracing := fs.Bool("tracing", true, "honor ?trace=1 on /v1/diagnose (inline structured traces)")
 	logJSON := fs.Bool("logjson", false, "emit access logs as JSON instead of text")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	if err := parseArgs(fs, args); err != nil {
@@ -542,18 +664,22 @@ func cmdServe(args []string, out io.Writer) error {
 	if !*quiet {
 		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON)
 	}
-	handler := server.New(server.Config{
+	cfg := server.Config{
 		Registry:            obs.New(),
 		Logger:              logger,
 		RequestTimeout:      *timeout,
 		EnablePprof:         *pprofOn,
+		EnableTracing:       *tracing,
 		InstrumentSimulator: true,
-	})
+	}
+	handler := server.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "cfsmdiag service listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(out, "  routes: %s\n", strings.Join(server.RouteList(cfg), ", "))
+	fmt.Fprintf(out, "  pprof: %v, tracing (?trace=1): %v\n", *pprofOn, *tracing)
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

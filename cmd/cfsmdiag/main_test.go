@@ -198,13 +198,13 @@ func TestCLIInjectAndDiagnose(t *testing.T) {
 		t.Fatalf("diagnose (tour): %v\n%s", err, out)
 	}
 
-	// Trace mode narrates the adaptive phase.
-	out, err = runCLI(t, "diagnose", "-spec", specPath, "-iut", iutPath, "-suite", suitePath, "-trace")
+	// Narrate mode prints the adaptive phase as it runs.
+	out, err = runCLI(t, "diagnose", "-spec", specPath, "-iut", iutPath, "-suite", suitePath, "-narrate")
 	if err != nil {
-		t.Fatalf("diagnose -trace: %v", err)
+		t.Fatalf("diagnose -narrate: %v", err)
 	}
 	if !strings.Contains(out, "testing candidate M1.t7") {
-		t.Errorf("trace output missing narration:\n%s", out)
+		t.Errorf("narrate output missing narration:\n%s", out)
 	}
 
 	// Markdown report mode.
@@ -377,6 +377,89 @@ func TestCLISweep(t *testing.T) {
 	}
 	if _, err := runCLI(t, "sweep", "-paper", path); err == nil {
 		t.Error("want usage error for -paper with a positional file")
+	}
+}
+
+// TestCLITraceAndReplay drives the tracing workflow end to end: a traced
+// -paper diagnosis writes a JSONL trace plus a Chrome export, and the replay
+// subcommand reproduces the localization from the file with zero live oracle
+// executions.
+func TestCLITraceAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	chromePath := filepath.Join(dir, "chrome.json")
+
+	out, err := runCLI(t, "diagnose", "-paper", "-trace", tracePath, "-chrome", chromePath, "-explain")
+	if err != nil {
+		t.Fatalf("diagnose -paper -trace: %v", err)
+	}
+	for _, want := range []string{
+		"Verdict: fault localized",
+		"# Why this diagnosis", // -explain narrative
+		`M3.t"4 — convicted`,   // Section 4's conclusion
+		"trace: wrote",         // both export notes
+		"trace: wrote Chrome trace",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnose output missing %q:\n%s", want, out)
+		}
+	}
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if !strings.Contains(string(chrome), `"traceEvents"`) {
+		t.Errorf("chrome export is not a trace-event file:\n%.200s", chrome)
+	}
+
+	out, err = runCLI(t, "replay", tracePath, "-explain")
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, want := range []string{
+		"canned diagnostic answers",
+		"Verdict: fault localized",
+		`t"4 transfers to s0`,
+		"0 live executions",
+		"replay: verdict matches the recorded run",
+		"# Why this diagnosis",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Replay rejects a file that is not a valid trace.
+	badPath := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(badPath, []byte(`{"seq":1,"kind":"nonsense"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "replay", badPath); err == nil || !strings.Contains(err.Error(), "invalid trace") {
+		t.Errorf("replay of invalid file: err = %v", err)
+	}
+	// -paper conflicts with -spec/-iut.
+	if _, err := runCLI(t, "diagnose", "-paper", "-spec", "x.json", "-iut", "y.json"); err == nil {
+		t.Error("want usage error for -paper with -spec/-iut")
+	}
+}
+
+// TestCLISweepTrace: `sweep -trace` writes a replay-validating JSONL file
+// covering the requested number of failing mutants.
+func TestCLISweepTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	out, err := runCLI(t, "sweep", "-paper", "-workers", "1", "-trace", tracePath, "-tracefailures", "2")
+	if err != nil {
+		t.Fatalf("sweep -trace: %v", err)
+	}
+	if !strings.Contains(out, "for 2 traced mutants") {
+		t.Errorf("sweep output missing trace note:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !strings.Contains(string(data), `"sweep.mutant"`) {
+		t.Errorf("trace file lacks sweep.mutant spans:\n%.300s", data)
 	}
 }
 

@@ -46,7 +46,11 @@ func TestCLIServe(t *testing.T) {
 	for i := 0; i < 200 && url == ""; i++ {
 		time.Sleep(10 * time.Millisecond)
 		if line := buf.String(); strings.Contains(line, "http://") {
-			url = strings.TrimSpace(line[strings.Index(line, "http://"):])
+			rest := line[strings.Index(line, "http://"):]
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				rest = rest[:nl]
+			}
+			url = strings.TrimSpace(rest)
 		}
 		select {
 		case err := <-done:
@@ -56,6 +60,13 @@ func TestCLIServe(t *testing.T) {
 	}
 	if url == "" {
 		t.Fatal("server did not announce its address")
+	}
+	// The startup banner lists the routes and the pprof/tracing state.
+	banner := buf.String()
+	for _, want := range []string{"routes: POST /v1/validate", "POST /v1/diagnose", "GET /metrics", "pprof: false", "tracing (?trace=1): true"} {
+		if !strings.Contains(banner, want) {
+			t.Errorf("startup banner missing %q:\n%s", want, banner)
+		}
 	}
 
 	data, err := paper.MustFigure1().MarshalJSON()

@@ -15,6 +15,7 @@ import (
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/paper"
 	"cfsmdiag/internal/testgen"
+	"cfsmdiag/internal/trace"
 )
 
 // cmdSweep runs the exhaustive single-transition mutant sweep (experiment
@@ -28,6 +29,8 @@ func cmdSweep(args []string, out io.Writer) error {
 	usePaper := fs.Bool("paper", false, "sweep the built-in Figure 1 paper system instead of a JSON file")
 	benchJSON := fs.String("benchjson", "", "measure serial vs. parallel sweep and simulator allocations, write the record to this path (e.g. BENCH_sweep.json)")
 	stats := fs.Bool("stats", false, "append a cost report (oracle queries, per-mutant latency, simulator steps)")
+	tracePath := fs.String("trace", "", "write a structured JSONL trace of the first traced failing mutants to this path")
+	traceFailures := fs.Int("tracefailures", 1, "how many failing mutants to trace (with -trace)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -48,7 +51,7 @@ func cmdSweep(args []string, out io.Writer) error {
 		}
 		label = fs.Arg(0)
 	default:
-		return fmt.Errorf("usage: cfsmdiag sweep <system.json> [-suite s.json] [-workers N] [-equiv] [-benchjson out.json]")
+		return fmt.Errorf("usage: cfsmdiag sweep <system.json> [-suite s.json] [-workers N] [-equiv] [-benchjson out.json] [-trace out.jsonl [-tracefailures N]]")
 	}
 
 	var suite []cfsm.TestCase
@@ -84,6 +87,12 @@ func cmdSweep(args []string, out io.Writer) error {
 		defer collector.close()
 		opts.Registry = collector.reg
 	}
+	var tr *trace.Tracer
+	if *tracePath != "" {
+		tr = trace.New()
+		opts.Trace = tr
+		opts.TraceFailures = *traceFailures
+	}
 	start := time.Now()
 	res, err := experiments.RunSweepOpts(sys, suite, opts)
 	if err != nil {
@@ -107,6 +116,13 @@ func cmdSweep(args []string, out io.Writer) error {
 	}
 	if collector != nil {
 		collector.printSweep(out, res)
+	}
+	if tr != nil {
+		if err := writeTraceFile(*tracePath, tr.Events(), trace.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: wrote %d events for %d traced mutants to %s\n",
+			tr.Len(), trace.CountKind(tr.Events(), trace.KindSweepMutant, trace.PhaseBegin), *tracePath)
 	}
 	return nil
 }

@@ -11,11 +11,28 @@ import (
 // observable outputs back to the tester. Protocol engineers paste the output
 // into any Mermaid renderer to see how a test case exercises the system.
 func (s *System) SequenceDiagram(tc TestCase) (string, error) {
+	return s.sequenceDiagram(tc, -1)
+}
+
+// SequenceDiagramSymptom is SequenceDiagram with the symptom annotated: after
+// the observation of step symptomStep (0-based into tc.Inputs) a note marks
+// where the implementation's output diverged from the specification's.
+// A negative step renders the plain diagram.
+func (s *System) SequenceDiagramSymptom(tc TestCase, symptomStep int) (string, error) {
+	return s.sequenceDiagram(tc, symptomStep)
+}
+
+func (s *System) sequenceDiagram(tc TestCase, symptomStep int) (string, error) {
+	ids := s.mermaidIDs()
 	var b strings.Builder
 	b.WriteString("sequenceDiagram\n")
 	b.WriteString("    participant T as Tester\n")
-	for _, m := range s.machines {
-		fmt.Fprintf(&b, "    participant %s\n", mermaidID(m.name))
+	for i, m := range s.machines {
+		if ids[i] == m.name {
+			fmt.Fprintf(&b, "    participant %s\n", ids[i])
+		} else {
+			fmt.Fprintf(&b, "    participant %s as %s\n", ids[i], m.name)
+		}
 	}
 
 	cfg := s.InitialConfig()
@@ -29,25 +46,48 @@ func (s *System) SequenceDiagram(tc TestCase) (string, error) {
 			cfg = next
 			continue
 		}
-		target := mermaidID(s.machines[in.Port].name)
+		target := ids[in.Port]
 		fmt.Fprintf(&b, "    T->>%s: %s\n", target, in.Sym)
 		for _, e := range trace {
 			if !e.Trans.Internal() {
 				continue
 			}
-			from := mermaidID(s.machines[e.Machine].name)
-			to := mermaidID(s.machines[e.Trans.Dest].name)
-			fmt.Fprintf(&b, "    %s->>%s: %s (%s)\n", from, to, e.Trans.Output, e.Trans.Name)
+			fmt.Fprintf(&b, "    %s->>%s: %s (%s)\n", ids[e.Machine], ids[e.Trans.Dest], e.Trans.Output, e.Trans.Name)
 		}
-		source := mermaidID(s.machines[obs.Port].name)
+		source := ids[obs.Port]
 		if obs.Sym == Epsilon {
 			fmt.Fprintf(&b, "    note over %s: ε (no response)\n", source)
 		} else {
 			fmt.Fprintf(&b, "    %s-->>T: %s\n", source, obs.Sym)
 		}
+		if i == symptomStep {
+			fmt.Fprintf(&b, "    note over T: symptom at step %d — the implementation's output diverges here\n", i+1)
+		}
 		cfg = next
 	}
 	return b.String(), nil
+}
+
+// mermaidIDs assigns each machine a unique Mermaid participant identifier.
+// Sanitizing can merge distinct names ("M-1" and "M_1" both become "M_1"),
+// and "T" is reserved for the tester; collisions get a numeric suffix.
+func (s *System) mermaidIDs() []string {
+	ids := make([]string, len(s.machines))
+	taken := map[string]bool{"T": true}
+	for i, m := range s.machines {
+		id := mermaidID(m.name)
+		if taken[id] {
+			for n := 2; ; n++ {
+				if c := fmt.Sprintf("%s_%d", id, n); !taken[c] {
+					id = c
+					break
+				}
+			}
+		}
+		taken[id] = true
+		ids[i] = id
+	}
+	return ids
 }
 
 // mermaidID sanitizes a machine name into a Mermaid participant identifier.

@@ -56,3 +56,85 @@ func TestSequenceDiagramBadInput(t *testing.T) {
 		t.Error("want error for invalid port")
 	}
 }
+
+// namedPair builds a minimal 2-machine system with the given machine names
+// (same topology as twoMachine).
+func namedPair(t *testing.T, nameA, nameB string) *System {
+	t.Helper()
+	a, err := NewMachine(nameA, "s0", []State{"s0", "s1"}, []Transition{
+		{Name: "a1", From: "s0", Input: "x", Output: "y", To: "s1", Dest: DestEnv},
+		{Name: "a2", From: "s1", Input: "i", Output: "m", To: "s0", Dest: 1},
+		{Name: "a3", From: "s0", Input: "n", Output: "y", To: "s0", Dest: DestEnv},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine %s: %v", nameA, err)
+	}
+	b, err := NewMachine(nameB, "q0", []State{"q0", "q1"}, []Transition{
+		{Name: "b1", From: "q0", Input: "m", Output: "z", To: "q1", Dest: DestEnv},
+		{Name: "b2", From: "q1", Input: "w", Output: "n", To: "q0", Dest: 0},
+	})
+	if err != nil {
+		t.Fatalf("NewMachine %s: %v", nameB, err)
+	}
+	sys, err := NewSystem(a, b)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+// TestMermaidIDCollision: distinct machine names that sanitize to the same
+// identifier ("M-1" and "M_1" both become "M_1") must still get distinct
+// participants, and the display name is preserved via an alias.
+func TestMermaidIDCollision(t *testing.T) {
+	sys := namedPair(t, "M-1", "M_1")
+	ids := sys.mermaidIDs()
+	if ids[0] == ids[1] {
+		t.Fatalf("colliding ids: %v", ids)
+	}
+	diag, err := sys.SequenceDiagram(TestCase{Inputs: []Input{{Port: 0, Sym: "x"}}})
+	if err != nil {
+		t.Fatalf("SequenceDiagram: %v", err)
+	}
+	for _, want := range []string{
+		"participant M_1 as M-1", // first machine keeps the sanitized id, aliased
+		"participant M_1_2 as M_1",
+		"T->>M_1: x",
+	} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagram missing %q:\n%s", want, diag)
+		}
+	}
+
+	// A machine literally named "T" must not collide with the tester.
+	sys = namedPair(t, "T", "B")
+	ids = sys.mermaidIDs()
+	if ids[0] == "T" {
+		t.Fatalf("machine id %q collides with the tester participant", ids[0])
+	}
+}
+
+// TestSequenceDiagramSymptom: the annotated variant marks the divergence
+// step, and a negative step renders the plain diagram.
+func TestSequenceDiagramSymptom(t *testing.T) {
+	sys := twoMachine(t)
+	tc := TestCase{Inputs: []Input{Reset(), {Port: 0, Sym: "x"}}}
+	diag, err := sys.SequenceDiagramSymptom(tc, 1)
+	if err != nil {
+		t.Fatalf("SequenceDiagramSymptom: %v", err)
+	}
+	if !strings.Contains(diag, "note over T: symptom at step 2") {
+		t.Errorf("diagram missing symptom note:\n%s", diag)
+	}
+	plain, err := sys.SequenceDiagramSymptom(tc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "symptom") {
+		t.Errorf("plain diagram carries a symptom note:\n%s", plain)
+	}
+	base, _ := sys.SequenceDiagram(tc)
+	if plain != base {
+		t.Error("SequenceDiagramSymptom(-1) differs from SequenceDiagram")
+	}
+}

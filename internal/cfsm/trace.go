@@ -1,0 +1,86 @@
+package cfsm
+
+import (
+	"strconv"
+
+	"cfsmdiag/internal/trace"
+)
+
+// SetTracer attaches a structured tracer to the runner. Every subsequent
+// Step emits sim.* events describing the input consumed, the transitions
+// fired, internal messages enqueued/dequeued, and the output observed.
+// A nil tracer detaches; with no tracer attached the hot path pays a single
+// pointer test (BenchmarkSimulation stays allocation-lean).
+func (r *Runner) SetTracer(t *trace.Tracer) { r.tracer = t }
+
+func portAttr(p int) string { return strconv.Itoa(p + 1) }
+
+// traceStep emits the events for one executed Step. It runs after the step
+// so the simulator semantics stay byte-for-byte identical with tracing on.
+func (r *Runner) traceStep(in Input, o Observation, ex []Executed, err error) {
+	t := r.tracer
+	t.Tick()
+	if in.IsReset() {
+		t.Emit(trace.KindSimStep, trace.A("input", in.String()), trace.A("reset", "true"))
+		t.Emit(trace.KindSimObserve, trace.A("output", o.String()), trace.A("port", portAttr(o.Port)))
+		return
+	}
+	t.Emit(trace.KindSimStep, trace.A("input", in.String()), trace.A("port", portAttr(in.Port)))
+	if err != nil {
+		t.Emit(trace.KindSimObserve, trace.A("error", err.Error()))
+		return
+	}
+	for i, e := range ex {
+		tr := e.Trans
+		machine := r.sys.machines[e.Machine].name
+		t.Emit(trace.KindSimFire,
+			trace.A("machine", machine),
+			trace.A("transition", tr.Name),
+			trace.A("from", string(tr.From)),
+			trace.A("to", string(tr.To)),
+			trace.A("on", string(tr.Input)),
+			trace.A("output", string(tr.Output)))
+		if tr.Internal() {
+			// Under the synchronization assumption the queue holds exactly
+			// this message between the send and the (immediate) receive.
+			dest := r.sys.machines[tr.Dest].name
+			t.Emit(trace.KindSimSend,
+				trace.A("from", machine),
+				trace.A("to", dest),
+				trace.A("message", string(tr.Output)),
+				trace.A("queue", "["+string(tr.Output)+"]"))
+			recv := []trace.KV{
+				trace.A("machine", dest),
+				trace.A("message", string(tr.Output)),
+				trace.A("queue", "[]"),
+			}
+			if i+1 >= len(ex) {
+				// The receiver had no transition for the symbol in its
+				// current state: the message is consumed silently.
+				recv = append(recv, trace.A("undefined", "true"))
+			}
+			t.Emit(trace.KindSimRecv, recv...)
+		}
+	}
+	t.Emit(trace.KindSimObserve, trace.A("output", o.String()), trace.A("port", portAttr(o.Port)))
+}
+
+// RunTraced executes a test case like RunTrace while emitting sim.* events
+// into tr, wrapped in a sim.case span. A nil tracer degrades to RunTrace.
+func (s *System) RunTraced(tc TestCase, tr *trace.Tracer) ([]Observation, [][]Executed, error) {
+	if tr == nil {
+		return s.RunTrace(tc)
+	}
+	span := tr.Begin(trace.KindSimCase,
+		trace.A("case", tc.Name),
+		trace.A("inputs", FormatInputs(tc.Inputs)))
+	r := s.NewRunner()
+	r.SetTracer(tr)
+	obs, steps, err := runTrace(r, tc)
+	if err != nil {
+		span.End(trace.A("error", err.Error()))
+		return nil, nil, err
+	}
+	span.End(trace.A("observed", FormatObs(obs)))
+	return obs, steps, nil
+}

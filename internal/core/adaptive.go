@@ -8,6 +8,7 @@ import (
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/testgen"
+	"cfsmdiag/internal/trace"
 )
 
 // Oracle executes test cases against the implementation under test and
@@ -77,6 +78,10 @@ type AdditionalTest struct {
 	Test     cfsm.TestCase
 	Expected []cfsm.Observation // the specification's prediction
 	Observed []cfsm.Observation
+	// Eliminated describes each behavioural variant this test refuted, as
+	// "hypothesis — reason" ("specification" names the fault-free variant).
+	// It is the evidence chain the explanation report renders.
+	Eliminated []string
 }
 
 // Localization is the result of Step 6.
@@ -138,13 +143,18 @@ func localize(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings) (*
 		case cfg.combinedEscalation && !a.Escalated:
 			widened = a.EscalateCombined()
 			cfg.tracer.Escalated("combined", len(a.Diagnoses))
+			cfg.trace.Emit(trace.KindEscalation,
+				trace.A("tier", "combined"), trace.A("diagnoses", itoa(len(a.Diagnoses))))
 			m.escalated("combined")
 		case cfg.addressEscalation && !a.AddressEscalated:
 			widened = a.EscalateAddress()
 			cfg.tracer.Escalated("address", len(a.Diagnoses))
+			cfg.trace.Emit(trace.KindEscalation,
+				trace.A("tier", "address"), trace.A("diagnoses", itoa(len(a.Diagnoses))))
 			m.escalated("address")
 		default:
 			m.finish(loc)
+			traceVerdict(cfg, loc)
 			return loc, nil
 		}
 		if !widened {
@@ -159,6 +169,7 @@ func localize(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings) (*
 		loc = retry
 	}
 	m.finish(loc)
+	traceVerdict(cfg, loc)
 	return loc, nil
 }
 
@@ -194,31 +205,53 @@ func localizeOnce(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings
 		progress = false
 		rounds++
 		m.roundCandidates.ObserveInt(len(pending))
+		rspan := cfg.trace.Begin(trace.KindRound,
+			trace.A("round", itoa(rounds)), trace.A("candidates", itoa(len(pending))))
 		var still []cfsm.Ref
 		for _, ref := range pending {
 			if err := ctx.Err(); err != nil {
+				rspan.End(trace.A("error", err.Error()))
 				return nil, fmt.Errorf("core: localization aborted: %w", err)
 			}
 			hyps := byRef[ref]
 			cfg.tracer.CandidateStart(ref, len(hyps))
+			cspan := cfg.trace.Begin(trace.KindCandidate,
+				trace.A("target", a.Spec.RefString(ref)), trace.A("hypotheses", itoa(len(hyps))))
 			outcome, err := testCandidate(a, oracle, loc, ref, hyps, avoidAll.Without(ref), cfg)
 			if err != nil {
+				cspan.End(trace.A("error", err.Error()))
+				rspan.End()
 				return nil, err
 			}
 			switch {
 			case outcome.localized != nil:
 				cfg.tracer.CandidateResolved(ref, "convicted")
+				cfg.trace.Emit(trace.KindResolved,
+					trace.A("target", a.Spec.RefString(ref)),
+					trace.A("outcome", "convicted"),
+					trace.A("fault", outcome.localized.Describe(a.Spec)))
+				cspan.End(trace.A("outcome", "convicted"))
+				rspan.End()
 				loc.Verdict = VerdictLocalized
 				loc.Fault = outcome.localized
 				m.rounds.ObserveInt(rounds)
 				return loc, nil
 			case outcome.cleared:
 				cfg.tracer.CandidateResolved(ref, "cleared")
+				cfg.trace.Emit(trace.KindResolved,
+					trace.A("target", a.Spec.RefString(ref)),
+					trace.A("outcome", "cleared"))
+				cspan.End(trace.A("outcome", "cleared"))
 				progress = true
 				loc.Cleared = append(loc.Cleared, ref)
 				delete(avoidAll, ref) // cleared transitions may appear in later tests
 			default:
 				cfg.tracer.CandidateResolved(ref, "unresolved")
+				cfg.trace.Emit(trace.KindResolved,
+					trace.A("target", a.Spec.RefString(ref)),
+					trace.A("outcome", "unresolved"),
+					trace.A("remaining", itoa(len(outcome.remaining))))
+				cspan.End(trace.A("outcome", "unresolved"))
 				byRef[ref] = outcome.remaining
 				if len(outcome.remaining) < len(hyps) {
 					progress = true
@@ -226,6 +259,7 @@ func localizeOnce(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings
 				still = append(still, ref)
 			}
 		}
+		rspan.End()
 		pending = still
 	}
 	m.rounds.ObserveInt(rounds)
@@ -338,16 +372,36 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 		if err != nil {
 			return candidateOutcome{}, fmt.Errorf("core: predict %s: %w", test.Name, err)
 		}
+		before := len(live)
+		var elims []elimination
+		live, elims = filterVariants(live, test, observed)
 		at := AdditionalTest{
 			Target:   ref,
 			Test:     test,
 			Expected: expected,
 			Observed: observed,
 		}
+		for _, el := range elims {
+			at.Eliminated = append(at.Eliminated, el.describe(a)+" — "+el.reason)
+		}
 		loc.AdditionalTests = append(loc.AdditionalTests, at)
-		before := len(live)
-		live = filterVariants(live, test, observed)
 		cfg.tracer.TestExecuted(at, before-len(live))
+		if cfg.trace.Enabled() {
+			cfg.trace.Emit(trace.KindTest,
+				trace.A("name", test.Name),
+				trace.A("target", a.Spec.RefString(ref)),
+				trace.A("inputs", cfsm.FormatInputs(test.Inputs)),
+				trace.A("expected", cfsm.FormatObs(expected)),
+				trace.A("observed", cfsm.FormatObs(observed)),
+				trace.A("eliminated", itoa(before-len(live))))
+			for _, el := range elims {
+				cfg.trace.Emit(trace.KindEliminate,
+					trace.A("test", test.Name),
+					trace.A("target", a.Spec.RefString(ref)),
+					trace.A("hypothesis", el.describe(a)),
+					trace.A("reason", el.reason))
+			}
+		}
 	}
 
 	switch {
@@ -430,20 +484,55 @@ func nextDiscriminatingTest(live []variant, prefix []cfsm.Input, avoid testgen.R
 	return cfsm.TestCase{}, false
 }
 
+// elimination records why one behavioural variant was refuted by a test: the
+// hypothesis it realized (nil for the specification) and the first point of
+// disagreement between its prediction and the observed outputs.
+type elimination struct {
+	fault  *fault.Fault
+	reason string
+}
+
+// describe names the eliminated variant for reports and trace events.
+func (el elimination) describe(a *Analysis) string {
+	if el.fault == nil {
+		return "specification"
+	}
+	return el.fault.Describe(a.Spec)
+}
+
 // filterVariants keeps the variants whose prediction for the test equals the
-// observed outputs.
-func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observation) []variant {
+// observed outputs, and reports why each dropped variant was eliminated.
+func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observation) ([]variant, []elimination) {
 	var out []variant
+	var elims []elimination
 	for _, v := range live {
 		predicted, err := v.sys.Run(test)
 		if err != nil {
+			elims = append(elims, elimination{fault: v.fault, reason: "prediction failed: " + err.Error()})
 			continue
 		}
 		if cfsm.ObsEqual(predicted, observed) {
 			out = append(out, v)
+			continue
+		}
+		elims = append(elims, elimination{fault: v.fault, reason: mismatchReason(predicted, observed)})
+	}
+	return out, elims
+}
+
+// mismatchReason pinpoints the first step where a variant's prediction and
+// the IUT's observation diverge (steps are 1-based, as in Table 1).
+func mismatchReason(predicted, observed []cfsm.Observation) string {
+	n := len(predicted)
+	if len(observed) < n {
+		n = len(observed)
+	}
+	for i := 0; i < n; i++ {
+		if predicted[i] != observed[i] {
+			return fmt.Sprintf("predicted %s at step %d but observed %s", predicted[i], i+1, observed[i])
 		}
 	}
-	return out
+	return fmt.Sprintf("predicted %d outputs but %d were observed", len(predicted), len(observed))
 }
 
 // Diagnose is the end-to-end convenience entry point: it executes the test

@@ -29,6 +29,7 @@ import (
 
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/trace"
 )
 
 // Symptom is one difference between expected and observed outputs
@@ -127,6 +128,7 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 	if len(observed) != len(suite) {
 		return nil, fmt.Errorf("core: %d observation sequences for %d test cases", len(observed), len(suite))
 	}
+	tspan := cfg.trace.Begin(trace.KindAnalyze, trace.A("cases", itoa(len(suite))))
 	a := &Analysis{
 		Spec:         spec,
 		Suite:        suite,
@@ -142,7 +144,7 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 	// Steps 1–3: expected outputs, symptoms, unique symptom transition, flag.
 	traces := make([][][]cfsm.Executed, len(suite))
 	for i, tc := range suite {
-		exp, steps, err := spec.RunTrace(tc)
+		exp, steps, err := spec.RunTraced(tc, cfg.trace)
 		if err != nil {
 			return nil, fmt.Errorf("core: simulate %s on specification: %w", tc.Name, err)
 		}
@@ -155,21 +157,27 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 	a.findSymptoms(traces)
 	m.analyses.Inc()
 	m.symptoms.Add(int64(len(a.Symptoms)))
+	a.traceSymptoms(cfg.trace)
 	if !a.HasSymptoms() {
 		m.diagnosisSize.ObserveInt(0)
+		tspan.End(trace.A("symptoms", "0"), trace.A("diagnoses", "0"))
 		return a, nil
 	}
 
 	// Step 4: conflict sets; Step 5A: initial tentative candidates.
 	a.buildConflictSets(traces)
 	a.intersectConflictSets()
+	a.traceConflicts(cfg.trace)
 
 	// Step 5B: split candidate sets and verify hypotheses.
 	a.splitCandidateSets()
+	a.traceCandidateSplit(cfg.trace)
 	a.verifyHypotheses()
+	a.traceHypotheses(cfg.trace)
 
 	// Step 5C: prune and emit diagnoses.
 	a.emitDiagnoses()
+	a.traceDiagnoses(cfg.trace)
 	for _, sets := range a.Conflicts {
 		size := 0
 		for _, refs := range sets {
@@ -178,6 +186,9 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		m.conflictSize.ObserveInt(size)
 	}
 	m.diagnosisSize.ObserveInt(len(a.Diagnoses))
+	tspan.End(
+		trace.A("symptoms", itoa(len(a.Symptoms))),
+		trace.A("diagnoses", itoa(len(a.Diagnoses))))
 	return a, nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "cfsmdiag/internal/obs"
+import (
+	"cfsmdiag/internal/obs"
+	"cfsmdiag/internal/trace"
+)
 
 // Option configures Analyze, Localize and the context-aware variants.
 type Option func(*settings)
@@ -11,6 +14,7 @@ type settings struct {
 	addressEscalation  bool // widen to addressing faults before giving up
 	tracer             Tracer
 	registry           *obs.Registry // nil = observability disabled
+	trace              *trace.Tracer // nil = structured tracing disabled
 }
 
 func defaultSettings() settings {

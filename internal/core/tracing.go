@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"cfsmdiag/internal/trace"
+)
+
+// WithTrace attaches a structured tracer: Analyze emits analyze.* events for
+// Steps 3–5 (symptoms, conflict sets, candidate splits, verified hypotheses,
+// diagnoses) and simulates the specification with sim.* step events, while
+// Localize emits localize.* round/candidate spans, every generated diagnostic
+// test with the oracle's answer, and the elimination reason for every refuted
+// variant. A nil tracer — the default — is a no-op (see internal/trace).
+//
+// WithTrace complements WithTracer (the human-readable narration hooks): the
+// structured trace is machine-consumable and feeds the JSONL/Chrome
+// exporters, the replay mode and the explanation report.
+func WithTrace(t *trace.Tracer) Option {
+	return func(s *settings) { s.trace = t }
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// traceSymptoms emits Step-3 events: one analyze.symptom per symptom plus the
+// unique-symptom-transition summary when it exists.
+func (a *Analysis) traceSymptoms(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	for _, s := range a.Symptoms {
+		attrs := []trace.KV{
+			trace.A("case", a.Suite[s.Case].Name),
+			trace.A("step", itoa(s.Step+1)),
+			trace.A("expected", s.Expected.String()),
+			trace.A("observed", s.Observed.String()),
+		}
+		if s.Transition != nil {
+			attrs = append(attrs, trace.A("transition", a.Spec.RefString(*s.Transition)))
+		}
+		tr.Emit(trace.KindSymptom, attrs...)
+	}
+	if a.UST != nil {
+		tr.Emit(trace.KindUST,
+			trace.A("transition", a.Spec.RefString(*a.UST)),
+			trace.A("observed_output", string(a.USO)),
+			trace.A("flag", strconv.FormatBool(a.Flag)))
+	}
+}
+
+// traceConflicts emits Step-4/5A events: the conflict set of every
+// symptomatic test case and their per-machine intersection.
+func (a *Analysis) traceConflicts(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	var cases []int
+	for i := range a.Conflicts {
+		cases = append(cases, i)
+	}
+	sort.Ints(cases)
+	for _, i := range cases {
+		tr.Emit(trace.KindConflictSet,
+			trace.A("case", a.Suite[i].Name),
+			trace.A("sets", FormatSets("Conf", a.Conflicts[i])))
+	}
+	tr.Emit(trace.KindConflictSet,
+		trace.A("case", "*"),
+		trace.A("sets", FormatSets("ITC", a.ITC)))
+}
+
+// traceCandidateSplit emits the Step-5B set construction.
+func (a *Analysis) traceCandidateSplit(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(trace.KindCandidateSplit,
+		trace.A("ustset", refNames(a.UstSet)),
+		trace.A("ftctr", FormatSets("FTCtr", a.FTCtr)),
+		trace.A("ftcco", FormatSets("FTCco", a.FTCco)))
+}
+
+// traceHypotheses emits one analyze.hypothesis event per candidate transition
+// that kept at least one verified hypothesis set after Step 5B.
+func (a *Analysis) traceHypotheses(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	for _, r := range sortedRefs(a.EndStates) {
+		tr.Emit(trace.KindHypothesis,
+			trace.A("transition", a.Spec.RefString(r)),
+			trace.A("kind", "transfer"),
+			trace.A("end_states", formatStates(a.EndStates[r])))
+	}
+	for _, r := range sortedSymRefs(a.Outputs) {
+		tr.Emit(trace.KindHypothesis,
+			trace.A("transition", a.Spec.RefString(r)),
+			trace.A("kind", "output"),
+			trace.A("outputs", formatSymbols(a.Outputs[r])))
+	}
+	for _, r := range sortedSORefs(a.StatOut) {
+		tr.Emit(trace.KindHypothesis,
+			trace.A("transition", a.Spec.RefString(r)),
+			trace.A("kind", "combined"),
+			trace.A("statout", formatStateOutputs(a.StatOut[r])))
+	}
+}
+
+// traceDiagnoses emits the surviving Step-5C diagnoses in order.
+func (a *Analysis) traceDiagnoses(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	for i, d := range a.Diagnoses {
+		tr.Emit(trace.KindDiagnosis,
+			trace.A("index", itoa(i+1)),
+			trace.A("fault", d.Describe(a.Spec)))
+	}
+}
+
+// traceVerdict emits the final localize.verdict event.
+func traceVerdict(cfg *settings, loc *Localization) {
+	if !cfg.trace.Enabled() {
+		return
+	}
+	attrs := []trace.KV{
+		trace.A("verdict", loc.Verdict.String()),
+		trace.A("cleared", formatCleared(loc)),
+		trace.A("additional_tests", itoa(len(loc.AdditionalTests))),
+	}
+	if loc.Fault != nil {
+		attrs = append(attrs, trace.A("fault", loc.Fault.Describe(loc.Analysis.Spec)))
+	}
+	if len(loc.Remaining) > 0 {
+		attrs = append(attrs, trace.A("remaining", itoa(len(loc.Remaining))))
+	}
+	cfg.trace.Emit(trace.KindVerdict, attrs...)
+}
+
+func formatCleared(loc *Localization) string {
+	parts := make([]string, len(loc.Cleared))
+	for i, r := range loc.Cleared {
+		parts[i] = loc.Analysis.Spec.RefString(r)
+	}
+	return strings.Join(parts, ", ")
+}

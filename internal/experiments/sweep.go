@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfsmdiag/internal/cfsm"
@@ -12,6 +13,7 @@ import (
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/testgen"
+	"cfsmdiag/internal/trace"
 )
 
 // MutantOutcome classifies the diagnosis of one mutant in a sweep.
@@ -111,6 +113,16 @@ type SweepOptions struct {
 	// busy-worker gauge, outcome counters, whole-sweep duration). Nil — the
 	// default — disables instrumentation.
 	Registry *obs.Registry
+	// Trace, when non-nil, records a structured trace for the first
+	// TraceFailures mutants whose suite run reveals a symptom (a "failing"
+	// IUT): each such mutant's diagnosis is re-run with core.WithTrace inside
+	// a sweep.mutant span. The tracer is shared by all workers (it is safe
+	// for concurrent use); under a parallel sweep the traced mutants are the
+	// first N to finish, and spans from different mutants may interleave.
+	Trace *trace.Tracer
+	// TraceFailures caps how many failing mutants are traced. Zero with a
+	// non-nil Trace means 1.
+	TraceFailures int
 }
 
 // Metric families of the sweep engine.
@@ -211,6 +223,13 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 		Counts: make(map[MutantOutcome]int),
 	}
 	met := newSweepMetrics(opts.Registry)
+	traceBudget := int64(0)
+	if opts.Trace != nil {
+		traceBudget = int64(opts.TraceFailures)
+		if traceBudget <= 0 {
+			traceBudget = 1
+		}
+	}
 	workers := opts.workers()
 	met.workers.Set(int64(workers))
 	sweepStart := time.Now()
@@ -223,7 +242,7 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 			}
 			met.busy.Inc()
 			start := time.Now()
-			report, err := diagnoseMutant(ctx, spec, suite, m, opts)
+			report, err := diagnoseMutant(ctx, spec, suite, m, opts, &traceBudget)
 			met.busy.Dec()
 			if err != nil {
 				if ctxErr := ctx.Err(); ctxErr != nil {
@@ -275,7 +294,7 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 				m := fault.Mutant{Fault: faults[idx], System: sys}
 				met.busy.Inc()
 				start := time.Now()
-				report, err := diagnoseMutant(wctx, spec, suite, m, opts)
+				report, err := diagnoseMutant(wctx, spec, suite, m, opts, &traceBudget)
 				met.busy.Dec()
 				// Each worker writes only its own index; no lock needed.
 				results[idx] = outcome{done: true, report: report, err: err}
@@ -335,7 +354,7 @@ func (res *SweepResult) add(report MutantReport) {
 // specification and classifies the outcome. It is pure with respect to
 // shared state — spec and suite are read-only — and therefore safe to call
 // from concurrent sweep workers.
-func diagnoseMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, opts SweepOptions) (MutantReport, error) {
+func diagnoseMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, opts SweepOptions, traceBudget *int64) (MutantReport, error) {
 	report := MutantReport{Fault: m.Fault}
 	oracle := &core.SystemOracle{Sys: m.System}
 	loc, err := core.DiagnoseContext(ctx, spec, suite, oracle, core.WithRegistry(opts.Registry))
@@ -372,7 +391,25 @@ func diagnoseMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 	default:
 		report.Outcome = OutcomeInconsistent
 	}
+	if opts.Trace != nil && report.Outcome != OutcomeUndetected && atomic.AddInt64(traceBudget, -1) >= 0 {
+		traceMutant(ctx, spec, suite, m, report.Outcome, opts.Trace)
+	}
 	return report, nil
+}
+
+// traceMutant re-runs one detected mutant's diagnosis with structured tracing
+// enabled, inside a sweep.mutant span. The diagnosis is deterministic, so the
+// re-run repeats exactly the result just classified; tracing the second pass
+// keeps the tracer entirely off the untraced mutants' path.
+func traceMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, m fault.Mutant, out MutantOutcome, tr *trace.Tracer) {
+	span := tr.Begin(trace.KindSweepMutant,
+		trace.A("fault", m.Fault.Describe(spec)),
+		trace.A("outcome", out.String()))
+	if _, err := core.DiagnoseContext(ctx, spec, suite, &core.SystemOracle{Sys: m.System}, core.WithTrace(tr)); err != nil {
+		span.End(trace.A("error", err.Error()))
+		return
+	}
+	span.End()
 }
 
 func diagnosedEquivalent(spec *cfsm.System, diagnosed fault.Fault, mutant *cfsm.System) bool {

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/trace"
+)
+
+// assertTraceValidates round-trips events through the JSONL exporter and its
+// schema validator.
+func assertTraceValidates(t *testing.T, events []trace.Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if n, err := trace.ValidateJSONL(&buf); err != nil {
+		t.Fatalf("ValidateJSONL: %v", err)
+	} else if n != len(events) {
+		t.Fatalf("ValidateJSONL counted %d events, wrote %d", n, len(events))
+	}
+}
+
+// TestRunSweepTracesFirstFailures checks the opt-in per-mutant tracing: a
+// serial sweep with TraceFailures: 2 records exactly two sweep.mutant spans,
+// each wrapping a full diagnosis of a detected mutant, and the trace passes
+// the exporter's schema validation.
+func TestRunSweepTracesFirstFailures(t *testing.T) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+
+	tr := trace.New()
+	res, err := RunSweepOpts(spec, suite, SweepOptions{
+		Workers:       1,
+		Trace:         tr,
+		TraceFailures: 2,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.Detected < 2 {
+		t.Fatalf("sweep detected %d mutants, need at least 2 for this test", res.Detected)
+	}
+	events := tr.Events()
+	if got := trace.CountKind(events, trace.KindSweepMutant, trace.PhaseBegin); got != 2 {
+		t.Fatalf("sweep.mutant begin spans = %d, want 2", got)
+	}
+	if got := trace.CountKind(events, trace.KindSweepMutant, trace.PhaseEnd); got != 2 {
+		t.Fatalf("sweep.mutant end spans = %d, want 2", got)
+	}
+	// Every traced mutant's diagnosis recorded its analysis and verdict.
+	if got := trace.CountKind(events, trace.KindAnalyze, trace.PhaseBegin); got != 2 {
+		t.Fatalf("analyze spans = %d, want 2", got)
+	}
+	if got := trace.CountKind(events, trace.KindVerdict, ""); got != 2 {
+		t.Fatalf("localize.verdict events = %d, want 2", got)
+	}
+	for _, e := range events {
+		if e.Kind == trace.KindSweepMutant && e.Phase == trace.PhaseBegin {
+			if e.Attrs["fault"] == "" || e.Attrs["outcome"] == "" {
+				t.Fatalf("sweep.mutant span lacks fault/outcome attrs: %+v", e)
+			}
+		}
+	}
+	assertTraceValidates(t, events)
+}
+
+// TestRunSweepSharedTracerParallel drives a parallel sweep with a shared
+// tracer and a budget larger than the worker count, so several workers trace
+// concurrently into the same ring. Run under -race this is the data-race
+// check for the tracer in its noisiest real consumer; functionally it checks
+// the budget is honored exactly despite concurrent decrements.
+func TestRunSweepSharedTracerParallel(t *testing.T) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+
+	const budget = 4
+	tr := trace.New()
+	res, err := RunSweepOpts(spec, suite, SweepOptions{
+		Workers:       8,
+		Trace:         tr,
+		TraceFailures: budget,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.Detected < budget {
+		t.Fatalf("sweep detected %d mutants, need at least %d", res.Detected, budget)
+	}
+	events := tr.Events()
+	if got := trace.CountKind(events, trace.KindSweepMutant, trace.PhaseBegin); got != budget {
+		t.Fatalf("sweep.mutant begin spans = %d, want %d", got, budget)
+	}
+	if got := trace.CountKind(events, trace.KindSweepMutant, trace.PhaseEnd); got != budget {
+		t.Fatalf("sweep.mutant end spans = %d, want %d", got, budget)
+	}
+	// Sequence numbers must be unique and strictly increasing even though
+	// eight workers emitted concurrently.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event %d: seq %d not after %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+}
+
+// TestRunSweepTraceDefaultsToOne: a non-nil tracer with TraceFailures left
+// zero traces exactly one failing mutant.
+func TestRunSweepTraceDefaultsToOne(t *testing.T) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+
+	tr := trace.New()
+	if _, err := RunSweepOpts(spec, suite, SweepOptions{Workers: 1, Trace: tr}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if got := trace.CountKind(tr.Events(), trace.KindSweepMutant, trace.PhaseBegin); got != 1 {
+		t.Fatalf("sweep.mutant begin spans = %d, want 1", got)
+	}
+}

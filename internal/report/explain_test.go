@@ -1,0 +1,108 @@
+package report_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/report"
+	"cfsmdiag/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// figure1Traced performs the Figure 1 / t″4 diagnosis with tracing enabled.
+func figure1Traced(t *testing.T) (*core.Localization, *trace.Tracer) {
+	t.Helper()
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := paper.TestSuite()
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		if observed[i], err = iut.Run(tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := trace.New()
+	a, err := core.Analyze(spec, suite, observed, core.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.Localize(a, &core.SystemOracle{Sys: iut}, core.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loc, tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (re-run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestExplanationGoldenFigure1 pins the explanation report for the paper's
+// walkthrough: t7 cleared by the first additional test, t″4 convicted.
+func TestExplanationGoldenFigure1(t *testing.T) {
+	loc, _ := figure1Traced(t)
+	text := report.Explanation(loc)
+
+	// Semantic anchors from Section 4, independent of exact layout.
+	for _, want := range []string{
+		"tc1, step 6",                        // the symptom
+		"unique symptom transition is M1.t7", // Step 3
+		`M1.t7 — cleared`,                    // first candidate resolved
+		`"R, c^1, b^1"`,                      // the paper's first additional test
+		`M3.t"4 — convicted`,                 // the conviction
+		"fault localized",                    // the verdict
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explanation lacks %q:\n%s", want, text)
+		}
+	}
+	checkGolden(t, "explain_figure1.golden.md", []byte(text))
+}
+
+// TestChromeTraceGoldenFigure1 pins the Chrome trace-event export of the
+// Step-6 localization events for the same walkthrough.
+func TestChromeTraceGoldenFigure1(t *testing.T) {
+	_, tr := figure1Traced(t)
+	var localize []trace.Event
+	for _, e := range tr.Events() {
+		if strings.HasPrefix(string(e.Kind), "localize.") {
+			localize = append(localize, e)
+		}
+	}
+	if len(localize) == 0 {
+		t.Fatal("no localize.* events recorded")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, localize); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_figure1_localize.golden.json", buf.Bytes())
+}

@@ -94,20 +94,30 @@ func Markdown(loc *core.Localization) (string, error) {
 	}
 
 	// Sequence diagram of the convicting evidence: the last additional test
-	// if any, otherwise the first symptomatic test case.
+	// if any, otherwise the first symptomatic test case. The step where
+	// expected and observed outputs diverge is annotated in the diagram.
 	var convicting *cfsm.TestCase
+	symptomStep := -1
 	if n := len(loc.AdditionalTests); n > 0 {
-		convicting = &loc.AdditionalTests[n-1].Test
+		at := loc.AdditionalTests[n-1]
+		convicting = &at.Test
+		for i := range at.Expected {
+			if i >= len(at.Observed) || at.Observed[i] != at.Expected[i] {
+				symptomStep = i
+				break
+			}
+		}
 	} else if a.HasSymptoms() {
 		for i := range a.Suite {
-			if _, ok := a.FirstSymptom[i]; ok {
+			if step, ok := a.FirstSymptom[i]; ok {
 				convicting = &a.Suite[i]
+				symptomStep = step
 				break
 			}
 		}
 	}
 	if convicting != nil {
-		diag, err := a.Spec.SequenceDiagram(*convicting)
+		diag, err := a.Spec.SequenceDiagramSymptom(*convicting, symptomStep)
 		if err != nil {
 			return "", fmt.Errorf("report: sequence diagram: %w", err)
 		}

@@ -13,6 +13,8 @@
 //	                    "observations": [[token...]...]}        -> diagnoses + planned tests
 //	POST /v1/diagnose  {"spec": <system>, "iut": <system>,
 //	                    "suite": [<case>...]?}                  -> verdict + fault + log
+//	                   ?trace=1 (requires Config.EnableTracing)  -> + structured trace,
+//	                    replayable offline with `cfsmdiag replay`; 501 when disabled
 //	GET  /healthz                                               -> liveness probe
 //	GET  /metrics                                               -> Prometheus text exposition
 //
@@ -28,9 +30,10 @@
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
 // with codes bad_request, method_not_allowed, unsupported_media_type,
-// payload_too_large, suite_too_large, unprocessable, not_found, timeout,
-// canceled and internal. Wrong methods answer 405 with an Allow header;
-// non-JSON content types answer 415.
+// payload_too_large, suite_too_large, unprocessable, not_found,
+// not_implemented, timeout, canceled and internal. Wrong methods answer 405
+// with an Allow header; non-JSON content types answer 415; "?trace=1" on a
+// server without tracing answers 501.
 //
 // # Observability
 //
@@ -58,7 +61,9 @@ import (
 	"cfsmdiag/internal/experiments"
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
+	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/testgen"
+	"cfsmdiag/internal/trace"
 )
 
 // Config tunes the service. The zero value is production-safe: metrics on a
@@ -82,6 +87,12 @@ type Config struct {
 	MaxCaseInputs int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// EnableTracing honors "?trace=1" on /v1/diagnose: the diagnosis runs
+	// with a per-request structured tracer and the response carries the
+	// events inline (replayable with `cfsmdiag replay`). When disabled the
+	// query parameter answers 501 so clients can distinguish "tracing off"
+	// from "unknown route".
+	EnableTracing bool
 	// InstrumentSimulator installs the process-wide simulator step/reset
 	// counters on Registry (cfsm.InstrumentSimulator). Because the hook is
 	// process-global, enable it from exactly one server per process.
@@ -126,20 +137,18 @@ func New(cfg Config) http.Handler {
 	}
 
 	mux := http.NewServeMux()
-	routes := []struct {
-		path string
-		h    http.HandlerFunc
-	}{
-		{"/v1/validate", s.handleValidate},
-		{"/v1/suite", s.handleSuite},
-		{"/v1/analyze", s.handleAnalyze},
-		{"/v1/diagnose", s.handleDiagnose},
+	handlers := map[string]http.HandlerFunc{
+		"/v1/validate": s.handleValidate,
+		"/v1/suite":    s.handleSuite,
+		"/v1/analyze":  s.handleAnalyze,
+		"/v1/diagnose": s.handleDiagnose,
 	}
-	for _, rt := range routes {
-		mux.Handle(rt.path, s.wrap(rt.path, s.post(rt.h)))
+	for _, path := range v1Paths {
+		h := handlers[path]
+		mux.Handle(path, s.wrap(path, s.post(h)))
 		// Deprecated unversioned alias, kept for one release.
-		alias := "/api" + rt.path[len("/v1"):]
-		mux.Handle(alias, s.wrap(alias, s.deprecated(rt.path, s.post(rt.h))))
+		alias := "/api" + path[len("/v1"):]
+		mux.Handle(alias, s.wrap(alias, s.deprecated(path, s.post(h))))
 	}
 	mux.Handle("/healthz", s.wrap("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.wrap("/metrics", s.handleMetrics))
@@ -160,6 +169,27 @@ func New(cfg Config) http.Handler {
 // zero-configuration entry point used by earlier releases.
 func Handler() http.Handler { return New(Config{}) }
 
+// v1Paths lists the versioned JSON endpoints in display order; New mounts
+// them and RouteList renders them for startup logging.
+var v1Paths = []string{"/v1/validate", "/v1/suite", "/v1/analyze", "/v1/diagnose"}
+
+// RouteList names every route a handler built from cfg serves, in display
+// order, so `cfsmdiag serve` can log the surface at startup.
+func RouteList(cfg Config) []string {
+	var routes []string
+	for _, p := range v1Paths {
+		routes = append(routes, "POST "+p)
+	}
+	for _, p := range v1Paths {
+		routes = append(routes, "POST /api"+p[len("/v1"):]+" (deprecated)")
+	}
+	routes = append(routes, "GET /healthz", "GET /metrics")
+	if cfg.EnablePprof {
+		routes = append(routes, "GET /debug/pprof/")
+	}
+	return routes
+}
+
 // --- error envelope ---
 
 // Error codes of the v1 envelope.
@@ -171,6 +201,7 @@ const (
 	codeSuiteTooLarge    = "suite_too_large"
 	codeUnprocessable    = "unprocessable"
 	codeNotFound         = "not_found"
+	codeNotImplemented   = "not_implemented"
 	codeTimeout          = "timeout"
 	codeCanceled         = "canceled"
 	codeInternal         = "internal"
@@ -472,9 +503,29 @@ type diagnoseResponse struct {
 	SuiteCases      int                  `json:"suiteCases"`
 	TotalTests      int                  `json:"totalTests"`
 	TotalInputs     int                  `json:"totalInputs"`
+	// Trace carries the structured trace of the run when the request asked
+	// for "?trace=1" and the server has tracing enabled. It includes the
+	// replay header events, so writing it to a file as JSON-lines yields a
+	// trace `cfsmdiag replay` accepts.
+	Trace []trace.Event `json:"trace,omitempty"`
+}
+
+// traceRequested reports whether the request opted into structured tracing.
+func traceRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	wantTrace := traceRequested(r)
+	if wantTrace && !s.cfg.EnableTracing {
+		writeErr(w, http.StatusNotImplemented, codeNotImplemented,
+			fmt.Errorf("structured tracing is disabled on this server; restart it with tracing enabled to use ?trace=1"))
+		return
+	}
 	var req diagnoseRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -507,13 +558,53 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if req.MaxAdditionalTests > 0 {
 		opts = append(opts, core.WithMaxAdditionalTests(req.MaxAdditionalTests))
 	}
+	var tr *trace.Tracer
+	if wantTrace {
+		tr = trace.New()
+		opts = append(opts, core.WithTrace(tr))
+	}
 	// The request context carries the configured timeout and the client's
 	// disconnect; a slow adaptive localization stops at the next oracle
 	// boundary once it is done.
-	loc, err := core.DiagnoseContext(r.Context(), spec, suite, oracle, opts...)
-	if err != nil {
-		writePipelineErr(w, err)
-		return
+	var loc *core.Localization
+	if tr != nil {
+		// The traced path executes the suite by hand so the replay header
+		// (run.spec / run.case / run.observed) can be recorded before the
+		// analysis events: the response's trace is then directly replayable.
+		observed := make([][]cfsm.Observation, len(suite))
+		for i, tc := range suite {
+			if err := r.Context().Err(); err != nil {
+				writePipelineErr(w, err)
+				return
+			}
+			if observed[i], err = oracle.Execute(tc); err != nil {
+				writePipelineErr(w, fmt.Errorf("execute %s: %w", tc.Name, err))
+				return
+			}
+		}
+		if err = replay.Record(tr, spec, suite, observed); err != nil {
+			writeErr(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+		var a *core.Analysis
+		if a, err = core.Analyze(spec, suite, observed, opts...); err != nil {
+			writePipelineErr(w, err)
+			return
+		}
+		if loc, err = core.LocalizeContext(r.Context(), a, oracle, opts...); err != nil {
+			writePipelineErr(w, err)
+			return
+		}
+		s.cfg.Logger.Info("traced diagnosis",
+			"request_id", RequestID(r.Context()),
+			"verdict", loc.Verdict.String(),
+			"trace_events", tr.Len())
+	} else {
+		loc, err = core.DiagnoseContext(r.Context(), spec, suite, oracle, opts...)
+		if err != nil {
+			writePipelineErr(w, err)
+			return
+		}
 	}
 	resp := diagnoseResponse{
 		Verdict:     loc.Verdict.String(),
@@ -537,6 +628,9 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			Expected: encodeObservations(at.Expected),
 			Observed: encodeObservations(at.Observed),
 		})
+	}
+	if tr != nil {
+		resp.Trace = tr.Events()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSONL writes one event per line as JSON.  Output is byte-deterministic
+// for a given event slice (encoding/json sorts map keys).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace.  Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// ValidateJSONL is the exporter's own schema check: every line must parse as
+// an Event with a known kind, sequence numbers must be strictly increasing,
+// phases must be ""/"B"/"E", span ids must appear exactly on span edges, and
+// every B must be closed by a matching E of the same kind.  It returns the
+// number of validated events.  Ring-truncated traces (which may have lost a
+// B edge) do not validate; validation targets complete exported traces.
+func ValidateJSONL(r io.Reader) (int, error) {
+	events, err := ReadJSONL(r)
+	if err != nil {
+		return 0, err
+	}
+	var lastSeq uint64
+	open := make(map[uint64]Kind)
+	for i, e := range events {
+		where := fmt.Sprintf("trace: event %d (seq %d)", i+1, e.Seq)
+		if !KnownKind(e.Kind) {
+			return 0, fmt.Errorf("%s: unknown kind %q", where, e.Kind)
+		}
+		if e.Seq <= lastSeq {
+			return 0, fmt.Errorf("%s: sequence not strictly increasing (previous %d)", where, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Phase {
+		case "":
+			if e.Span != 0 {
+				return 0, fmt.Errorf("%s: instant event carries span id %d", where, e.Span)
+			}
+		case PhaseBegin:
+			if e.Span == 0 {
+				return 0, fmt.Errorf("%s: span begin without span id", where)
+			}
+			if prev, ok := open[e.Span]; ok {
+				return 0, fmt.Errorf("%s: span %d already open as %q", where, e.Span, prev)
+			}
+			open[e.Span] = e.Kind
+		case PhaseEnd:
+			kind, ok := open[e.Span]
+			if !ok {
+				return 0, fmt.Errorf("%s: span end %d without matching begin", where, e.Span)
+			}
+			if kind != e.Kind {
+				return 0, fmt.Errorf("%s: span %d ends as %q but began as %q", where, e.Span, e.Kind, kind)
+			}
+			delete(open, e.Span)
+		default:
+			return 0, fmt.Errorf("%s: invalid phase %q", where, e.Phase)
+		}
+	}
+	if len(open) > 0 {
+		for id, kind := range open {
+			return 0, fmt.Errorf("trace: span %d (%q) never closed", id, kind)
+		}
+	}
+	return len(events), nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("traceEvents"
+// JSON array), loadable in Perfetto or chrome://tracing.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID maps a kind's stage prefix to a synthetic thread id so Perfetto
+// renders the simulator, analysis, and localization as separate tracks.
+func chromeTID(k Kind) int {
+	s := string(k)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		s = s[:i]
+	}
+	switch s {
+	case "run":
+		return 0
+	case "sim":
+		return 1
+	case "analyze":
+		return 2
+	case "localize":
+		return 3
+	case "sweep":
+		return 4
+	default:
+		return 9
+	}
+}
+
+// WriteChromeTrace exports events in Chrome trace-event format.  Timestamps
+// use the event sequence number (in microseconds) rather than wall-clock
+// time so exports stay deterministic; the simulation step clock is kept as
+// an argument on every event.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeFile{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: string(e.Kind),
+			Cat:  string(e.Kind),
+			TS:   e.Seq,
+			PID:  1,
+			TID:  chromeTID(e.Kind),
+			Args: map[string]string{"clock": fmt.Sprintf("%d", e.Clock)},
+		}
+		if i := strings.IndexByte(ce.Cat, '.'); i >= 0 {
+			ce.Cat = ce.Cat[:i]
+		}
+		for k, v := range e.Attrs {
+			ce.Args[k] = v
+		}
+		switch e.Phase {
+		case PhaseBegin:
+			ce.Phase = "B"
+		case PhaseEnd:
+			ce.Phase = "E"
+		default:
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Tick()
+	tr.Emit(KindSimStep, A("input", "a^1"))
+	sp := tr.Begin(KindAnalyze)
+	sp.End()
+	tr.Reset()
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer returned events: %v", got)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Clock() != 0 {
+		t.Fatal("nil tracer reports nonzero state")
+	}
+}
+
+func TestEmitAndSpans(t *testing.T) {
+	tr := New()
+	tr.Tick()
+	sp := tr.Begin(KindAnalyze, A("cases", "2"))
+	tr.Emit(KindSymptom, A("case", "tc1"), A("step", "6"))
+	tr.Tick()
+	sp.End(A("diagnoses", "3"))
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != KindAnalyze || evs[0].Phase != PhaseBegin || evs[0].Span == 0 {
+		t.Fatalf("bad begin event: %+v", evs[0])
+	}
+	if evs[1].Kind != KindSymptom || evs[1].Phase != "" || evs[1].Span != 0 {
+		t.Fatalf("bad instant event: %+v", evs[1])
+	}
+	if evs[2].Phase != PhaseEnd || evs[2].Span != evs[0].Span {
+		t.Fatalf("end does not match begin: %+v", evs[2])
+	}
+	if evs[0].Clock != 1 || evs[2].Clock != 2 {
+		t.Fatalf("clock not threaded: begin %d end %d", evs[0].Clock, evs[2].Clock)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if evs[1].Attrs["case"] != "tc1" || evs[1].Attrs["step"] != "6" {
+		t.Fatalf("attrs lost: %v", evs[1].Attrs)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	tr := NewRing(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(KindSimStep, A("i", string(rune('a'+i))))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("ring kept wrong window: seqs %d..%d", evs[0].Seq, evs[2].Seq)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tr := New()
+	tr.Tick()
+	tr.Emit(KindSimStep)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Clock() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	tr.Emit(KindSimStep)
+	if evs := tr.Events(); evs[0].Seq != 1 {
+		t.Fatalf("seq did not restart: %d", evs[0].Seq)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Tick()
+				sp := tr.Begin(KindSweepMutant)
+				tr.Emit(KindSimStep)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8*100*3 {
+		t.Fatalf("lost events: %d", tr.Len())
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range tr.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestJSONLRoundTripAndValidate(t *testing.T) {
+	tr := New()
+	tr.Tick()
+	sp := tr.Begin(KindRound, A("round", "1"))
+	tr.Emit(KindTest, A("inputs", "R, c^1, b^1"), A("observed", "-, a^2, d'^1"))
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Count(text, "\n") != 3 {
+		t.Fatalf("want 3 lines, got:\n%s", text)
+	}
+
+	back, err := ReadJSONL(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[1].Attrs["inputs"] != "R, c^1, b^1" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	n, err := ValidateJSONL(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("validated %d events, want 3", n)
+	}
+
+	// Determinism: re-encoding yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != text {
+		t.Fatal("JSONL export is not byte-deterministic")
+	}
+}
+
+func TestValidateJSONLRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines string
+		want  string
+	}{
+		{"unknown kind", `{"seq":1,"clock":0,"kind":"bogus"}`, "unknown kind"},
+		{"seq regression", `{"seq":2,"clock":0,"kind":"sim.step"}` + "\n" + `{"seq":1,"clock":0,"kind":"sim.step"}`, "strictly increasing"},
+		{"bad phase", `{"seq":1,"clock":0,"kind":"sim.step","phase":"X"}`, "invalid phase"},
+		{"instant with span", `{"seq":1,"clock":0,"kind":"sim.step","span":7}`, "carries span id"},
+		{"unclosed span", `{"seq":1,"clock":0,"kind":"localize.round","phase":"B","span":1}`, "never closed"},
+		{"end without begin", `{"seq":1,"clock":0,"kind":"localize.round","phase":"E","span":1}`, "without matching begin"},
+		{"kind mismatch", `{"seq":1,"clock":0,"kind":"localize.round","phase":"B","span":1}` + "\n" + `{"seq":2,"clock":0,"kind":"analyze","phase":"E","span":1}`, "began as"},
+		{"not json", `nope`, "invalid character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateJSONL(strings.NewReader(tc.lines))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New()
+	tr.Tick()
+	sp := tr.Begin(KindRound, A("round", "1"))
+	tr.Emit(KindEliminate, A("reason", "predicted c'^1, observed d'^1"))
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("got %d chrome events, want 3", len(out.TraceEvents))
+	}
+	first := out.TraceEvents[0]
+	if first["ph"] != "B" || first["cat"] != "localize" || first["name"] != "localize.round" {
+		t.Fatalf("bad span begin: %v", first)
+	}
+	mid := out.TraceEvents[1]
+	if mid["ph"] != "i" || mid["s"] != "t" {
+		t.Fatalf("bad instant: %v", mid)
+	}
+	args := mid["args"].(map[string]any)
+	if args["reason"] != "predicted c'^1, observed d'^1" || args["clock"] != "1" {
+		t.Fatalf("bad args: %v", args)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(KindRound)
+	sp.End()
+	sp2 := tr.Begin(KindRound)
+	sp2.End()
+	tr.Emit(KindTest)
+	if got := CountKind(tr.Events(), KindRound, PhaseBegin); got != 2 {
+		t.Fatalf("CountKind rounds = %d, want 2", got)
+	}
+	if got := CountKind(tr.Events(), KindTest, ""); got != 1 {
+		t.Fatalf("CountKind tests = %d, want 1", got)
+	}
+}
