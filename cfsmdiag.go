@@ -75,7 +75,16 @@ const (
 	VerdictLocalized    = core.VerdictLocalized
 	VerdictAmbiguous    = core.VerdictAmbiguous
 	VerdictInconsistent = core.VerdictInconsistent
+	// VerdictInconclusive: some candidates never yielded a trustworthy
+	// observation (see ErrUnreliableObservation and internal/resilient).
+	VerdictInconclusive = core.VerdictInconclusive
 )
+
+// ErrUnreliableObservation marks an oracle execution whose observations
+// could not be trusted even after the resilient layer's retries and
+// majority votes; Step 6 turns it into VerdictInconclusive instead of
+// convicting on bad evidence.
+var ErrUnreliableObservation = core.ErrUnreliableObservation
 
 // NewMachine builds and validates one machine of a system.
 func NewMachine(name string, initial State, states []State, transitions []Transition) (*Machine, error) {

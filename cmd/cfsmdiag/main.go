@@ -16,12 +16,15 @@
 //	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
 //	cfsmdiag diagnose    -spec s.json -iut i.json | -paper  [-suite t.json] [-report]
 //	                     [-narrate] [-trace out.jsonl] [-chrome out.json] [-explain] [-stats]
+//	                     [-oracle-timeout d] [-oracle-retries N] [-oracle-votes K] [-oracle-seed S]
+//	                     [-chaos-drop p] [-chaos-garble p] [-chaos-transient p] [-chaos-seed S]
 //	cfsmdiag replay      <trace.jsonl> [-explain] [-chrome out.json]
 //	                     re-run a recorded diagnosis offline (zero live oracle calls)
 //	cfsmdiag record      <system.json> -suite t.json      observation log
 //	cfsmdiag analyze     -spec s.json -suite t.json -obs o.json   offline analysis
 //	cfsmdiag serve       [-addr host:port] [-timeout d] [-pprof] [-tracing=false]
 //	                     [-logjson] [-quiet]
+//	                     [-oracle-timeout d] [-oracle-retries N] [-oracle-votes K]
 //	                     versioned JSON-over-HTTP service with /metrics + /healthz
 //
 // The diagnose subcommand runs the full algorithm of the paper: it executes
@@ -31,11 +34,20 @@
 // JSONL trace of every pipeline step; the replay subcommand re-runs the
 // adaptive localization from such a trace, answering every diagnostic test
 // from the recording instead of a live implementation.
+//
+// The -oracle-* flags harden the diagnosis against unreliable observations
+// (internal/resilient): a per-execution timeout, bounded retries with
+// exponential backoff and seeded jitter, and K-way majority voting.
+// Observations that stay unconfirmed degrade the run to the inconclusive
+// verdict instead of convicting on bad evidence. The -chaos-* flags splice a
+// seeded observation-fault injector in front of the retry layer for chaos
+// testing (EXPERIMENTS.md E12).
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +67,7 @@ import (
 	"cfsmdiag/internal/paper"
 	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/report"
+	"cfsmdiag/internal/resilient"
 	"cfsmdiag/internal/server"
 	"cfsmdiag/internal/testgen"
 	"cfsmdiag/internal/trace"
@@ -267,6 +280,14 @@ func cmdDiagnose(args []string, out io.Writer) error {
 	chromePath := fs.String("chrome", "", "write a Chrome trace-event file to this path (load in Perfetto or chrome://tracing)")
 	explain := fs.Bool("explain", false, "append the Markdown explanation report (the paper's Section 4 narrative)")
 	stats := fs.Bool("stats", false, "append a cost report (oracle queries, refinement rounds, simulator steps, wall time)")
+	oracleTimeout := fs.Duration("oracle-timeout", 0, "per-execution oracle timeout (0 = none); enables the resilient retry layer")
+	oracleRetries := fs.Int("oracle-retries", 0, "failed oracle executions tolerated per query; enables the resilient retry layer")
+	oracleVotes := fs.Int("oracle-votes", 0, "successful executions majority-voted per diagnostic test (<=1 = no voting)")
+	oracleSeed := fs.Int64("oracle-seed", 0, "seed for the retry layer's backoff jitter")
+	chaosDrop := fs.Float64("chaos-drop", 0, "chaos: probability of dropping one observation per execution")
+	chaosGarble := fs.Float64("chaos-garble", 0, "chaos: probability of garbling one observation per execution")
+	chaosTransient := fs.Float64("chaos-transient", 0, "chaos: probability of a transient oracle error per execution")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the chaos fault schedule")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -323,11 +344,43 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		tr = trace.New()
 		opts = append(opts, core.WithTrace(tr))
 	}
-	oracle := &core.SystemOracle{Sys: iut}
+	// The oracle chain mirrors the deployment stack: the system under test,
+	// optionally perturbed by the chaos injector, optionally hardened by the
+	// resilient retry layer. Suite execution and the adaptive phase both go
+	// through the full chain, so injected faults on suite cases are absorbed
+	// (or surfaced as an unreliable-observation error) before analysis.
+	base := &core.SystemOracle{Sys: iut}
+	var oracle core.Oracle = base
+	var injector *resilient.FaultInjector
+	if *chaosDrop > 0 || *chaosGarble > 0 || *chaosTransient > 0 {
+		injector = resilient.NewFaultInjector(oracle, resilient.InjectConfig{
+			Drop: *chaosDrop, Garble: *chaosGarble, Transient: *chaosTransient,
+			Seed: *chaosSeed, Tracer: tr,
+		})
+		oracle = injector
+	}
+	var hardened *resilient.RetryOracle
+	if *oracleTimeout > 0 || *oracleRetries > 0 || *oracleVotes > 1 {
+		cfg := resilient.RetryConfig{
+			Timeout: *oracleTimeout, Retries: *oracleRetries, Votes: *oracleVotes,
+			Seed: *oracleSeed, Tracer: tr,
+		}
+		if collector != nil {
+			cfg.Registry = collector.reg
+		}
+		hardened = resilient.NewRetryOracle(oracle, cfg)
+		oracle = hardened
+	}
 	observed := make([][]cfsm.Observation, len(suite))
 	for i, tc := range suite {
 		obs, err := oracle.Execute(tc)
 		if err != nil {
+			if errors.Is(err, core.ErrUnreliableObservation) {
+				// Step 6 can degrade to the inconclusive verdict, but Steps 1–5
+				// need a trusted baseline: without suite observations there is
+				// nothing to analyze.
+				return fmt.Errorf("suite case %s: %w — no trusted baseline for analysis; raise -oracle-retries/-oracle-votes or lower the -chaos-* rates", tc.Name, err)
+			}
 			return err
 		}
 		observed[i] = obs
@@ -357,13 +410,24 @@ func cmdDiagnose(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprint(out, a.Report())
 		fmt.Fprint(out, loc.Report())
-		fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", oracle.Tests, oracle.Inputs, len(suite))
+		fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", base.Tests, base.Inputs, len(suite))
+	}
+	if injector != nil {
+		fmt.Fprintf(out, "chaos: %d faults injected (%s, seed %d)\n",
+			injector.InjectedTotal(), resilient.InjectConfig{
+				Drop: *chaosDrop, Garble: *chaosGarble, Transient: *chaosTransient,
+			}.Describe(), *chaosSeed)
+	}
+	if hardened != nil {
+		st := hardened.Stats()
+		fmt.Fprintf(out, "resilient: %d queries, %d attempts, %d retries, %d timeouts, %d vote disagreements, %d unreliable\n",
+			st.Queries, st.Attempts, st.Retries, st.Timeouts, st.Disagreements, st.Unreliable)
 	}
 	if *explain {
 		fmt.Fprint(out, report.Explanation(loc))
 	}
 	if collector != nil {
-		collector.printDiagnose(out, oracle, loc)
+		collector.printDiagnose(out, base, loc)
 	}
 	if *tracePath != "" {
 		if err := writeTraceFile(*tracePath, tr.Events(), trace.WriteJSONL); err != nil {
@@ -413,6 +477,9 @@ func cmdReplay(args []string, out io.Writer) error {
 	}
 	n, err := trace.ValidateJSONL(bytes.NewReader(data))
 	if err != nil {
+		if errors.Is(err, trace.ErrTruncatedTrace) {
+			return fmt.Errorf("%s: %w — the recording was cut short; re-record the run", fs.Arg(0), err)
+		}
 		return fmt.Errorf("%s: invalid trace: %w", fs.Arg(0), err)
 	}
 	events, err := trace.ReadJSONL(bytes.NewReader(data))
@@ -421,6 +488,9 @@ func cmdReplay(args []string, out io.Writer) error {
 	}
 	rec, err := replay.Load(events)
 	if err != nil {
+		if errors.Is(err, trace.ErrTruncatedTrace) {
+			return fmt.Errorf("%s: %w — the recording was cut short; re-record the run", fs.Arg(0), err)
+		}
 		return err
 	}
 	loc, oracle, err := rec.Localize()
@@ -433,6 +503,11 @@ func cmdReplay(args []string, out io.Writer) error {
 	fmt.Fprint(out, loc.Report())
 	fmt.Fprintf(out, "replay: %d oracle queries served from the recording, 0 live executions\n", oracle.Queries)
 	if err := rec.Check(loc); err != nil {
+		if errors.Is(err, trace.ErrTruncatedTrace) {
+			// A trace without a recorded verdict cannot diverge — it was cut
+			// short before the verdict event; do not misreport divergence.
+			return fmt.Errorf("%s: %w — the recording was cut short; re-record the run", fs.Arg(0), err)
+		}
 		return fmt.Errorf("replay diverged from the recorded run: %w", err)
 	}
 	fmt.Fprintln(out, "replay: verdict matches the recorded run")
@@ -657,6 +732,9 @@ func cmdServe(args []string, out io.Writer) error {
 	tracing := fs.Bool("tracing", true, "honor ?trace=1 on /v1/diagnose (inline structured traces)")
 	logJSON := fs.Bool("logjson", false, "emit access logs as JSON instead of text")
 	quiet := fs.Bool("quiet", false, "disable access logging")
+	oracleTimeout := fs.Duration("oracle-timeout", 0, "per-execution oracle timeout for diagnoses (0 = none); enables the resilient retry layer")
+	oracleRetries := fs.Int("oracle-retries", 0, "failed oracle executions tolerated per diagnostic query")
+	oracleVotes := fs.Int("oracle-votes", 0, "successful executions majority-voted per diagnostic test (<=1 = no voting)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -671,6 +749,9 @@ func cmdServe(args []string, out io.Writer) error {
 		EnablePprof:         *pprofOn,
 		EnableTracing:       *tracing,
 		InstrumentSimulator: true,
+		OracleTimeout:       *oracleTimeout,
+		OracleRetries:       *oracleRetries,
+		OracleVotes:         *oracleVotes,
 	}
 	handler := server.New(cfg)
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// recordPaperTrace runs a traced -paper diagnosis and returns the JSONL
+// trace's lines, the raw material the truncation cases below corrupt.
+func recordPaperTrace(t *testing.T) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, err := runCLI(t, "diagnose", "-paper", "-trace", path); err != nil {
+		t.Fatalf("diagnose -paper -trace: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return strings.Split(strings.TrimSpace(string(data)), "\n")
+}
+
+// withoutKind drops every line recording the given event kind.
+func withoutKind(lines []string, kind string) []string {
+	var out []string
+	for _, l := range lines {
+		if !strings.Contains(l, `"kind":"`+kind+`"`) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestCLIReplayTruncatedTraces checks that `cfsmdiag replay` on a cut-short
+// recording fails with a clear truncated-trace error — never a panic and
+// never a bogus "replay diverged" report.
+func TestCLIReplayTruncatedTraces(t *testing.T) {
+	lines := recordPaperTrace(t)
+	if len(lines) < 10 {
+		t.Fatalf("recorded trace has only %d lines", len(lines))
+	}
+	mid := strings.Join(lines[:6], "\n") + "\n" + lines[6][:len(lines[6])/2]
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"empty file", ""},
+		{"whitespace only", "\n\n   \n"},
+		{"mid-line truncation", mid},
+		{"missing run.spec header", strings.Join(withoutKind(lines, "run.spec"), "\n")},
+		{"missing verdict event", strings.Join(withoutKind(lines, "localize.verdict"), "\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cut.jsonl")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			_, err := runCLI(t, "replay", path)
+			if err == nil {
+				t.Fatal("replay of a truncated trace succeeded")
+			}
+			if !strings.Contains(err.Error(), "truncated trace") {
+				t.Errorf("err = %v, want a truncated-trace error", err)
+			}
+			if strings.Contains(err.Error(), "diverged") {
+				t.Errorf("truncation misreported as divergence: %v", err)
+			}
+		})
+	}
+}

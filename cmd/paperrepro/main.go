@@ -15,8 +15,11 @@
 //	E7–E11         — extensions (addressing faults, double faults,
 //	                 unsynchronized ports, protocol workloads, co-located
 //	                 scaling), under -experiment extensions
+//	E12 chaos      — extension: localization robustness under injected
+//	                 observation faults (drop/garble/transient) with the
+//	                 resilient retry/vote oracle layer
 //
-// Usage: paperrepro [-experiment all|table1|walkthrough|adaptive|figure1|sweep|cost|extensions]
+// Usage: paperrepro [-experiment all|table1|walkthrough|adaptive|figure1|sweep|cost|extensions|chaos]
 package main
 
 import (
@@ -57,6 +60,7 @@ func run(experiment string, stride int, dot bool, out io.Writer) error {
 		{"sweep", runSweepExp},
 		{"cost", func(w io.Writer) error { return runCostExp(w, stride) }},
 		{"extensions", runExtensions},
+		{"chaos", runChaosExp},
 	}
 	matched := false
 	for _, s := range steps {
@@ -264,6 +268,26 @@ func runExtensions(out io.Writer) error {
 		fmt.Fprintf(out, "  %8d %9d %12d %7d %9d %8v %s\n",
 			p.Parts, p.Machines, p.Trans, p.SuiteCases, p.AddTests, p.CorrectRef, p.Verdict)
 	}
+	return nil
+}
+
+func runChaosExp(out io.Writer) error {
+	cfg := experiments.DefaultChaosConfig
+	fmt.Fprintln(out, "E12: Figure 1 localization under injected observation faults")
+	fmt.Fprintf(out, "per-mode injection probability p (drop, garble; transient errors at p/2); "+
+		"oracle budget: %d votes, %d retries; 20 seeded schedules per point\n", cfg.Votes, cfg.Retries)
+	points, err := experiments.RunChaos([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}, 20, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %5s %10s %13s %6s %9s %11s %8s %11s\n",
+		"p", "localized", "inconclusive", "wrong", "success%", "injections", "retries", "unreliable")
+	for _, p := range points {
+		fmt.Fprintf(out, "  %5.2f %10d %13d %6d %8.0f%% %11d %8d %11d\n",
+			p.P, p.Localized, p.Inconclusive, p.Wrong, 100*p.SuccessRate(),
+			p.Injections, p.Retries, p.Unreliable)
+	}
+	fmt.Fprintln(out, "safety: a conviction is only ever the paper's t\"4 transfer fault (wrong stays 0)")
 	return nil
 }
 

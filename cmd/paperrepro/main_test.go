@@ -91,6 +91,36 @@ func TestRunExtensionsExperiment(t *testing.T) {
 	}
 }
 
+func TestRunChaosExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos experiment is slow")
+	}
+	var buf bytes.Buffer
+	if err := run("chaos", 1, false, &buf); err != nil {
+		t.Fatalf("run(chaos): %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"E12: Figure 1 localization under injected observation faults",
+		"3 votes, 12 retries",
+		"wrong stays 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+	// Every table row must report zero wrong convictions: the wrong column
+	// is the fourth numeric field of each row.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 8 && strings.Contains(line, ".") && fields[0] != "p" {
+			if fields[3] != "0" {
+				t.Errorf("wrong convictions in row %q", line)
+			}
+		}
+	}
+}
+
 func TestRunFigure1WithDOT(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run("figure1", 1, true, &buf); err != nil {

@@ -2,6 +2,7 @@ package async
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"cfsmdiag/internal/cfsm"
@@ -25,34 +26,43 @@ import (
 // queues, per-port script positions and the output streams so far.
 type queuedState struct {
 	cfg     cfsm.Config
-	queues  map[string][]cfsm.Symbol // key "i>j"
+	queues  map[uint32][]cfsm.Symbol // keyed by queueKey(i, j)
 	pos     []int
 	streams [][]cfsm.Symbol
 }
 
-func queueKey(from, to int) string { return fmt.Sprintf("%d>%d", from, to) }
+// queueKey packs the ordered machine pair (from, to) into one integer, so
+// the hot exploration loop indexes its queue map without formatting (and
+// without allocating) a string key per probe. Machine counts are far below
+// 1<<16.
+func queueKey(from, to int) uint32 { return uint32(from)<<16 | uint32(to) }
 
 func (s queuedState) encode() string {
 	var b strings.Builder
 	b.WriteString(s.cfg.Key())
-	b.WriteString("#")
+	b.WriteByte('#')
 	// Deterministic queue ordering.
 	for i := 0; i < len(s.pos); i++ {
 		for j := 0; j < len(s.pos); j++ {
 			if q := s.queues[queueKey(i, j)]; len(q) > 0 {
-				fmt.Fprintf(&b, "q%d>%d:", i, j)
+				b.WriteByte('q')
+				b.WriteString(strconv.Itoa(i))
+				b.WriteByte('>')
+				b.WriteString(strconv.Itoa(j))
+				b.WriteByte(':')
 				for _, m := range q {
 					b.WriteString(string(m))
-					b.WriteString(",")
+					b.WriteByte(',')
 				}
 			}
 		}
 	}
-	b.WriteString("#")
+	b.WriteByte('#')
 	for _, p := range s.pos {
-		fmt.Fprintf(&b, "%d.", p)
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte('.')
 	}
-	b.WriteString("#")
+	b.WriteByte('#')
 	b.WriteString(Outcome{Streams: s.streams}.Key())
 	return b.String()
 }
@@ -60,7 +70,7 @@ func (s queuedState) encode() string {
 func (s queuedState) clone() queuedState {
 	out := queuedState{
 		cfg:     s.cfg.Clone(),
-		queues:  make(map[string][]cfsm.Symbol, len(s.queues)),
+		queues:  make(map[uint32][]cfsm.Symbol, len(s.queues)),
 		pos:     append([]int(nil), s.pos...),
 		streams: make([][]cfsm.Symbol, len(s.streams)),
 	}
@@ -86,7 +96,7 @@ func OutcomesQueued(sys *cfsm.System, script Script) (OutcomeSet, error) {
 
 	start := queuedState{
 		cfg:     sys.InitialConfig(),
-		queues:  map[string][]cfsm.Symbol{},
+		queues:  map[uint32][]cfsm.Symbol{},
 		pos:     make([]int, sys.N()),
 		streams: make([][]cfsm.Symbol, sys.N()),
 	}

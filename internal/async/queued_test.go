@@ -89,3 +89,35 @@ func TestOutcomesQueuedValidation(t *testing.T) {
 		t.Error("want error for port-count mismatch")
 	}
 }
+
+// BenchmarkOutcomesQueued exercises the queued-semantics exploration on a
+// racy Figure 1 script; run with -benchmem to watch the per-exploration
+// allocation count the integer queue keys are guarding.
+func BenchmarkOutcomesQueued(b *testing.B) {
+	sys := paper.MustFigure1()
+	script := Script{Inputs: [][]cfsm.Symbol{{"a", "f"}, {"c'", "t"}, {"x"}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OutcomesQueued(sys, script); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOutcomesQueuedAllocationBudget pins the exploration's allocation count
+// so a regression back to formatted (allocating) queue keys fails loudly:
+// with string keys this exploration costs ~50% more allocations.
+func TestOutcomesQueuedAllocationBudget(t *testing.T) {
+	sys := paper.MustFigure1()
+	script := Script{Inputs: [][]cfsm.Symbol{{"a", "f"}, {"c'", "t"}, {"x"}}}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := OutcomesQueued(sys, script); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 2600 // measured 2326 with integer keys; string keys blow well past this
+	if allocs > budget {
+		t.Errorf("OutcomesQueued allocations = %.0f, budget %d", allocs, budget)
+	}
+	t.Logf("OutcomesQueued allocations = %.0f", allocs)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -10,6 +11,15 @@ import (
 	"cfsmdiag/internal/testgen"
 	"cfsmdiag/internal/trace"
 )
+
+// ErrUnreliableObservation signals that an oracle could not produce a
+// trustworthy observation for a test case: repeated executions disagreed, or
+// every attempt timed out or failed. Oracles hardened against flaky
+// implementations (internal/resilient) return errors wrapping this sentinel;
+// Step 6 then marks the targeted candidate inconclusive instead of convicting
+// or clearing it on corrupted evidence, and the localization finishes with
+// VerdictInconclusive rather than an error.
+var ErrUnreliableObservation = errors.New("unreliable observation")
 
 // Oracle executes test cases against the implementation under test and
 // returns the observed outputs. In a laboratory setting it wraps a mutant
@@ -52,6 +62,14 @@ const (
 	// VerdictInconsistent: the observations cannot be explained by any
 	// single-transition fault — the fault-model assumption is violated.
 	VerdictInconsistent
+	// VerdictInconclusive: one or more candidates could not be resolved
+	// because the oracle's observations were unreliable (retries exhausted or
+	// repeated executions disagreed); the surviving hypotheses are reported in
+	// Remaining and the affected candidates in Inconclusive. Unlike
+	// VerdictAmbiguous this is an observation-quality outcome, not an
+	// information-theoretic limit: re-running with a healthier IUT (or more
+	// votes/retries) may still localize the fault.
+	VerdictInconclusive
 )
 
 // String names the verdict.
@@ -65,6 +83,8 @@ func (v Verdict) String() string {
 		return "ambiguous"
 	case VerdictInconsistent:
 		return "inconsistent with the single-transition fault model"
+	case VerdictInconclusive:
+		return "inconclusive (unreliable observations)"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
@@ -96,6 +116,10 @@ type Localization struct {
 	// Cleared lists candidate transitions proven correct by additional
 	// tests, in the order they were cleared.
 	Cleared []cfsm.Ref
+	// Inconclusive lists candidate transitions whose diagnostic tests never
+	// produced a trustworthy observation (see ErrUnreliableObservation); when
+	// non-empty and no fault was convicted, Verdict is VerdictInconclusive.
+	Inconclusive []cfsm.Ref
 	// AdditionalTests logs every adaptively generated test.
 	AdditionalTests []AdditionalTest
 }
@@ -245,6 +269,19 @@ func localizeOnce(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings
 				progress = true
 				loc.Cleared = append(loc.Cleared, ref)
 				delete(avoidAll, ref) // cleared transitions may appear in later tests
+			case outcome.inconclusive:
+				// The oracle never produced a trustworthy observation for
+				// this candidate: neither convict nor clear it. The candidate
+				// leaves the refinement loop with its surviving hypotheses
+				// intact and the localization ends inconclusive.
+				m.unreliable.Inc()
+				cfg.tracer.CandidateResolved(ref, "inconclusive")
+				cfg.trace.Emit(trace.KindInconclusive,
+					trace.A("target", a.Spec.RefString(ref)),
+					trace.A("remaining", itoa(len(outcome.remaining))))
+				cspan.End(trace.A("outcome", "inconclusive"))
+				byRef[ref] = outcome.remaining
+				loc.Inconclusive = append(loc.Inconclusive, ref)
 			default:
 				cfg.tracer.CandidateResolved(ref, "unresolved")
 				cfg.trace.Emit(trace.KindResolved,
@@ -265,6 +302,16 @@ func localizeOnce(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings
 	m.rounds.ObserveInt(rounds)
 	for _, ref := range pending {
 		loc.Remaining = append(loc.Remaining, byRef[ref]...)
+	}
+	for _, ref := range loc.Inconclusive {
+		loc.Remaining = append(loc.Remaining, byRef[ref]...)
+	}
+	if len(loc.Inconclusive) > 0 {
+		// Some candidate's evidence is missing, so elimination arguments
+		// ("every other candidate cleared") cannot complete: the run is
+		// inconclusive rather than localized, ambiguous or inconsistent.
+		loc.Verdict = VerdictInconclusive
+		return loc, nil
 	}
 
 	if len(loc.Remaining) == 0 {
@@ -319,9 +366,10 @@ type variant struct {
 
 // candidateOutcome is the result of testing one candidate transition.
 type candidateOutcome struct {
-	cleared   bool
-	localized *fault.Fault
-	remaining []fault.Fault
+	cleared      bool
+	localized    *fault.Fault
+	inconclusive bool // the oracle's observations were unreliable
+	remaining    []fault.Fault
 }
 
 // testCandidate runs the variant-elimination loop for one candidate.
@@ -366,6 +414,26 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 		test.Name = fmt.Sprintf("diag-%s-%d", ref.Name, len(loc.AdditionalTests)+1)
 		observed, err := oracle.Execute(test)
 		if err != nil {
+			if errors.Is(err, ErrUnreliableObservation) {
+				// The hardened oracle exhausted its retries or its repeated
+				// executions disagreed: the observation cannot be trusted, so
+				// no variant may be eliminated on it. The trace records the
+				// failed test (replay reproduces the inconclusive outcome
+				// from it) and the candidate keeps its surviving hypotheses.
+				cfg.trace.Emit(trace.KindTest,
+					trace.A("name", test.Name),
+					trace.A("target", a.Spec.RefString(ref)),
+					trace.A("inputs", cfsm.FormatInputs(test.Inputs)),
+					trace.A("unreliable", "true"),
+					trace.A("error", err.Error()))
+				var rem []fault.Fault
+				for _, v := range live {
+					if v.fault != nil {
+						rem = append(rem, *v.fault)
+					}
+				}
+				return candidateOutcome{inconclusive: true, remaining: rem}, nil
+			}
 			return candidateOutcome{}, fmt.Errorf("core: execute %s: %w", test.Name, err)
 		}
 		expected, err := a.Spec.Run(test)

@@ -23,6 +23,7 @@ const (
 	metricAdditionalTests = "cfsmdiag_localize_additional_tests"
 	metricVerdicts        = "cfsmdiag_localize_verdicts_total"
 	metricEscalations     = "cfsmdiag_localize_escalations_total"
+	metricUnreliable      = "cfsmdiag_localize_unreliable_observations_total"
 )
 
 // metrics bundles the pipeline's pre-resolved instrument handles. Every
@@ -39,6 +40,7 @@ type metrics struct {
 	roundCandidates *obs.Histogram
 	rounds          *obs.Histogram
 	additionalTests *obs.Histogram
+	unreliable      *obs.Counter
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -56,6 +58,7 @@ func newMetrics(r *obs.Registry) metrics {
 		roundCandidates: r.Histogram(metricRoundCandidates, "Unresolved candidate transitions at the start of each Step-6 refinement round (the Diag_i shrinkage).", obs.DefaultSizeBuckets),
 		rounds:          r.Histogram(metricRounds, "Step-6 refinement rounds per localization.", obs.DefaultSizeBuckets),
 		additionalTests: r.Histogram(metricAdditionalTests, "Adaptively generated additional diagnostic tests per localization.", obs.DefaultSizeBuckets),
+		unreliable:      r.Counter(metricUnreliable, "Candidates left inconclusive because the oracle's observations were unreliable."),
 	}
 }
 
@@ -67,7 +70,7 @@ func RegisterMetrics(r *obs.Registry) {
 		return
 	}
 	newMetrics(r)
-	for v := VerdictNoFault; v <= VerdictInconsistent; v++ {
+	for v := VerdictNoFault; v <= VerdictInconclusive; v++ {
 		r.Counter(metricVerdicts, "Step-6 localization verdicts.", obs.L("verdict", v.label()))
 	}
 	for _, kind := range []string{"combined", "address"} {
@@ -106,6 +109,8 @@ func (v Verdict) label() string {
 		return "ambiguous"
 	case VerdictInconsistent:
 		return "inconsistent"
+	case VerdictInconclusive:
+		return "inconclusive_observation"
 	default:
 		return "unknown"
 	}

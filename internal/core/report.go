@@ -100,6 +100,9 @@ func (l *Localization) Report() string {
 	for _, r := range l.Cleared {
 		fmt.Fprintf(&b, "  cleared: %s\n", l.Analysis.Spec.RefString(r))
 	}
+	for _, r := range l.Inconclusive {
+		fmt.Fprintf(&b, "  inconclusive: %s (no trustworthy observation)\n", l.Analysis.Spec.RefString(r))
+	}
 	fmt.Fprintf(&b, "Verdict: %s\n", l.Verdict)
 	if l.Fault != nil {
 		fmt.Fprintf(&b, "  fault: %s\n", l.Fault.Describe(l.Analysis.Spec))

@@ -136,6 +136,9 @@ func traceVerdict(cfg *settings, loc *Localization) {
 	if len(loc.Remaining) > 0 {
 		attrs = append(attrs, trace.A("remaining", itoa(len(loc.Remaining))))
 	}
+	if len(loc.Inconclusive) > 0 {
+		attrs = append(attrs, trace.A("inconclusive", itoa(len(loc.Inconclusive))))
+	}
 	cfg.trace.Emit(trace.KindVerdict, attrs...)
 }
 

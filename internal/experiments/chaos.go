@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/resilient"
+)
+
+// ChaosPoint is one row of the chaos experiment (E12): the Figure 1
+// localization repeated over Seeds seeded fault schedules at injection
+// probability P per mode (drop, garble) plus P/2 transient errors.
+type ChaosPoint struct {
+	P            float64
+	Seeds        int
+	Localized    int   // runs that convicted the paper's t"4 transfer fault
+	Inconclusive int   // runs degraded to the inconclusive-observation verdict
+	Wrong        int   // runs that convicted anything else (must stay 0)
+	Injections   int   // faults injected across all runs
+	Retries      int64 // oracle re-executions across all runs
+	Unreliable   int64 // queries abandoned as unreliable across all runs
+}
+
+// SuccessRate is the fraction of runs that still reproduced the paper's
+// diagnosis.
+func (p ChaosPoint) SuccessRate() float64 {
+	if p.Seeds == 0 {
+		return 0
+	}
+	return float64(p.Localized) / float64(p.Seeds)
+}
+
+// ChaosConfig fixes the resilient-layer budget the sweep runs under.
+type ChaosConfig struct {
+	Votes   int // majority-vote repetitions per diagnostic test
+	Retries int // failed executions tolerated per query
+}
+
+// DefaultChaosConfig is the budget EXPERIMENTS.md's E12 table is produced
+// with: 3-way voting, 12 retries.
+var DefaultChaosConfig = ChaosConfig{Votes: 3, Retries: 12}
+
+// RunChaos sweeps the injected-fault probability over the Figure 1 / t"4
+// localization hardened by the resilient retry layer. For every probability
+// it runs `seeds` independent seeded fault schedules and classifies each
+// verdict. The whole sweep is deterministic: same probabilities, seeds and
+// config, same table.
+//
+// The safety property the resilient layer guarantees is that Wrong stays 0
+// at every probability: a run may degrade to inconclusive when the retry
+// and vote budget cannot outlast the injected noise, but a conviction is
+// only ever the true fault. Experiment tests assert exactly that.
+func RunChaos(probabilities []float64, seeds int, cfg ChaosConfig) ([]ChaosPoint, error) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		return nil, err
+	}
+	suite := paper.TestSuite()
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		if observed[i], err = iut.Run(tc); err != nil {
+			return nil, fmt.Errorf("simulate %s: %w", tc.Name, err)
+		}
+	}
+	want := fault.Fault{Ref: paper.FaultRef, Kind: fault.KindTransfer, To: "s0"}
+
+	var points []ChaosPoint
+	for _, p := range probabilities {
+		point := ChaosPoint{P: p, Seeds: seeds}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			// Steps 1–5 run on the cleanly recorded suite observations; the
+			// chaos stack perturbs only the live Step-6 diagnostic tests.
+			a, err := core.Analyze(spec, suite, observed)
+			if err != nil {
+				return nil, err
+			}
+			injector := resilient.NewFaultInjector(&core.SystemOracle{Sys: iut}, resilient.InjectConfig{
+				Drop: p, Garble: p, Transient: p / 2, Seed: seed,
+			})
+			oracle := resilient.NewRetryOracle(injector, resilient.RetryConfig{
+				Votes: cfg.Votes, Retries: cfg.Retries, Seed: seed,
+				// The sweep needs no real backoff; sleeping would only slow
+				// the table down.
+				Sleep: func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+			})
+			loc, err := core.Localize(a, oracle)
+			if err != nil {
+				return nil, fmt.Errorf("p=%.2f seed=%d: %w", p, seed, err)
+			}
+			switch {
+			case loc.Verdict == core.VerdictLocalized && loc.Fault != nil && *loc.Fault == want:
+				point.Localized++
+			case loc.Verdict == core.VerdictLocalized:
+				point.Wrong++
+			case loc.Verdict == core.VerdictInconclusive:
+				point.Inconclusive++
+			default:
+				return nil, fmt.Errorf("p=%.2f seed=%d: unexpected verdict %v", p, seed, loc.Verdict)
+			}
+			st := oracle.Stats()
+			point.Injections += injector.InjectedTotal()
+			point.Retries += st.Retries
+			point.Unreliable += st.Unreliable
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestRunChaosSafetyAndConvergence asserts the two E12 claims: at moderate
+// injection rates the hardened localization still reproduces the paper's
+// diagnosis for most fault schedules, and no schedule at any rate ever
+// convicts a wrong transition.
+func TestRunChaosSafetyAndConvergence(t *testing.T) {
+	points, err := RunChaos([]float64{0, 0.1, 0.2, 0.4}, 10, DefaultChaosConfig)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, p := range points {
+		if p.Wrong != 0 {
+			t.Errorf("p=%.2f: %d wrong convictions — the safety property is broken", p.P, p.Wrong)
+		}
+		if p.Localized+p.Inconclusive != p.Seeds {
+			t.Errorf("p=%.2f: %d+%d runs classified, want %d", p.P, p.Localized, p.Inconclusive, p.Seeds)
+		}
+	}
+	if points[0].P != 0 || points[0].Localized != points[0].Seeds {
+		t.Errorf("p=0 must localize every run: %+v", points[0])
+	}
+	if points[0].Injections != 0 || points[0].Retries != 0 {
+		t.Errorf("p=0 must inject nothing: %+v", points[0])
+	}
+	// The acceptance rate: at p=0.2 the retry/vote budget still wins
+	// clearly more often than not.
+	if p := points[2]; p.SuccessRate() < 0.7 {
+		t.Errorf("p=0.2 success rate = %.2f, want >= 0.7 (%+v)", p.SuccessRate(), p)
+	}
+	if p := points[2]; p.Injections == 0 || p.Retries == 0 {
+		t.Errorf("p=0.2 left no injection/retry footprint: %+v", p)
+	}
+}
+
+// TestRunChaosDeterministic pins reproducibility: the table is a pure
+// function of probabilities, seed count and budget.
+func TestRunChaosDeterministic(t *testing.T) {
+	a, err := RunChaos([]float64{0.2}, 5, DefaultChaosConfig)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	b, err := RunChaos([]float64{0.2}, 5, DefaultChaosConfig)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("chaos sweep not reproducible:\n%+v\n%+v", a[0], b[0])
+	}
+}

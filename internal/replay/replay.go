@@ -63,6 +63,12 @@ type Run struct {
 	// Answers maps a formatted input sequence (cfsm.FormatInputs) to the
 	// outputs the live oracle produced for it, from localize.test events.
 	Answers map[string][]cfsm.Observation
+	// Unreliable holds the input sequences whose recorded execution never
+	// produced a trustworthy observation (localize.test events flagged
+	// unreliable); the canned oracle re-answers them with
+	// core.ErrUnreliableObservation so an inconclusive run replays to the
+	// same inconclusive verdict.
+	Unreliable map[string]bool
 	// Verdict and Fault record the original run's outcome (localize.verdict),
 	// for cross-checking the replay; Fault is empty unless localized.
 	Verdict string
@@ -74,7 +80,10 @@ type Run struct {
 // Load reconstructs a Run from trace events.  The trace must contain the
 // Record header; localization events are optional (a no-fault run has none).
 func Load(events []trace.Event) (*Run, error) {
-	r := &Run{Answers: make(map[string][]cfsm.Observation)}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("replay: trace contains no events: %w", trace.ErrTruncatedTrace)
+	}
+	r := &Run{Answers: make(map[string][]cfsm.Observation), Unreliable: make(map[string]bool)}
 	type indexed struct {
 		index int
 		tc    cfsm.TestCase
@@ -113,6 +122,10 @@ func Load(events []trace.Event) (*Run, error) {
 			}
 			obsByIndex[idx] = obs
 		case trace.KindTest:
+			if e.Attrs["unreliable"] == "true" {
+				r.Unreliable[e.Attrs["inputs"]] = true
+				continue
+			}
 			obs, err := parseObservations(e.Attrs["observed"])
 			if err != nil {
 				return nil, fmt.Errorf("replay: recorded answer for %q: %w", e.Attrs["inputs"], err)
@@ -128,7 +141,7 @@ func Load(events []trace.Event) (*Run, error) {
 		}
 	}
 	if r.Spec == nil {
-		return nil, fmt.Errorf("replay: trace has no %s event (was it recorded with replay.Record?)", trace.KindRunSpec)
+		return nil, fmt.Errorf("replay: trace has no %s header event — %w, or recorded without replay.Record", trace.KindRunSpec, trace.ErrTruncatedTrace)
 	}
 	sort.Slice(cases, func(i, j int) bool { return cases[i].index < cases[j].index })
 	for pos, c := range cases {
@@ -143,7 +156,7 @@ func Load(events []trace.Event) (*Run, error) {
 		r.Observed = append(r.Observed, obs)
 	}
 	if len(r.Suite) == 0 {
-		return nil, fmt.Errorf("replay: trace records no test-suite cases")
+		return nil, fmt.Errorf("replay: trace records no test-suite cases: %w", trace.ErrTruncatedTrace)
 	}
 	return r, nil
 }
@@ -152,17 +165,23 @@ func Load(events []trace.Event) (*Run, error) {
 // no system at all, so a localization driven by it performs zero live test
 // executions; an unrecorded query is an error, never a silent fallback.
 type CannedOracle struct {
-	answers map[string][]cfsm.Observation
+	answers    map[string][]cfsm.Observation
+	unreliable map[string]bool
 	// Queries counts Execute calls (all answered from the recording).
 	Queries int
 }
 
 var _ core.Oracle = (*CannedOracle)(nil)
 
-// Execute implements core.Oracle from the recorded answers.
+// Execute implements core.Oracle from the recorded answers.  A query the
+// original run recorded as unreliable is re-answered with
+// core.ErrUnreliableObservation, reproducing the inconclusive outcome.
 func (o *CannedOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
 	o.Queries++
 	key := cfsm.FormatInputs(tc.Inputs)
+	if o.unreliable[key] {
+		return nil, fmt.Errorf("replay: test %q was recorded as unreliable: %w", key, core.ErrUnreliableObservation)
+	}
 	obs, ok := o.answers[key]
 	if !ok {
 		return nil, fmt.Errorf("replay: test %q was not recorded; the replayed localization diverged from the original run", key)
@@ -177,7 +196,7 @@ func (r *Run) Localize(opts ...core.Option) (*core.Localization, *CannedOracle, 
 	if err != nil {
 		return nil, nil, err
 	}
-	oracle := &CannedOracle{answers: r.Answers}
+	oracle := &CannedOracle{answers: r.Answers, unreliable: r.Unreliable}
 	loc, err := core.Localize(a, oracle, opts...)
 	if err != nil {
 		return nil, nil, err
@@ -188,7 +207,7 @@ func (r *Run) Localize(opts ...core.Option) (*core.Localization, *CannedOracle, 
 // Check verifies a replayed localization against the recorded outcome.
 func (r *Run) Check(loc *core.Localization) error {
 	if r.Verdict == "" {
-		return fmt.Errorf("replay: trace records no verdict to check against")
+		return fmt.Errorf("replay: trace records no localize.verdict event to check against: %w", trace.ErrTruncatedTrace)
 	}
 	if got := loc.Verdict.String(); got != r.Verdict {
 		return fmt.Errorf("replay: verdict %q does not reproduce recorded %q", got, r.Verdict)

@@ -160,3 +160,82 @@ func TestLoadRejectsHeaderlessTrace(t *testing.T) {
 		t.Fatalf("Load error = %v", err)
 	}
 }
+
+// unreliableOracle fails every query with the unreliable-observation
+// sentinel, the way the resilient retry layer does when retries and votes
+// are exhausted.
+type unreliableOracle struct{}
+
+func (unreliableOracle) Execute(cfsm.TestCase) ([]cfsm.Observation, error) {
+	return nil, core.ErrUnreliableObservation
+}
+
+// TestReplayReproducesInconclusiveRun round-trips a run in which no
+// diagnostic test ever produced a trustworthy observation: the trace marks
+// every test unreliable, and the replay's canned oracle re-answers them with
+// the same sentinel, reproducing the inconclusive verdict instead of
+// reporting a bogus divergence.
+func TestReplayReproducesInconclusiveRun(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := paper.TestSuite()
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		if observed[i], err = iut.Run(tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := trace.New()
+	if err := replay.Record(tr, spec, suite, observed); err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(spec, suite, observed, core.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.Localize(a, unreliableOracle{}, core.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Verdict != core.VerdictInconclusive {
+		t.Fatalf("verdict = %v, want inconclusive (every query unreliable)", loc.Verdict)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("inconclusive trace fails validation: %v", err)
+	}
+	events, err := trace.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := replay.Load(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Unreliable) == 0 {
+		t.Fatal("recorded run has no unreliable tests")
+	}
+	replayed, canned, err := rec.Localize()
+	if err != nil {
+		t.Fatalf("replayed localization: %v", err)
+	}
+	if canned.Queries == 0 {
+		t.Error("replay answered no queries")
+	}
+	if replayed.Verdict != core.VerdictInconclusive {
+		t.Fatalf("replayed verdict = %v, want inconclusive", replayed.Verdict)
+	}
+	if err := rec.Check(replayed); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !strings.Contains(replayed.Report(), "inconclusive") {
+		t.Errorf("replayed report does not mention the inconclusive candidates")
+	}
+}

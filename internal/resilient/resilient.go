@@ -1,0 +1,370 @@
+// Package resilient hardens the diagnosis pipeline against unreliable
+// implementations under test.
+//
+// The paper's adaptive Step 6 assumes every diagnostic test executes cleanly
+// and its output sequence is observed perfectly. A production diagnosis
+// service cannot: observations get lost, duplicated or garbled on the way
+// back from the IUT, responses stall, and transient transport errors abort
+// executions. This package supplies the two halves of the robustness story:
+//
+//   - RetryOracle wraps any core.Oracle with a per-query timeout, bounded
+//     retries with exponential backoff and deterministic seeded jitter, a
+//     response-shape sanity check (one observation per input), and a
+//     majority vote over K repetitions for observations that cannot be
+//     trusted individually. When the vote fails or the retry budget runs
+//     out it returns an error wrapping core.ErrUnreliableObservation, which
+//     Step 6 turns into the inconclusive-observation verdict instead of a
+//     mis-conviction.
+//
+//   - FaultInjector (inject.go) is the chaos half: it perturbs a healthy
+//     oracle with seeded, reproducible observation faults — drop, duplicate,
+//     garble, delay, hang, transient error — so the retry layer and the
+//     verdict plumbing can be exercised deterministically in tests and
+//     experiments (EXPERIMENTS.md E7).
+//
+// Both layers are observable: retry/timeout/vote counters register on an
+// obs.Registry and retry events are emitted on a trace.Tracer using the
+// oracle.* kinds, which the replay tooling skips (a recorded run replays
+// from the voted localize.test answers, so traces stay replay-compatible).
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/obs"
+	"cfsmdiag/internal/trace"
+)
+
+// Metric families of the resilient oracle layer.
+const (
+	metricAttempts      = "cfsmdiag_resilient_attempts_total"
+	metricRetries       = "cfsmdiag_resilient_retries_total"
+	metricTimeouts      = "cfsmdiag_resilient_timeouts_total"
+	metricMalformed     = "cfsmdiag_resilient_malformed_total"
+	metricErrors        = "cfsmdiag_resilient_errors_total"
+	metricDisagreements = "cfsmdiag_resilient_vote_disagreements_total"
+	metricUnreliable    = "cfsmdiag_resilient_unreliable_total"
+)
+
+// RetryConfig tunes a RetryOracle. The zero value is a transparent
+// pass-through: no timeout, no retries, a single execution per query.
+type RetryConfig struct {
+	// Timeout bounds each individual execution attempt; 0 disables it.
+	Timeout time.Duration
+	// Retries is the number of failed attempts (timeout, transport error,
+	// malformed response) tolerated beyond the Votes successful executions a
+	// query needs; once spent, the query fails with
+	// core.ErrUnreliableObservation.
+	Retries int
+	// Votes is the number of successful executions per query whose
+	// observation sequences are compared; the sequence backed by a strict
+	// majority wins. 0 or 1 accepts the first success unvoted.
+	Votes int
+	// Backoff is the base delay before the first re-attempt; each further
+	// failure doubles it up to MaxBackoff. Defaults to 2ms so unit tests and
+	// tight localization loops stay fast; services should raise it.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 250ms).
+	MaxBackoff time.Duration
+	// Seed makes the backoff jitter deterministic; same seed, same delays.
+	Seed int64
+	// Registry receives the retry/timeout/vote counters (nil disables).
+	Registry *obs.Registry
+	// Tracer receives oracle.retry / oracle.timeout / oracle.vote /
+	// oracle.unreliable events (nil disables).
+	Tracer *trace.Tracer
+	// Sleep replaces the backoff sleep in tests; nil selects a context-aware
+	// time.Sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// RetryStats is a snapshot of a RetryOracle's lifetime counters, for cost
+// reports and tests. All fields count since construction.
+type RetryStats struct {
+	Queries       int64 // Execute/ExecuteContext calls
+	Attempts      int64 // individual executions of the wrapped oracle
+	Retries       int64 // attempts re-issued after a failure
+	Timeouts      int64 // attempts that exceeded Timeout
+	Malformed     int64 // responses with the wrong number of observations
+	Errors        int64 // transport/transient errors from the wrapped oracle
+	Disagreements int64 // queries whose repeated executions differed
+	Unreliable    int64 // queries that failed with ErrUnreliableObservation
+}
+
+// RetryOracle is a hardened core.Oracle: it executes each query against the
+// wrapped oracle under a per-attempt timeout, retries failures with
+// exponential backoff and seeded jitter, validates the response shape, and
+// majority-votes over repeated executions. It is safe for concurrent use and
+// implements core.ContextOracle, so the context-aware localization entry
+// points cancel in-flight retries and backoff sleeps promptly.
+type RetryOracle struct {
+	inner core.Oracle
+	cfg   RetryConfig
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	queries       atomic.Int64
+	attempts      atomic.Int64
+	retries       atomic.Int64
+	timeouts      atomic.Int64
+	malformed     atomic.Int64
+	errors        atomic.Int64
+	disagreements atomic.Int64
+	unreliable    atomic.Int64
+
+	mAttempts      *obs.Counter
+	mRetries       *obs.Counter
+	mTimeouts      *obs.Counter
+	mMalformed     *obs.Counter
+	mErrors        *obs.Counter
+	mDisagreements *obs.Counter
+	mUnreliable    *obs.Counter
+}
+
+var (
+	_ core.Oracle        = (*RetryOracle)(nil)
+	_ core.ContextOracle = (*RetryOracle)(nil)
+)
+
+// NewRetryOracle wraps inner with the retry/backoff/vote policy of cfg.
+func NewRetryOracle(inner core.Oracle, cfg RetryConfig) *RetryOracle {
+	if cfg.Votes < 1 {
+		cfg.Votes = 1
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 2 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 250 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepContext
+	}
+	r := cfg.Registry
+	return &RetryOracle{
+		inner:          inner,
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		mAttempts:      r.Counter(metricAttempts, "Individual oracle executions issued by the resilient retry layer."),
+		mRetries:       r.Counter(metricRetries, "Oracle executions re-issued after a failed attempt."),
+		mTimeouts:      r.Counter(metricTimeouts, "Oracle attempts that exceeded the per-query timeout."),
+		mMalformed:     r.Counter(metricMalformed, "Oracle responses discarded for having the wrong number of observations."),
+		mErrors:        r.Counter(metricErrors, "Transient errors returned by the wrapped oracle."),
+		mDisagreements: r.Counter(metricDisagreements, "Queries whose repeated executions produced differing observations."),
+		mUnreliable:    r.Counter(metricUnreliable, "Queries abandoned as unreliable (retries/votes exhausted)."),
+	}
+}
+
+// RegisterMetrics pre-registers the resilient metric families on a registry
+// so an exposition endpoint lists them before the first hardened query runs.
+func RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	NewRetryOracle(nil, RetryConfig{Registry: r})
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (o *RetryOracle) Stats() RetryStats {
+	return RetryStats{
+		Queries:       o.queries.Load(),
+		Attempts:      o.attempts.Load(),
+		Retries:       o.retries.Load(),
+		Timeouts:      o.timeouts.Load(),
+		Malformed:     o.malformed.Load(),
+		Errors:        o.errors.Load(),
+		Disagreements: o.disagreements.Load(),
+		Unreliable:    o.unreliable.Load(),
+	}
+}
+
+// Execute implements core.Oracle.
+func (o *RetryOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	return o.ExecuteContext(context.Background(), tc)
+}
+
+// ExecuteContext implements core.ContextOracle: it collects Votes successful
+// executions (tolerating up to Retries failures with backoff between
+// attempts) and returns the observation sequence backed by a strict
+// majority. Cancellation of ctx aborts attempts and backoff sleeps and
+// propagates ctx.Err(); every other terminal failure wraps
+// core.ErrUnreliableObservation.
+func (o *RetryOracle) ExecuteContext(ctx context.Context, tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	o.queries.Add(1)
+	budget := o.cfg.Votes + o.cfg.Retries
+	counts := make(map[string]int, o.cfg.Votes)
+	samples := make(map[string][]cfsm.Observation, o.cfg.Votes)
+	successes := 0
+	failures := 0
+	var lastErr error
+
+	for attempt := 1; attempt <= budget && successes < o.cfg.Votes; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		observed, err := o.attempt(ctx, tc)
+		o.attempts.Add(1)
+		o.mAttempts.Inc()
+		if err == nil && len(observed) != len(tc.Inputs) {
+			// A dropped or duplicated observation shifts the sequence length;
+			// the response cannot be aligned with the inputs, so it is
+			// discarded rather than voted on.
+			err = fmt.Errorf("resilient: malformed response: %d observations for %d inputs", len(observed), len(tc.Inputs))
+			o.malformed.Add(1)
+			o.mMalformed.Inc()
+		} else if err != nil {
+			if parent := ctx.Err(); parent != nil {
+				// The caller's context ended (cancellation or the request
+				// deadline): propagate it instead of counting a retry, so
+				// LocalizeContext aborts with errors.Is(err, ctx.Err()).
+				return nil, parent
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				o.timeouts.Add(1)
+				o.mTimeouts.Inc()
+				o.cfg.Tracer.Emit(trace.KindOracleTimeout,
+					trace.A("test", tc.Name),
+					trace.A("attempt", strconv.Itoa(attempt)),
+					trace.A("timeout", o.cfg.Timeout.String()))
+			} else {
+				o.errors.Add(1)
+				o.mErrors.Inc()
+			}
+		}
+		if err != nil {
+			failures++
+			lastErr = err
+			if attempt < budget {
+				delay := o.backoff(failures)
+				o.retries.Add(1)
+				o.mRetries.Inc()
+				o.cfg.Tracer.Emit(trace.KindOracleRetry,
+					trace.A("test", tc.Name),
+					trace.A("attempt", strconv.Itoa(attempt)),
+					trace.A("backoff", delay.String()),
+					trace.A("error", err.Error()))
+				if serr := o.cfg.Sleep(ctx, delay); serr != nil {
+					return nil, serr
+				}
+			}
+			continue
+		}
+		key := cfsm.FormatObs(observed)
+		counts[key]++
+		samples[key] = observed
+		successes++
+	}
+
+	if successes < o.cfg.Votes {
+		o.unreliable.Add(1)
+		o.mUnreliable.Inc()
+		err := fmt.Errorf("resilient: %d/%d successful executions after %d attempts (last error: %v): %w",
+			successes, o.cfg.Votes, budget, lastErr, core.ErrUnreliableObservation)
+		o.cfg.Tracer.Emit(trace.KindOracleUnreliable,
+			trace.A("test", tc.Name), trace.A("error", err.Error()))
+		return nil, err
+	}
+
+	bestKey, best := "", 0
+	for key, n := range counts {
+		if n > best {
+			bestKey, best = key, n
+		}
+	}
+	if len(counts) > 1 {
+		o.disagreements.Add(1)
+		o.mDisagreements.Inc()
+		o.cfg.Tracer.Emit(trace.KindOracleVote,
+			trace.A("test", tc.Name),
+			trace.A("votes", strconv.Itoa(successes)),
+			trace.A("distinct", strconv.Itoa(len(counts))),
+			trace.A("majority", strconv.FormatBool(2*best > successes)))
+	}
+	if 2*best <= successes {
+		// No strict majority: the repetitions disagree too much to trust any
+		// of them. Surfacing the ambiguity beats guessing.
+		o.unreliable.Add(1)
+		o.mUnreliable.Inc()
+		err := fmt.Errorf("resilient: no majority among %d executions (%d distinct observation sequences): %w",
+			successes, len(counts), core.ErrUnreliableObservation)
+		o.cfg.Tracer.Emit(trace.KindOracleUnreliable,
+			trace.A("test", tc.Name), trace.A("error", err.Error()))
+		return nil, err
+	}
+	return samples[bestKey], nil
+}
+
+// attempt executes the wrapped oracle once under the per-attempt timeout.
+// Context-aware oracles are canceled in place; plain oracles run in a
+// goroutine so a hung execution cannot stall the retry loop (the stray
+// goroutine delivers into a buffered channel and exits).
+func (o *RetryOracle) attempt(ctx context.Context, tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	actx := ctx
+	if o.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, o.cfg.Timeout)
+		defer cancel()
+	}
+	if co, ok := o.inner.(core.ContextOracle); ok {
+		return co.ExecuteContext(actx, tc)
+	}
+	type result struct {
+		obs []cfsm.Observation
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		obs, err := o.inner.Execute(tc)
+		ch <- result{obs: obs, err: err}
+	}()
+	select {
+	case r := <-ch:
+		return r.obs, r.err
+	case <-actx.Done():
+		return nil, actx.Err()
+	}
+}
+
+// backoff computes the delay before the next attempt: exponential in the
+// failure count, capped, with deterministic seeded jitter in [0, delay/2].
+func (o *RetryOracle) backoff(failures int) time.Duration {
+	delay := o.cfg.Backoff
+	for i := 1; i < failures && delay < o.cfg.MaxBackoff; i++ {
+		delay *= 2
+	}
+	if delay > o.cfg.MaxBackoff {
+		delay = o.cfg.MaxBackoff
+	}
+	o.mu.Lock()
+	jitter := time.Duration(o.rng.Int63n(int64(delay)/2 + 1))
+	o.mu.Unlock()
+	return delay + jitter
+}
+
+// sleepContext sleeps for d unless the context ends first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -62,6 +62,7 @@ import (
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/replay"
+	"cfsmdiag/internal/resilient"
 	"cfsmdiag/internal/testgen"
 	"cfsmdiag/internal/trace"
 )
@@ -97,6 +98,22 @@ type Config struct {
 	// counters on Registry (cfsm.InstrumentSimulator). Because the hook is
 	// process-global, enable it from exactly one server per process.
 	InstrumentSimulator bool
+	// OracleTimeout, OracleRetries and OracleVotes configure the resilient
+	// retry layer (internal/resilient) around every diagnosis oracle:
+	// per-execution timeout, retry budget for failed executions, and
+	// majority-vote repetitions per diagnostic test. All zero (the default)
+	// runs the oracle bare; any non-default value enables the layer. When a
+	// query exhausts the budget the localization degrades to the
+	// inconclusive-observation verdict instead of failing or convicting on
+	// untrusted evidence.
+	OracleTimeout time.Duration
+	OracleRetries int
+	OracleVotes   int
+}
+
+// resilientEnabled reports whether any retry-layer knob is set.
+func (c Config) resilientEnabled() bool {
+	return c.OracleTimeout > 0 || c.OracleRetries > 0 || c.OracleVotes > 1
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +148,9 @@ func New(cfg Config) http.Handler {
 	// before the first diagnosis runs.
 	core.RegisterMetrics(cfg.Registry)
 	experiments.RegisterSweepMetrics(cfg.Registry)
+	if cfg.resilientEnabled() {
+		resilient.RegisterMetrics(cfg.Registry)
+	}
 	sim := cfsm.NewSimMetrics(cfg.Registry)
 	if cfg.InstrumentSimulator {
 		cfsm.InstrumentSimulator(sim)
@@ -499,6 +519,10 @@ type diagnoseResponse struct {
 	Fault           string               `json:"fault,omitempty"`
 	Remaining       []string             `json:"remaining,omitempty"`
 	Cleared         []string             `json:"cleared,omitempty"`
+	// Inconclusive lists the candidate transitions whose diagnostic tests
+	// never produced a trustworthy observation (resilient retry/vote budget
+	// exhausted); non-empty iff Verdict is the inconclusive one.
+	Inconclusive []string `json:"inconclusive,omitempty"`
 	AdditionalTests []additionalTestJSON `json:"additionalTests,omitempty"`
 	SuiteCases      int                  `json:"suiteCases"`
 	TotalTests      int                  `json:"totalTests"`
@@ -551,9 +575,28 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		suite, _ = testgen.Tour(spec, 0)
+		// A suite-less request relies on the generated transition tour; if
+		// the generator covers nothing (every transition unreachable from
+		// the initial configuration) the diagnosis would silently run on an
+		// empty suite and report "no fault", so reject the request instead.
+		var uncovered []cfsm.Ref
+		suite, uncovered = testgen.Tour(spec, 0)
+		if len(suite) == 0 {
+			writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable,
+				fmt.Errorf("suite omitted and the generated transition tour is empty (%d transitions unreachable from the initial configuration); supply an explicit suite", len(uncovered)))
+			return
+		}
 	}
-	oracle := &core.SystemOracle{Sys: iut}
+	base := &core.SystemOracle{Sys: iut}
+	var oracle core.Oracle = base
+	if s.cfg.resilientEnabled() {
+		oracle = resilient.NewRetryOracle(base, resilient.RetryConfig{
+			Timeout:  s.cfg.OracleTimeout,
+			Retries:  s.cfg.OracleRetries,
+			Votes:    s.cfg.OracleVotes,
+			Registry: s.cfg.Registry,
+		})
+	}
 	opts := []core.Option{core.WithRegistry(s.cfg.Registry)}
 	if req.MaxAdditionalTests > 0 {
 		opts = append(opts, core.WithMaxAdditionalTests(req.MaxAdditionalTests))
@@ -609,8 +652,8 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	resp := diagnoseResponse{
 		Verdict:     loc.Verdict.String(),
 		SuiteCases:  len(suite),
-		TotalTests:  oracle.Tests,
-		TotalInputs: oracle.Inputs,
+		TotalTests:  base.Tests,
+		TotalInputs: base.Inputs,
 	}
 	if loc.Fault != nil {
 		resp.Fault = loc.Fault.Describe(spec)
@@ -620,6 +663,9 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, ref := range loc.Cleared {
 		resp.Cleared = append(resp.Cleared, spec.RefString(ref))
+	}
+	for _, ref := range loc.Inconclusive {
+		resp.Inconclusive = append(resp.Inconclusive, spec.RefString(ref))
 	}
 	for _, at := range loc.AdditionalTests {
 		resp.AdditionalTests = append(resp.AdditionalTests, additionalTestJSON{

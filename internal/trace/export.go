@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -21,26 +22,46 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// ReadJSONL parses a JSONL trace.  Blank lines are skipped.
+// ErrTruncatedTrace marks a JSONL trace that ends mid-event or carries no
+// events at all — the signature of an interrupted recording (crashed writer,
+// partial copy).  Callers distinguish it from in-band corruption with
+// errors.Is.
+var ErrTruncatedTrace = errors.New("truncated trace")
+
+// ReadJSONL parses a JSONL trace.  Blank lines are skipped.  A final line
+// that is not a complete JSON event reports ErrTruncatedTrace (writers emit
+// line-atomically, so a broken last line means the recording was cut short);
+// a malformed line elsewhere is corruption and reports a plain parse error.
 func ReadJSONL(r io.Reader) ([]Event, error) {
-	var events []Event
+	type rawLine struct {
+		no   int
+		text string
+	}
+	var lines []rawLine
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
+	no := 0
 	for sc.Scan() {
-		line++
+		no++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
-		var e Event
-		if err := json.Unmarshal([]byte(text), &e); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		events = append(events, e)
+		lines = append(lines, rawLine{no: no, text: text})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	events := make([]Event, 0, len(lines))
+	for i, l := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(l.text), &e); err != nil {
+			if i == len(lines)-1 {
+				return nil, fmt.Errorf("trace: line %d ends mid-event: %w", l.no, ErrTruncatedTrace)
+			}
+			return nil, fmt.Errorf("trace: line %d: %w", l.no, err)
+		}
+		events = append(events, e)
 	}
 	return events, nil
 }
@@ -137,6 +158,10 @@ func chromeTID(k Kind) int {
 		return 3
 	case "sweep":
 		return 4
+	case "oracle":
+		return 5
+	case "chaos":
+		return 6
 	default:
 		return 9
 	}

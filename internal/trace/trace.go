@@ -48,13 +48,24 @@ const (
 	KindDiagnosis      Kind = "analyze.diagnosis"       // emitted diagnosis
 
 	// Adaptive localization events (paper Step 6).
-	KindRound      Kind = "localize.round"      // span: one elimination round
-	KindCandidate  Kind = "localize.candidate"  // span: one candidate transition
-	KindTest       Kind = "localize.test"       // diagnostic test + oracle answer
-	KindEliminate  Kind = "localize.eliminate"  // variant refuted, with reason
-	KindResolved   Kind = "localize.resolved"   // candidate cleared/convicted
-	KindEscalation Kind = "localize.escalation" // budget/strategy escalation
-	KindVerdict    Kind = "localize.verdict"    // final verdict
+	KindRound        Kind = "localize.round"        // span: one elimination round
+	KindCandidate    Kind = "localize.candidate"    // span: one candidate transition
+	KindTest         Kind = "localize.test"         // diagnostic test + oracle answer
+	KindEliminate    Kind = "localize.eliminate"    // variant refuted, with reason
+	KindResolved     Kind = "localize.resolved"     // candidate cleared/convicted
+	KindEscalation   Kind = "localize.escalation"   // budget/strategy escalation
+	KindInconclusive Kind = "localize.inconclusive" // candidate left without trusted evidence
+	KindVerdict      Kind = "localize.verdict"      // final verdict
+
+	// Resilient-oracle events (internal/resilient): the retry/backoff layer
+	// between Step 6 and a flaky implementation under test.
+	KindOracleRetry      Kind = "oracle.retry"      // attempt failed, backing off
+	KindOracleTimeout    Kind = "oracle.timeout"    // attempt exceeded the per-query timeout
+	KindOracleVote       Kind = "oracle.vote"       // repeated executions compared
+	KindOracleUnreliable Kind = "oracle.unreliable" // retries/votes exhausted without trust
+
+	// Chaos-injection events (internal/resilient fault injector).
+	KindChaosInject Kind = "chaos.inject" // one injected observation fault
 
 	// Experiment events.
 	KindSweepMutant Kind = "sweep.mutant" // span: traced diagnosis of one mutant
@@ -69,7 +80,9 @@ func Kinds() []Kind {
 		KindAnalyze, KindSymptom, KindUST, KindConflictSet, KindCandidateSplit,
 		KindHypothesis, KindDiagnosis,
 		KindRound, KindCandidate, KindTest, KindEliminate, KindResolved,
-		KindEscalation, KindVerdict,
+		KindEscalation, KindInconclusive, KindVerdict,
+		KindOracleRetry, KindOracleTimeout, KindOracleVote, KindOracleUnreliable,
+		KindChaosInject,
 		KindSweepMutant,
 	}
 }

@@ -174,7 +174,8 @@ func TestValidateJSONLRejections(t *testing.T) {
 		{"unclosed span", `{"seq":1,"clock":0,"kind":"localize.round","phase":"B","span":1}`, "never closed"},
 		{"end without begin", `{"seq":1,"clock":0,"kind":"localize.round","phase":"E","span":1}`, "without matching begin"},
 		{"kind mismatch", `{"seq":1,"clock":0,"kind":"localize.round","phase":"B","span":1}` + "\n" + `{"seq":2,"clock":0,"kind":"analyze","phase":"E","span":1}`, "began as"},
-		{"not json", `nope`, "invalid character"},
+		{"not json mid-trace", `nope` + "\n" + `{"seq":1,"clock":0,"kind":"sim.step"}`, "invalid character"},
+		{"not json final line", `{"seq":1,"clock":0,"kind":"sim.step"}` + "\n" + `{"seq":2,"clo`, "truncated trace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
