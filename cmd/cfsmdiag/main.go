@@ -25,7 +25,11 @@
 //	cfsmdiag serve       [-addr host:port] [-timeout d] [-pprof] [-tracing=false]
 //	                     [-logjson] [-quiet]
 //	                     [-oracle-timeout d] [-oracle-retries N] [-oracle-votes K]
+//	                     [-jobs] [-jobs-dir d] [-jobs-workers N] [-jobs-queue N]
 //	                     versioned JSON-over-HTTP service with /metrics + /healthz
+//	cfsmdiag jobs        <submit|status|result|cancel|list|watch|bench> ...
+//	                     client for the /v1/jobs batch API of a running service;
+//	                     bench runs the E13 throughput experiment in-process
 //
 // The diagnose subcommand runs the full algorithm of the paper: it executes
 // the suite (a generated transition tour when -suite is omitted) against the
@@ -82,7 +86,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve> ...")
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs> ...")
 	}
 	switch args[0] {
 	case "validate":
@@ -115,6 +119,8 @@ func run(args []string, out io.Writer) error {
 		return cmdRecord(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "jobs":
+		return cmdJobs(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -722,8 +728,9 @@ func cmdRecord(args []string, out io.Writer) error {
 
 // cmdServe runs the JSON-over-HTTP diagnosis service (internal/server):
 // /v1/validate, /v1/suite, /v1/analyze, /v1/diagnose (plus the deprecated
-// /api/* aliases), /healthz and /metrics. It shuts down gracefully on
-// SIGINT/SIGTERM, draining in-flight requests.
+// /api/* aliases), /healthz and /metrics. With -jobs it also mounts the
+// durable /v1/jobs batch API. It shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests and running jobs before persisting the queue.
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -735,6 +742,10 @@ func cmdServe(args []string, out io.Writer) error {
 	oracleTimeout := fs.Duration("oracle-timeout", 0, "per-execution oracle timeout for diagnoses (0 = none); enables the resilient retry layer")
 	oracleRetries := fs.Int("oracle-retries", 0, "failed oracle executions tolerated per diagnostic query")
 	oracleVotes := fs.Int("oracle-votes", 0, "successful executions majority-voted per diagnostic test (<=1 = no voting)")
+	jobsOn := fs.Bool("jobs", false, "mount the /v1/jobs batch diagnosis API")
+	jobsDir := fs.String("jobs-dir", "", "durability directory for the job queue (WAL + snapshots; implies -jobs, empty = in-memory only)")
+	jobsWorkers := fs.Int("jobs-workers", 0, "job worker pool size (<=0 = GOMAXPROCS)")
+	jobsQueue := fs.Int("jobs-queue", 0, "admission-control queue depth (<=0 = default)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -752,8 +763,15 @@ func cmdServe(args []string, out io.Writer) error {
 		OracleTimeout:       *oracleTimeout,
 		OracleRetries:       *oracleRetries,
 		OracleVotes:         *oracleVotes,
+		EnableJobs:          *jobsOn || *jobsDir != "",
+		JobsDir:             *jobsDir,
+		JobsWorkers:         *jobsWorkers,
+		JobsQueueDepth:      *jobsQueue,
 	}
-	handler := server.New(cfg)
+	svc, err := server.NewService(cfg)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -761,7 +779,14 @@ func cmdServe(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "cfsmdiag service listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(out, "  routes: %s\n", strings.Join(server.RouteList(cfg), ", "))
 	fmt.Fprintf(out, "  pprof: %v, tracing (?trace=1): %v\n", *pprofOn, *tracing)
-	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	if cfg.EnableJobs {
+		durable := "in-memory only"
+		if *jobsDir != "" {
+			durable = "durable in " + *jobsDir
+		}
+		fmt.Fprintf(out, "  jobs: %d workers, %s\n", svc.Jobs().Workers(), durable)
+	}
+	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -776,9 +801,12 @@ func cmdServe(args []string, out io.Writer) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return srv.Close()
+			srv.Close()
 		}
-		return nil
+		// Drain the job queue after the listener stops accepting work: running
+		// jobs finish (or are cancelled at the deadline) and queued jobs persist
+		// to the WAL for the next start.
+		return svc.Close(shutdownCtx)
 	}
 }
 

@@ -72,14 +72,22 @@ func cmdSweep(args []string, out io.Writer) error {
 		}
 	}
 
-	if *benchJSON != "" {
-		return writeSweepBench(label, sys, suite, *workers, *benchJSON, out)
-	}
-
 	effective := *workers
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)
+		// Note the fallback only when the user explicitly asked for a
+		// non-positive count; the silent default is documented flag behavior.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				fmt.Fprintf(out, "note: -workers %d is not positive; using GOMAXPROCS (%d)\n", *workers, effective)
+			}
+		})
 	}
+
+	if *benchJSON != "" {
+		return writeSweepBench(label, sys, suite, effective, *benchJSON, out)
+	}
+
 	opts := experiments.SweepOptions{Workers: effective, CheckEquivalence: *equiv}
 	var collector *statsCollector
 	if *stats {

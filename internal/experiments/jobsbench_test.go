@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/obs"
+)
+
+// TestRunJobsBench exercises experiment E13 at a reduced size: every unique
+// payload diagnoses a real Figure 1 mutant, every duplicate must be served
+// from the result cache, and the record's accounting adds up.
+func TestRunJobsBench(t *testing.T) {
+	reg := obs.New()
+	rec, err := RunJobsBench(JobsBenchOptions{
+		Jobs:     30,
+		Unique:   10,
+		Workers:  2,
+		Seed:     7,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Unique != 10 || rec.Duplicates != 20 {
+		t.Fatalf("unique=%d duplicates=%d, want 10/20", rec.Unique, rec.Duplicates)
+	}
+	if rec.CacheHits != 20 {
+		t.Fatalf("cache hits = %d, want 20", rec.CacheHits)
+	}
+	if rec.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", rec.Workers)
+	}
+	if rec.ColdJobsPerSec <= 0 || rec.CachedJobsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: cold %.2f cached %.2f", rec.ColdJobsPerSec, rec.CachedJobsPerSec)
+	}
+	if rec.Mutants <= 0 || rec.System != "figure1" {
+		t.Fatalf("bad record header: %+v", rec)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cfsmdiag_jobs_cache_hits_total 20") {
+		t.Fatalf("registry missing cache-hit count:\n%s", buf.String())
+	}
+}
+
+// TestRunJobsBenchClampsUnique pins the clamping rules: Unique above the
+// mutant space falls back to the mutant count, and Unique above Jobs is
+// capped at Jobs.
+func TestRunJobsBenchClampsUnique(t *testing.T) {
+	rec, err := RunJobsBench(JobsBenchOptions{Jobs: 5, Unique: 10_000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Unique != 5 || rec.Duplicates != 0 {
+		t.Fatalf("unique=%d duplicates=%d, want 5/0", rec.Unique, rec.Duplicates)
+	}
+}

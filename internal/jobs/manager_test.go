@@ -1,0 +1,401 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoExec returns the payload as the result.
+func echoExec(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+	return payload, nil
+}
+
+// waitIdle drains the manager with a test deadline.
+func waitIdle(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+}
+
+func closeNow(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestLifecycleAndResultCache(t *testing.T) {
+	m, err := Open(Config{Workers: 2}, map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j, err := m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued && j.State != StateRunning && j.State != StateSucceeded {
+		t.Fatalf("fresh submission in unexpected state %s", j.State)
+	}
+	if j.Cached {
+		t.Fatal("first submission must not be a cache hit")
+	}
+	waitIdle(t, m)
+
+	got, err := m.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateSucceeded {
+		t.Fatalf("state = %s, want succeeded", got.State)
+	}
+	if string(got.Result) != `{"x":1}` {
+		t.Fatalf("result = %s", got.Result)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", got.Attempts)
+	}
+
+	// The duplicate short-circuits: terminal immediately, same result, no
+	// second execution observable as a second attempt on a new job.
+	dup, err := m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached || dup.State != StateSucceeded {
+		t.Fatalf("duplicate: cached=%v state=%s, want cached succeeded", dup.Cached, dup.State)
+	}
+	if dup.ID == got.ID {
+		t.Fatal("duplicate submission must get its own job ID")
+	}
+	if string(dup.Result) != `{"x":1}` {
+		t.Fatalf("cached result = %s", dup.Result)
+	}
+	if dup.Key != got.Key {
+		t.Fatalf("content keys differ: %s vs %s", dup.Key, got.Key)
+	}
+
+	// A different payload misses the cache.
+	other, err := m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`{"x":2}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Fatal("distinct payload must not hit the cache")
+	}
+	waitIdle(t, m)
+
+	st := m.Stats()
+	if st.Submitted != 3 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want submitted 3 cacheHits 1", st)
+	}
+}
+
+func TestPriorityClassesDispatchInteractiveFirst(t *testing.T) {
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		var p struct{ Name string }
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return nil, err
+		}
+		if p.Name == "block" {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		mu.Lock()
+		order = append(order, p.Name)
+		mu.Unlock()
+		return payload, nil
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"work": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	submit := func(name string, p Priority) {
+		t.Helper()
+		if _, err := m.Submit(SubmitRequest{
+			Kind: "work", Priority: p,
+			Payload: json.RawMessage(fmt.Sprintf(`{"Name":%q}`, name)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit("block", PriorityBatch)
+	// Wait until the blocker occupies the single worker so the rest queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	submit("b1", PriorityBatch)
+	submit("b2", PriorityBatch)
+	submit("i1", PriorityInteractive)
+	close(gate)
+	waitIdle(t, m)
+
+	want := []string{"block", "i1", "b1", "b2"}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order = %v, want %v", order, want)
+	}
+}
+
+func TestAdmissionControlRejectsBeyondQueueDepth(t *testing.T) {
+	gate := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		select {
+		case <-gate:
+			return payload, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m, err := Open(Config{Workers: 1, QueueDepth: 2}, map[string]Executor{"work": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	if _, err := m.Submit(SubmitRequest{Kind: "work",
+		Payload: json.RawMessage(`{"n":0}`)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().Running != 1 { // the first job must leave the queue
+		if time.Now().After(deadline) {
+			t.Fatalf("first job never started: %+v", m.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i < 3; i++ { // fill both queue slots
+		if _, err := m.Submit(SubmitRequest{Kind: "work",
+			Payload: json.RawMessage(fmt.Sprintf(`{"n":%d}`, i))}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err = m.Submit(SubmitRequest{Kind: "work", Payload: json.RawMessage(`{"n":99}`)})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth submit error = %v, want ErrQueueFull", err)
+	}
+	st := m.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	if ra := st.RetryAfter(); ra < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", ra)
+	}
+	close(gate)
+	waitIdle(t, m)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	started := make(chan struct{}, 8)
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"hang": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j1, err := m.Submit(SubmitRequest{Kind: "hang", Payload: json.RawMessage(`{"n":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := m.Submit(SubmitRequest{Kind: "hang", Payload: json.RawMessage(`{"n":2}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queued cancel is immediate.
+	got, err := m.Cancel(j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCanceled {
+		t.Fatalf("queued cancel state = %s", got.State)
+	}
+
+	// Running cancel propagates through the context.
+	if _, err := m.Cancel(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, m)
+	got, err = m.Get(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCanceled {
+		t.Fatalf("running cancel state = %s", got.State)
+	}
+
+	// Terminal jobs refuse another cancel.
+	if _, err := m.Cancel(j1.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("double cancel error = %v, want ErrTerminal", err)
+	}
+	if _, err := m.Cancel("j999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown cancel error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFailedJobsAreNotCached(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	exec := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			return nil, errors.New("flaky backend")
+		}
+		return payload, nil
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"flaky": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j1, err := m.Submit(SubmitRequest{Kind: "flaky", Payload: json.RawMessage(`{"n":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, m)
+	got, _ := m.Get(j1.ID)
+	if got.State != StateFailed || got.Error != "flaky backend" {
+		t.Fatalf("job = %s %q, want failed with error", got.State, got.Error)
+	}
+
+	// The identical resubmission must run again, not replay the failure.
+	j2, err := m.Submit(SubmitRequest{Kind: "flaky", Payload: json.RawMessage(`{"n":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Cached {
+		t.Fatal("failed result must not populate the cache")
+	}
+	waitIdle(t, m)
+	got, _ = m.Get(j2.ID)
+	if got.State != StateSucceeded {
+		t.Fatalf("retry state = %s, want succeeded", got.State)
+	}
+}
+
+func TestWorkerCountGuardFallsBackToGOMAXPROCS(t *testing.T) {
+	for _, bad := range []int{0, -1, -100} {
+		m, err := Open(Config{Workers: bad}, map[string]Executor{"echo": echoExec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.Workers(), runtime.GOMAXPROCS(0); got != want {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS %d", bad, got, want)
+		}
+		closeNow(t, m)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(SubmitRequest{Kind: "nope"}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+	if _, err := m.Submit(SubmitRequest{Kind: "echo", Priority: "rush"}); err == nil {
+		t.Fatal("invalid priority accepted")
+	}
+	closeNow(t, m)
+	if _, err := m.Submit(SubmitRequest{Kind: "echo"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit error = %v, want ErrClosed", err)
+	}
+	if _, err := m.Get("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGracefulCloseDrainsInFlightAndKeepsQueuedQueued(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		select {
+		case <-release:
+			return payload, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"work": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := m.Submit(SubmitRequest{Kind: "work", Payload: json.RawMessage(`{"n":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m.Submit(SubmitRequest{Kind: "work", Payload: json.RawMessage(`{"n":2}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	closeNow(t, m) // graceful: waits for the in-flight job
+
+	got, _ := m.Get(running.ID)
+	if got.State != StateSucceeded {
+		t.Fatalf("in-flight job after drain = %s, want succeeded", got.State)
+	}
+	got, _ = m.Get(queued.ID)
+	if got.State != StateQueued {
+		t.Fatalf("queued job after drain = %s, want still queued", got.State)
+	}
+}
+
+func TestContentKeyIsStableAndDiscriminating(t *testing.T) {
+	a := ContentKey("diagnose", []byte(`{"x":1}`))
+	if a != ContentKey("diagnose", []byte(`{"x":1}`)) {
+		t.Fatal("identical inputs must share a key")
+	}
+	if a == ContentKey("sweep", []byte(`{"x":1}`)) {
+		t.Fatal("kind must discriminate")
+	}
+	if a == ContentKey("diagnose", []byte(`{"x":2}`)) {
+		t.Fatal("payload must discriminate")
+	}
+}

@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"cfsmdiag/internal/obs"
+)
+
+// Metric families of the job subsystem. Queue depth and the wait/run
+// latency histograms are the capacity-planning signals; cache hits and
+// admission drops are the effectiveness signals.
+const (
+	metricSubmitted  = "cfsmdiag_jobs_submitted_total"
+	metricCompleted  = "cfsmdiag_jobs_completed_total"
+	metricQueueDepth = "cfsmdiag_jobs_queue_depth"
+	metricRunning    = "cfsmdiag_jobs_running"
+	metricWorkers    = "cfsmdiag_jobs_workers"
+	metricWait       = "cfsmdiag_jobs_wait_seconds"
+	metricRun        = "cfsmdiag_jobs_run_seconds"
+	metricCacheHits  = "cfsmdiag_jobs_cache_hits_total"
+	metricDropped    = "cfsmdiag_jobs_admission_dropped_total"
+	metricWALRecords = "cfsmdiag_jobs_wal_records_total"
+	metricSnapshots  = "cfsmdiag_jobs_snapshots_total"
+	metricReplayed   = "cfsmdiag_jobs_replayed_total"
+)
+
+// jobMetrics bundles pre-resolved handles; everything is nil-safe so a
+// Manager without a registry pays one pointer test per update.
+type jobMetrics struct {
+	reg        *obs.Registry
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	workers    *obs.Gauge
+	wait       *obs.Histogram
+	run        *obs.Histogram
+	cacheHits  *obs.Counter
+	dropped    *obs.Counter
+	walRecords *obs.Counter
+	snapshots  *obs.Counter
+	replayed   *obs.Counter
+}
+
+func newJobMetrics(r *obs.Registry) jobMetrics {
+	if r == nil {
+		return jobMetrics{}
+	}
+	return jobMetrics{
+		reg:        r,
+		queueDepth: r.Gauge(metricQueueDepth, "Jobs currently queued awaiting a worker."),
+		running:    r.Gauge(metricRunning, "Jobs currently executing on a worker."),
+		workers:    r.Gauge(metricWorkers, "Configured worker-pool size."),
+		wait:       r.Histogram(metricWait, "Queue wait latency in seconds (enqueue to start).", obs.DefaultLatencyBuckets),
+		run:        r.Histogram(metricRun, "Job run latency in seconds (start to finish).", obs.DefaultLatencyBuckets),
+		cacheHits:  r.Counter(metricCacheHits, "Submissions answered from the content-addressed result cache."),
+		dropped:    r.Counter(metricDropped, "Submissions rejected by queue-depth admission control."),
+		walRecords: r.Counter(metricWALRecords, "Records appended to the jobs write-ahead log."),
+		snapshots:  r.Counter(metricSnapshots, "WAL compactions into a snapshot."),
+		replayed:   r.Counter(metricReplayed, "Jobs re-queued from the WAL after a restart."),
+	}
+}
+
+// RegisterMetrics pre-registers the jobs metric families so an exposition
+// endpoint lists the full schema before the first job runs. No-op on nil.
+func RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	newJobMetrics(r)
+	for _, p := range priorities {
+		r.Counter(metricSubmitted, "Jobs accepted, by kind and priority.",
+			obs.L("kind", "diagnose"), obs.L("priority", string(p)))
+	}
+	for _, s := range []State{StateSucceeded, StateFailed, StateCanceled} {
+		r.Counter(metricCompleted, "Jobs finished, by terminal state.", obs.L("state", string(s)))
+	}
+}
+
+// submitted records one accepted job.
+func (m jobMetrics) submitted(kind string, p Priority) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter(metricSubmitted, "Jobs accepted, by kind and priority.",
+		obs.L("kind", kind), obs.L("priority", string(p))).Inc()
+}
+
+// completed records one terminal transition with its latencies.
+func (m jobMetrics) completed(j *Job) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter(metricCompleted, "Jobs finished, by terminal state.",
+		obs.L("state", string(j.State))).Inc()
+	if w := j.Wait(); w > 0 {
+		m.wait.Observe(w.Seconds())
+	}
+	if r := j.Run(); r > 0 {
+		m.run.Observe(r.Seconds())
+	}
+}
+
+// walAppend records one WAL append.
+func (m jobMetrics) walAppend() { m.walRecords.Inc() }

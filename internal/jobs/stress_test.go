@@ -1,0 +1,251 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cfsmdiag/internal/obs"
+)
+
+// stressSeed makes the concurrent schedules reproducible across runs.
+const stressSeed = 1405
+
+// TestStressConcurrentSubmissions pushes 500 submissions through a 4-worker
+// pool: 100 unique payloads first (queue contention), then 400 seeded
+// duplicates that must all short-circuit through the result cache. Every
+// job must land terminal.
+func TestStressConcurrentSubmissions(t *testing.T) {
+	const (
+		workers    = 4
+		uniques    = 100
+		duplicates = 400
+	)
+	reg := obs.New()
+	var runs int64
+	var mu sync.Mutex
+	exec := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return json.RawMessage(fmt.Sprintf(`{"ok":%s}`, payload)), nil
+	}
+	m, err := Open(Config{Workers: workers, Registry: reg},
+		map[string]Executor{"stress": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	// Wave 1: the unique payloads, submitted concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, uniques+duplicates)
+	for n := 0; n < uniques; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			p := PriorityBatch
+			if n%3 == 0 {
+				p = PriorityInteractive
+			}
+			if _, err := m.Submit(SubmitRequest{Kind: "stress", Priority: p,
+				Payload: payloadN(n)}); err != nil {
+				errs <- fmt.Errorf("unique %d: %w", n, err)
+			}
+		}(n)
+	}
+	wg.Wait()
+	waitIdle(t, m)
+
+	// Wave 2: seeded duplicate draws over the now-cached payloads.
+	rng := rand.New(rand.NewSource(stressSeed))
+	picks := make([]int, duplicates)
+	for i := range picks {
+		picks[i] = rng.Intn(uniques)
+	}
+	for _, n := range picks {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			j, err := m.Submit(SubmitRequest{Kind: "stress", Payload: payloadN(n)})
+			if err != nil {
+				errs <- fmt.Errorf("dup %d: %w", n, err)
+				return
+			}
+			if !j.Cached {
+				errs <- fmt.Errorf("dup %d: expected cache hit", n)
+			}
+		}(n)
+	}
+	wg.Wait()
+	waitIdle(t, m)
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	all := m.List()
+	if len(all) != uniques+duplicates {
+		t.Fatalf("retained %d jobs, want %d", len(all), uniques+duplicates)
+	}
+	for _, j := range all {
+		if !j.State.Terminal() {
+			t.Fatalf("job %s not terminal: %s", j.ID, j.State)
+		}
+		if j.State != StateSucceeded {
+			t.Fatalf("job %s state = %s, want succeeded", j.ID, j.State)
+		}
+	}
+	st := m.Stats()
+	if st.Submitted != uniques+duplicates {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, uniques+duplicates)
+	}
+	if st.CacheHits != duplicates {
+		t.Fatalf("cacheHits = %d, want %d", st.CacheHits, duplicates)
+	}
+	mu.Lock()
+	gotRuns := runs
+	mu.Unlock()
+	if gotRuns != uniques {
+		t.Fatalf("executor ran %d times, want %d (duplicates must not re-run)", gotRuns, uniques)
+	}
+
+	// The exposition endpoint must carry the capacity-planning families.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		metricQueueDepth, metricRunning, metricWorkers,
+		metricWait + "_bucket", metricRun + "_bucket",
+		metricSubmitted, metricCompleted, metricCacheHits, metricDropped,
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+	if !strings.Contains(text, metricCacheHits+" 400") {
+		t.Errorf("cache-hit counter not at 400 in exposition")
+	}
+}
+
+// TestStressKillRestartLosesNothing is the headline durability claim at
+// scale: 500 unique durable jobs on 4 workers, a hard kill once exactly 200
+// have completed, then a restart. Zero accepted jobs lost, zero double-run.
+func TestStressKillRestartLosesNothing(t *testing.T) {
+	const (
+		total    = 500
+		workers  = 4
+		complete = 200 // completions allowed before the kill
+	)
+	dir := t.TempDir()
+
+	// Token-gated executor: only `complete` tokens exist, so exactly that
+	// many jobs can finish in phase 1; the rest block until the kill cancels
+	// them. `done` counts successful completions per payload across BOTH
+	// phases — the exactly-once ledger.
+	tokens := make(chan struct{}, complete)
+	for i := 0; i < complete; i++ {
+		tokens <- struct{}{}
+	}
+	var mu sync.Mutex
+	done := make(map[string]int)
+	gated := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		select {
+		case <-tokens:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		mu.Lock()
+		done[string(payload)]++
+		mu.Unlock()
+		return json.RawMessage(`"done"`), nil
+	}
+
+	m, err := Open(Config{Workers: workers, Dir: dir, SnapshotEvery: 64},
+		map[string]Executor{"work": gated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(stressSeed))
+	order := rng.Perm(total) // seeded submission order
+	ids := make(map[int]string, total)
+	for _, n := range order {
+		j, err := m.Submit(SubmitRequest{Kind: "work", Payload: payloadN(n)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", n, err)
+		}
+		ids[n] = j.ID
+	}
+
+	// Wait until the manager has RECORDED all permitted completions and the
+	// workers are parked on token-starved jobs; nothing is then mid-
+	// completion, so the kill is a clean crash point.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		terminal := 0
+		for _, j := range m.List() {
+			if j.State.Terminal() {
+				terminal++
+			}
+		}
+		if terminal == complete && m.Stats().Running == workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("phase 1 never settled: %d terminal, %+v", terminal, m.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.kill()
+
+	// Phase 2: restart with an ungated executor.
+	free := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		mu.Lock()
+		done[string(payload)]++
+		mu.Unlock()
+		return json.RawMessage(`"done"`), nil
+	}
+	m2, err := Open(Config{Workers: workers, Dir: dir, SnapshotEvery: 64},
+		map[string]Executor{"work": free})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m2)
+	if got, want := m2.Stats().Replayed, int64(total-complete); got != want {
+		t.Fatalf("replayed = %d, want %d", got, want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m2.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero loss: every accepted job is terminal and succeeded.
+	for n := 0; n < total; n++ {
+		j, err := m2.Get(ids[n])
+		if err != nil {
+			t.Fatalf("job %d lost across restart: %v", n, err)
+		}
+		if j.State != StateSucceeded {
+			t.Fatalf("job %d state = %s, want succeeded", n, j.State)
+		}
+	}
+	// Zero duplication: each payload completed exactly once across phases.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(done) != total {
+		t.Fatalf("%d payloads completed, want %d", len(done), total)
+	}
+	for p, c := range done {
+		if c != 1 {
+			t.Errorf("payload %s completed %d times, want exactly once", p, c)
+		}
+	}
+}

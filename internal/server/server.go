@@ -18,10 +18,18 @@
 //	GET  /healthz                                               -> liveness probe
 //	GET  /metrics                                               -> Prometheus text exposition
 //
+// Services built with NewService and Config.EnableJobs additionally serve
+// the durable batch queue under /v1/jobs (submit, poll, fetch result,
+// cancel; see the route table in jobs.go): accepted jobs survive a restart
+// via a write-ahead log, duplicate submissions are answered from a
+// content-addressed result cache, and a full queue rejects work with 429
+// plus a Retry-After estimate.
+//
 // The unversioned /api/* paths from the first release are served as
 // deprecated aliases of the matching /v1/* route; they answer with a
 // "Deprecation: true" header and a Link to the successor and will be removed
-// one release after the v1 surface shipped.
+// one release after the v1 surface shipped. Each hit also bumps the
+// cfsmdiag_deprecated_api_total counter so migrations are measurable.
 //
 // # Errors
 //
@@ -31,9 +39,10 @@
 //
 // with codes bad_request, method_not_allowed, unsupported_media_type,
 // payload_too_large, suite_too_large, unprocessable, not_found,
-// not_implemented, timeout, canceled and internal. Wrong methods answer 405
-// with an Allow header; non-JSON content types answer 415; "?trace=1" on a
-// server without tracing answers 501.
+// not_implemented, timeout, canceled, internal, queue_full, conflict and
+// unavailable. Wrong methods answer 405 with an Allow header; non-JSON
+// content types answer 415; "?trace=1" on a server without tracing answers
+// 501.
 //
 // # Observability
 //
@@ -60,6 +69,7 @@ import (
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/experiments"
 	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/jobs"
 	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/resilient"
@@ -98,6 +108,22 @@ type Config struct {
 	// counters on Registry (cfsm.InstrumentSimulator). Because the hook is
 	// process-global, enable it from exactly one server per process.
 	InstrumentSimulator bool
+	// EnableJobs mounts the durable batch surface under /v1/jobs. Jobs are
+	// served only by handlers built with NewService (which owns the worker
+	// pool's lifecycle); New ignores the flag.
+	EnableJobs bool
+	// JobsDir stores the jobs WAL and snapshot so accepted work survives a
+	// restart; empty keeps the queue in memory only.
+	JobsDir string
+	// JobsWorkers sizes the job worker pool; <= 0 falls back to GOMAXPROCS
+	// with a logged note.
+	JobsWorkers int
+	// JobsQueueDepth caps queued jobs; submissions beyond it answer 429
+	// with a Retry-After estimate. <= 0 selects the jobs package default.
+	JobsQueueDepth int
+	// Tracer receives job.* events (submit, run spans, cache hits, drain);
+	// nil disables job tracing.
+	Tracer *trace.Tracer
 	// OracleTimeout, OracleRetries and OracleVotes configure the resilient
 	// retry layer (internal/resilient) around every diagnosis oracle:
 	// per-execution timeout, retry budget for failed executions, and
@@ -138,8 +164,46 @@ type api struct {
 	m   httpMetrics
 }
 
-// New returns the service's HTTP handler with the given configuration.
+// New returns the service's HTTP handler with the given configuration. It
+// cannot own a worker pool's lifecycle, so Config.EnableJobs is ignored;
+// use NewService for the batch surface.
 func New(cfg Config) http.Handler {
+	cfg.EnableJobs = false
+	svc, err := NewService(cfg)
+	if err != nil {
+		// Unreachable: every error path of NewService requires EnableJobs.
+		panic(err)
+	}
+	return svc.Handler()
+}
+
+// Service is a configured server together with its batch-job subsystem.
+// Close it on shutdown so in-flight jobs drain and queued jobs reach the
+// final snapshot.
+type Service struct {
+	handler http.Handler
+	mgr     *jobs.Manager
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.handler }
+
+// Jobs returns the batch-job manager, nil when jobs are disabled.
+func (s *Service) Jobs() *jobs.Manager { return s.mgr }
+
+// Close drains the job subsystem: running jobs finish (until ctx expires),
+// queued jobs persist for the next start. A job-less service closes
+// instantly.
+func (s *Service) Close(ctx context.Context) error {
+	if s.mgr == nil {
+		return nil
+	}
+	return s.mgr.Close(ctx)
+}
+
+// NewService builds the HTTP surface and, when cfg.EnableJobs is set, the
+// durable job queue behind /v1/jobs.
+func NewService(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &api{cfg: cfg, m: newHTTPMetrics(cfg.Registry)}
 
@@ -166,8 +230,10 @@ func New(cfg Config) http.Handler {
 	for _, path := range v1Paths {
 		h := handlers[path]
 		mux.Handle(path, s.wrap(path, s.post(h)))
-		// Deprecated unversioned alias, kept for one release.
+		// Deprecated unversioned alias, kept for one release. Pre-register
+		// its migration counter so /metrics lists the family at zero.
 		alias := "/api" + path[len("/v1"):]
+		cfg.Registry.Counter(metricDeprecated, helpDeprecated, obs.L("route", alias))
 		mux.Handle(alias, s.wrap(alias, s.deprecated(path, s.post(h))))
 	}
 	mux.Handle("/healthz", s.wrap("/healthz", s.handleHealthz))
@@ -179,10 +245,32 @@ func New(cfg Config) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+
+	svc := &Service{handler: mux}
+	if cfg.EnableJobs {
+		mgr, err := jobs.Open(jobs.Config{
+			Workers:    cfg.JobsWorkers,
+			QueueDepth: cfg.JobsQueueDepth,
+			Dir:        cfg.JobsDir,
+			Registry:   cfg.Registry,
+			Logger:     cfg.Logger,
+			Tracer:     cfg.Tracer,
+		}, map[string]jobs.Executor{
+			"diagnose": s.execDiagnose,
+			"sweep":    s.execSweep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc.mgr = mgr
+		mux.Handle("/v1/jobs", s.wrap("/v1/jobs", s.handleJobs(mgr)))
+		mux.Handle("/v1/jobs/", s.wrap("/v1/jobs/{id}", s.handleJob(mgr)))
+	}
+
 	mux.Handle("/", s.wrap("other", func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no such route %s", r.URL.Path))
 	}))
-	return mux
+	return svc, nil
 }
 
 // Handler returns the service with the default configuration. It remains the
@@ -202,6 +290,12 @@ func RouteList(cfg Config) []string {
 	}
 	for _, p := range v1Paths {
 		routes = append(routes, "POST /api"+p[len("/v1"):]+" (deprecated)")
+	}
+	if cfg.EnableJobs {
+		routes = append(routes,
+			"POST /v1/jobs", "GET /v1/jobs", "GET /v1/jobs/stats",
+			"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result",
+			"POST /v1/jobs/{id}/cancel", "DELETE /v1/jobs/{id}")
 	}
 	routes = append(routes, "GET /healthz", "GET /metrics")
 	if cfg.EnablePprof {
@@ -225,6 +319,9 @@ const (
 	codeTimeout          = "timeout"
 	codeCanceled         = "canceled"
 	codeInternal         = "internal"
+	codeQueueFull        = "queue_full"
+	codeConflict         = "conflict"
+	codeUnavailable      = "unavailable"
 )
 
 type errorDetail struct {
@@ -289,6 +386,7 @@ func (s *api) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc 
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		s.cfg.Registry.Counter(metricDeprecated, helpDeprecated, obs.L("route", r.URL.Path)).Inc()
 		s.cfg.Logger.Warn("deprecated route", "route", r.URL.Path, "successor", successor)
 		h(w, r)
 	}
@@ -311,19 +409,25 @@ func (s *api) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// checkSuiteSize rejects absurd suites before they reach the simulator.
-func (s *api) checkSuiteSize(w http.ResponseWriter, what string, cases int, inputs func(i int) int) bool {
+// suiteSizeErr reports an absurd suite before it reaches the simulator; the
+// HTTP path and the job executors share it.
+func (s *api) suiteSizeErr(what string, cases int, inputs func(i int) int) error {
 	if cases > s.cfg.MaxSuiteCases {
-		writeErr(w, http.StatusUnprocessableEntity, codeSuiteTooLarge,
-			fmt.Errorf("%s has %d cases; the limit is %d", what, cases, s.cfg.MaxSuiteCases))
-		return false
+		return fmt.Errorf("%s has %d cases; the limit is %d", what, cases, s.cfg.MaxSuiteCases)
 	}
 	for i := 0; i < cases; i++ {
 		if n := inputs(i); n > s.cfg.MaxCaseInputs {
-			writeErr(w, http.StatusUnprocessableEntity, codeSuiteTooLarge,
-				fmt.Errorf("%s case %d has %d inputs; the limit is %d", what, i+1, n, s.cfg.MaxCaseInputs))
-			return false
+			return fmt.Errorf("%s case %d has %d inputs; the limit is %d", what, i+1, n, s.cfg.MaxCaseInputs)
 		}
+	}
+	return nil
+}
+
+// checkSuiteSize is suiteSizeErr with the HTTP error envelope.
+func (s *api) checkSuiteSize(w http.ResponseWriter, what string, cases int, inputs func(i int) int) bool {
+	if err := s.suiteSizeErr(what, cases, inputs); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, codeSuiteTooLarge, err)
+		return false
 	}
 	return true
 }
@@ -515,14 +619,14 @@ type additionalTestJSON struct {
 }
 
 type diagnoseResponse struct {
-	Verdict         string               `json:"verdict"`
-	Fault           string               `json:"fault,omitempty"`
-	Remaining       []string             `json:"remaining,omitempty"`
-	Cleared         []string             `json:"cleared,omitempty"`
+	Verdict   string   `json:"verdict"`
+	Fault     string   `json:"fault,omitempty"`
+	Remaining []string `json:"remaining,omitempty"`
+	Cleared   []string `json:"cleared,omitempty"`
 	// Inconclusive lists the candidate transitions whose diagnostic tests
 	// never produced a trustworthy observation (resilient retry/vote budget
 	// exhausted); non-empty iff Verdict is the inconclusive one.
-	Inconclusive []string `json:"inconclusive,omitempty"`
+	Inconclusive    []string             `json:"inconclusive,omitempty"`
 	AdditionalTests []additionalTestJSON `json:"additionalTests,omitempty"`
 	SuiteCases      int                  `json:"suiteCases"`
 	TotalTests      int                  `json:"totalTests"`
@@ -543,50 +647,43 @@ func traceRequested(r *http.Request) bool {
 	return false
 }
 
-func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	wantTrace := traceRequested(r)
-	if wantTrace && !s.cfg.EnableTracing {
-		writeErr(w, http.StatusNotImplemented, codeNotImplemented,
-			fmt.Errorf("structured tracing is disabled on this server; restart it with tracing enabled to use ?trace=1"))
-		return
-	}
-	var req diagnoseRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	if !s.checkSuiteSize(w, "suite", len(req.Suite), func(i int) int { return len(req.Suite[i].Inputs) }) {
-		return
-	}
-	spec, err := cfsm.FromJSON(req.Spec)
+// prepareDiagnose decodes a diagnosis request's systems and resolves its
+// suite (explicit or generated tour). Shared by the HTTP handler and the
+// "diagnose" job executor.
+// Suite sizes are NOT checked here — the HTTP handler rejects them with
+// the suite_too_large code before calling in, and the job executors call
+// suiteSizeErr themselves.
+func (s *api) prepareDiagnose(req diagnoseRequest) (spec, iut *cfsm.System, suite []cfsm.TestCase, err error) {
+	spec, err = cfsm.FromJSON(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, fmt.Errorf("spec: %w", err))
-		return
+		return nil, nil, nil, fmt.Errorf("spec: %w", err)
 	}
-	iut, err := cfsm.FromJSON(req.IUT)
+	iut, err = cfsm.FromJSON(req.IUT)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, fmt.Errorf("iut: %w", err))
-		return
+		return nil, nil, nil, fmt.Errorf("iut: %w", err)
 	}
-	var suite []cfsm.TestCase
 	if len(req.Suite) > 0 {
 		suite, err = decodeSuite(req.Suite)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
-			return
+			return nil, nil, nil, err
 		}
-	} else {
-		// A suite-less request relies on the generated transition tour; if
-		// the generator covers nothing (every transition unreachable from
-		// the initial configuration) the diagnosis would silently run on an
-		// empty suite and report "no fault", so reject the request instead.
-		var uncovered []cfsm.Ref
-		suite, uncovered = testgen.Tour(spec, 0)
-		if len(suite) == 0 {
-			writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable,
-				fmt.Errorf("suite omitted and the generated transition tour is empty (%d transitions unreachable from the initial configuration); supply an explicit suite", len(uncovered)))
-			return
-		}
+		return spec, iut, suite, nil
 	}
+	// A suite-less request relies on the generated transition tour; if the
+	// generator covers nothing (every transition unreachable from the
+	// initial configuration) the diagnosis would silently run on an empty
+	// suite and report "no fault", so reject the request instead.
+	var uncovered []cfsm.Ref
+	suite, uncovered = testgen.Tour(spec, 0)
+	if len(suite) == 0 {
+		return nil, nil, nil, fmt.Errorf("suite omitted and the generated transition tour is empty (%d transitions unreachable from the initial configuration); supply an explicit suite", len(uncovered))
+	}
+	return spec, iut, suite, nil
+}
+
+// oracleFor wraps the IUT in the configured resilient retry layer. The
+// returned SystemOracle carries the raw test/input counters.
+func (s *api) oracleFor(iut *cfsm.System) (core.Oracle, *core.SystemOracle) {
 	base := &core.SystemOracle{Sys: iut}
 	var oracle core.Oracle = base
 	if s.cfg.resilientEnabled() {
@@ -597,58 +694,20 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			Registry: s.cfg.Registry,
 		})
 	}
+	return oracle, base
+}
+
+// diagnoseOpts are the core options shared by every diagnosis entry point.
+func (s *api) diagnoseOpts(req diagnoseRequest) []core.Option {
 	opts := []core.Option{core.WithRegistry(s.cfg.Registry)}
 	if req.MaxAdditionalTests > 0 {
 		opts = append(opts, core.WithMaxAdditionalTests(req.MaxAdditionalTests))
 	}
-	var tr *trace.Tracer
-	if wantTrace {
-		tr = trace.New()
-		opts = append(opts, core.WithTrace(tr))
-	}
-	// The request context carries the configured timeout and the client's
-	// disconnect; a slow adaptive localization stops at the next oracle
-	// boundary once it is done.
-	var loc *core.Localization
-	if tr != nil {
-		// The traced path executes the suite by hand so the replay header
-		// (run.spec / run.case / run.observed) can be recorded before the
-		// analysis events: the response's trace is then directly replayable.
-		observed := make([][]cfsm.Observation, len(suite))
-		for i, tc := range suite {
-			if err := r.Context().Err(); err != nil {
-				writePipelineErr(w, err)
-				return
-			}
-			if observed[i], err = oracle.Execute(tc); err != nil {
-				writePipelineErr(w, fmt.Errorf("execute %s: %w", tc.Name, err))
-				return
-			}
-		}
-		if err = replay.Record(tr, spec, suite, observed); err != nil {
-			writeErr(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-		var a *core.Analysis
-		if a, err = core.Analyze(spec, suite, observed, opts...); err != nil {
-			writePipelineErr(w, err)
-			return
-		}
-		if loc, err = core.LocalizeContext(r.Context(), a, oracle, opts...); err != nil {
-			writePipelineErr(w, err)
-			return
-		}
-		s.cfg.Logger.Info("traced diagnosis",
-			"request_id", RequestID(r.Context()),
-			"verdict", loc.Verdict.String(),
-			"trace_events", tr.Len())
-	} else {
-		loc, err = core.DiagnoseContext(r.Context(), spec, suite, oracle, opts...)
-		if err != nil {
-			writePipelineErr(w, err)
-			return
-		}
-	}
+	return opts
+}
+
+// encodeLocalization renders a localization as the wire response.
+func encodeLocalization(spec *cfsm.System, suite []cfsm.TestCase, base *core.SystemOracle, loc *core.Localization) diagnoseResponse {
 	resp := diagnoseResponse{
 		Verdict:     loc.Verdict.String(),
 		SuiteCases:  len(suite),
@@ -675,9 +734,94 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			Observed: encodeObservations(at.Observed),
 		})
 	}
-	if tr != nil {
-		resp.Trace = tr.Events()
+	return resp
+}
+
+// runDiagnose is the untraced diagnosis pipeline end to end: decode, run,
+// encode. The jobs executor calls it directly; errors are pipeline errors.
+func (s *api) runDiagnose(ctx context.Context, req diagnoseRequest) (*diagnoseResponse, error) {
+	spec, iut, suite, err := s.prepareDiagnose(req)
+	if err != nil {
+		return nil, err
 	}
+	oracle, base := s.oracleFor(iut)
+	loc, err := core.DiagnoseContext(ctx, spec, suite, oracle, s.diagnoseOpts(req)...)
+	if err != nil {
+		return nil, err
+	}
+	resp := encodeLocalization(spec, suite, base, loc)
+	return &resp, nil
+}
+
+func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	wantTrace := traceRequested(r)
+	if wantTrace && !s.cfg.EnableTracing {
+		writeErr(w, http.StatusNotImplemented, codeNotImplemented,
+			fmt.Errorf("structured tracing is disabled on this server; restart it with tracing enabled to use ?trace=1"))
+		return
+	}
+	var req diagnoseRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.checkSuiteSize(w, "suite", len(req.Suite), func(i int) int { return len(req.Suite[i].Inputs) }) {
+		return
+	}
+	// The request context carries the configured timeout and the client's
+	// disconnect; a slow adaptive localization stops at the next oracle
+	// boundary once it is done.
+	if !wantTrace {
+		resp, err := s.runDiagnose(r.Context(), req)
+		if err != nil {
+			writePipelineErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	spec, iut, suite, err := s.prepareDiagnose(req)
+	if err != nil {
+		writePipelineErr(w, err)
+		return
+	}
+	oracle, base := s.oracleFor(iut)
+	tr := trace.New()
+	opts := append(s.diagnoseOpts(req), core.WithTrace(tr))
+
+	// The traced path executes the suite by hand so the replay header
+	// (run.spec / run.case / run.observed) can be recorded before the
+	// analysis events: the response's trace is then directly replayable.
+	observed := make([][]cfsm.Observation, len(suite))
+	for i, tc := range suite {
+		if err := r.Context().Err(); err != nil {
+			writePipelineErr(w, err)
+			return
+		}
+		if observed[i], err = oracle.Execute(tc); err != nil {
+			writePipelineErr(w, fmt.Errorf("execute %s: %w", tc.Name, err))
+			return
+		}
+	}
+	if err = replay.Record(tr, spec, suite, observed); err != nil {
+		writeErr(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	a, err := core.Analyze(spec, suite, observed, opts...)
+	if err != nil {
+		writePipelineErr(w, err)
+		return
+	}
+	loc, err := core.LocalizeContext(r.Context(), a, oracle, opts...)
+	if err != nil {
+		writePipelineErr(w, err)
+		return
+	}
+	s.cfg.Logger.Info("traced diagnosis",
+		"request_id", RequestID(r.Context()),
+		"verdict", loc.Verdict.String(),
+		"trace_events", tr.Len())
+	resp := encodeLocalization(spec, suite, base, loc)
+	resp.Trace = tr.Events()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -69,6 +69,14 @@ const (
 
 	// Experiment events.
 	KindSweepMutant Kind = "sweep.mutant" // span: traced diagnosis of one mutant
+
+	// Batch-job events (internal/jobs): the durable queue in front of the
+	// pipeline.
+	KindJobSubmit   Kind = "job.submit"    // job accepted into the queue
+	KindJobRun      Kind = "job.run"       // span: one job executing on a worker
+	KindJobCacheHit Kind = "job.cache_hit" // duplicate submission answered from the result cache
+	KindJobReplay   Kind = "job.replay"    // job re-queued from the WAL after a restart
+	KindJobDrain    Kind = "job.drain"     // graceful-shutdown drain of the worker pool
 )
 
 // Kinds returns every kind this package emits, in a stable order.  The JSONL
@@ -84,6 +92,7 @@ func Kinds() []Kind {
 		KindOracleRetry, KindOracleTimeout, KindOracleVote, KindOracleUnreliable,
 		KindChaosInject,
 		KindSweepMutant,
+		KindJobSubmit, KindJobRun, KindJobCacheHit, KindJobReplay, KindJobDrain,
 	}
 }
 
