@@ -30,6 +30,14 @@
 //	cfsmdiag jobs        <submit|status|result|cancel|list|watch|bench> ...
 //	                     client for the /v1/jobs batch API of a running service;
 //	                     bench runs the E13 throughput experiment in-process
+//	cfsmdiag convert     <model.json|model.bin> -o <out>   convert between the
+//	                     JSON and versioned binary model formats
+//	cfsmdiag info        <model.json|model.bin>  header, content hash and shape
+//	cfsmdiag compilebench [-out BENCH_compile.json]  E14: compiled-representation
+//	                     speedup record (interpreted vs compiled hot paths)
+//
+// Every subcommand that takes a system file accepts either format; binary
+// models carry a content hash that is verified on load.
 //
 // The diagnose subcommand runs the full algorithm of the paper: it executes
 // the suite (a generated transition tour when -suite is omitted) against the
@@ -86,7 +94,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs> ...")
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs|convert|info|compilebench> ...")
 	}
 	switch args[0] {
 	case "validate":
@@ -121,17 +129,21 @@ func run(args []string, out io.Writer) error {
 		return cmdServe(args[1:], out)
 	case "jobs":
 		return cmdJobs(args[1:], out)
+	case "convert":
+		return cmdConvert(args[1:], out)
+	case "info":
+		return cmdInfo(args[1:], out)
+	case "compilebench":
+		return cmdCompileBench(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
+// loadSystem accepts both model formats: every subcommand that reads a
+// system file also accepts the binary form produced by cfsmdiag convert.
 func loadSystem(path string) (*cfsm.System, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return cfsm.ParseSystem(data)
+	return loadSystemAny(path)
 }
 
 func cmdValidate(args []string, out io.Writer) error {

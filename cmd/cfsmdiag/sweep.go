@@ -135,44 +135,51 @@ func cmdSweep(args []string, out io.Writer) error {
 	return nil
 }
 
-// SweepBenchRecord is the machine-readable performance record emitted by
-// `cfsmdiag sweep -benchjson`. It pins the sweep throughput and the
-// simulator allocation profile so later changes have a trajectory to
-// regress against.
-type SweepBenchRecord struct {
-	System     string `json:"system"`
-	Mutants    int    `json:"mutants"`
-	SuiteCases int    `json:"suite_cases"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	Workers    int    `json:"workers"`
+// SweepBenchRow is one worker-count measurement of the sweep benchmark. The
+// per-row gomaxprocs records the parallelism actually available when the row
+// ran: a "speedup" above 1 is only achievable when gomaxprocs > 1, so the
+// record can no longer claim parallel gains it never had (an earlier record
+// reported a 0.92x "speedup" measured on a single core without saying so).
+type SweepBenchRow struct {
+	Workers         int     `json:"workers"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	MutantsPerSec   float64 `json:"mutants_per_sec"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
 
-	SerialNsPerOp         int64   `json:"serial_ns_per_op"`
-	SerialMutantsPerSec   float64 `json:"serial_mutants_per_sec"`
-	SerialAllocsPerOp     int64   `json:"serial_allocs_per_op"`
-	ParallelNsPerOp       int64   `json:"parallel_ns_per_op"`
-	ParallelMutantsPerSec float64 `json:"parallel_mutants_per_sec"`
-	ParallelAllocsPerOp   int64   `json:"parallel_allocs_per_op"`
-	Speedup               float64 `json:"speedup"`
+// SweepBenchRecord is the machine-readable performance record emitted by
+// `cfsmdiag sweep -benchjson`: a worker-count matrix over the full sweep
+// (compiled engine, the default) plus the raw simulator hot path.
+type SweepBenchRecord struct {
+	System     string          `json:"system"`
+	Engine     string          `json:"engine"`
+	Mutants    int             `json:"mutants"`
+	SuiteCases int             `json:"suite_cases"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Rows       []SweepBenchRow `json:"rows"`
 
 	SimulationNsPerOp     int64 `json:"simulation_ns_per_op"`
 	SimulationAllocsPerOp int64 `json:"simulation_allocs_per_op"`
 	SimulationBytesPerOp  int64 `json:"simulation_bytes_per_op"`
 }
 
-// writeSweepBench benchmarks the serial (Workers: 1) and parallel sweep on
-// the given system plus the raw simulator hot path, and writes the record
-// as indented JSON.
+// writeSweepBench benchmarks the sweep at 1, 4 and 8 workers (plus the
+// -workers flag's count when it is none of those) and the raw simulator hot
+// path, and writes the record as indented JSON.
 func writeSweepBench(label string, sys *cfsm.System, suite []cfsm.TestCase, workers int, path string, out io.Writer) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	mutants := len(fault.Enumerate(sys))
 	rec := SweepBenchRecord{
 		System:     label,
+		Engine:     "compiled",
 		Mutants:    mutants,
 		SuiteCases: len(suite),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Workers:    workers,
+	}
+	counts := []int{1, 4, 8}
+	if workers > 0 && workers != 1 && workers != 4 && workers != 8 {
+		counts = append(counts, workers)
 	}
 
 	sweepBench := func(w int) testing.BenchmarkResult {
@@ -186,16 +193,24 @@ func writeSweepBench(label string, sys *cfsm.System, suite []cfsm.TestCase, work
 			}
 		})
 	}
-	serial := sweepBench(1)
-	rec.SerialNsPerOp = serial.NsPerOp()
-	rec.SerialMutantsPerSec = float64(mutants) / (float64(serial.NsPerOp()) / 1e9)
-	rec.SerialAllocsPerOp = serial.AllocsPerOp()
-
-	parallel := sweepBench(workers)
-	rec.ParallelNsPerOp = parallel.NsPerOp()
-	rec.ParallelMutantsPerSec = float64(mutants) / (float64(parallel.NsPerOp()) / 1e9)
-	rec.ParallelAllocsPerOp = parallel.AllocsPerOp()
-	rec.Speedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+	var serialNs int64
+	for _, w := range counts {
+		res := sweepBench(w)
+		row := SweepBenchRow{
+			Workers:       w,
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			NsPerOp:       res.NsPerOp(),
+			MutantsPerSec: float64(mutants) / (float64(res.NsPerOp()) / 1e9),
+			AllocsPerOp:   res.AllocsPerOp(),
+		}
+		if w == 1 {
+			serialNs = res.NsPerOp()
+		}
+		if serialNs > 0 {
+			row.SpeedupVsSerial = float64(serialNs) / float64(res.NsPerOp())
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
 
 	sim := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -219,7 +234,12 @@ func writeSweepBench(label string, sys *cfsm.System, suite []cfsm.TestCase, work
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s: serial %.0f mutants/sec, parallel(%d) %.0f mutants/sec (%.2fx), simulation %d allocs/op\n",
-		path, rec.SerialMutantsPerSec, workers, rec.ParallelMutantsPerSec, rec.Speedup, rec.SimulationAllocsPerOp)
+	fmt.Fprintf(out, "wrote %s (GOMAXPROCS=%d):\n", path, rec.GoMaxProcs)
+	for _, row := range rec.Rows {
+		fmt.Fprintf(out, "  workers=%d: %.0f mutants/sec (%.2fx vs serial)\n",
+			row.Workers, row.MutantsPerSec, row.SpeedupVsSerial)
+	}
+	fmt.Fprintf(out, "  simulation: %d ns/op, %d allocs/op\n",
+		rec.SimulationNsPerOp, rec.SimulationAllocsPerOp)
 	return nil
 }

@@ -1,0 +1,84 @@
+// Differential fuzzing of the two simulator implementations: the
+// string-keyed interpreted simulator (this package) and the dense compiled
+// representation (internal/compiled) must agree on every observation and
+// error for arbitrary stimulus streams applied to arbitrary mutants. The
+// external test package breaks the import cycle cfsm -> compiled -> cfsm.
+package cfsm_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/compiled"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/paper"
+)
+
+// FuzzRunnerParity picks a mutant of Figure 1 from the fault index, decodes
+// the byte stream into a stimulus sequence (every port, every symbol of the
+// system, resets, an unknown symbol and an out-of-range port), and requires
+// the interpreted and compiled runners to produce identical observation
+// sequences — or the identical error.
+func FuzzRunnerParity(f *testing.F) {
+	spec := paper.MustFigure1()
+	prog, err := compiled.Compile(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	faults := append(fault.Enumerate(spec), fault.EnumerateAddress(spec)...)
+	var syms []cfsm.Symbol
+	seen := map[cfsm.Symbol]bool{}
+	for i := 0; i < spec.N(); i++ {
+		for _, tr := range spec.Machine(i).Transitions() {
+			for _, s := range []cfsm.Symbol{tr.Input, tr.Output} {
+				if !seen[s] {
+					seen[s] = true
+					syms = append(syms, s)
+				}
+			}
+		}
+	}
+	// Two extra symbol slots: reset and a symbol outside the alphabet. One
+	// extra port slot: out of range.
+	syms = append(syms, cfsm.ResetSymbol, "zz-unknown")
+
+	f.Add(uint16(0), []byte{})
+	f.Add(uint16(1), []byte{0, 0, 1, 1, 2, 2})
+	f.Add(uint16(7), []byte{0, 1, 0, 2, 0, 3, 1, 0, 2, 0})
+	f.Add(uint16(65535), []byte{3, 0}) // out-of-range port
+	f.Fuzz(func(t *testing.T, fi uint16, stream []byte) {
+		mutant := spec
+		ov := compiled.None()
+		if len(faults) > 0 && fi%11 != 0 { // sometimes exercise the spec itself
+			fl := faults[int(fi)%len(faults)]
+			m, err := fl.Apply(spec)
+			if err != nil {
+				t.Fatalf("apply enumerated fault %s: %v", fl.Describe(spec), err)
+			}
+			o, ok := prog.OverlayFor(fl)
+			if !ok {
+				t.Fatalf("no overlay for enumerated fault %s", fl.Describe(spec))
+			}
+			mutant, ov = m, o
+		}
+		inputs := make([]cfsm.Input, 0, len(stream)/2)
+		for i := 0; i+1 < len(stream); i += 2 {
+			inputs = append(inputs, cfsm.Input{
+				Port: int(stream[i]) % (spec.N() + 1), // N = invalid port
+				Sym:  syms[int(stream[i+1])%len(syms)],
+			})
+		}
+		tc := cfsm.TestCase{Name: fmt.Sprintf("fuzz-%d", fi), Inputs: inputs}
+		want, wantErr := mutant.Run(tc)
+		got, gotErr := prog.RunnerFor(ov).Run(tc)
+		if (wantErr == nil) != (gotErr == nil) ||
+			(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+			t.Fatalf("error diverges:\ninterpreted %v\ncompiled    %v", wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(want, got) {
+			t.Fatalf("observations diverge for %v:\ninterpreted %v\ncompiled    %v", inputs, want, got)
+		}
+	})
+}

@@ -38,6 +38,21 @@ func InstrumentSimulator(m *SimMetrics) {
 	simMetrics.Store(m)
 }
 
+// RecordSimulated adds a batch of step and reset counts to the process-wide
+// simulator instrumentation. Execution engines that keep local counters
+// instead of paying the per-step hook (the compiled runner) flush through
+// here. No-op while instrumentation is disabled.
+func RecordSimulated(steps, resets int64) {
+	if m := simMetrics.Load(); m != nil {
+		if steps > 0 {
+			m.Steps.Add(steps)
+		}
+		if resets > 0 {
+			m.Resets.Add(resets)
+		}
+	}
+}
+
 func recordStep() {
 	if m := simMetrics.Load(); m != nil {
 		m.Steps.Inc()

@@ -1,0 +1,96 @@
+package cfsm
+
+import (
+	"testing"
+)
+
+// TestPatcherMatchesRewire patches every transition of a two-machine system
+// through a single Patcher and checks each mutant against the cloning
+// Rewire, including restoration when the same machine is patched again.
+func TestPatcherMatchesRewire(t *testing.T) {
+	sys := mustTwoMachineT(t)
+	p := NewPatcher(sys)
+	for _, r := range sys.Refs() {
+		spec, _ := sys.Transition(r)
+		states := sys.Machine(r.Machine).States()
+		for _, to := range states {
+			if to == spec.To {
+				continue
+			}
+			want, err := sys.Rewire(r, "", to)
+			if err != nil {
+				t.Fatalf("Rewire(%v, %q): %v", r, to, err)
+			}
+			got, ok := p.Rewire(r, "", to)
+			if !ok {
+				t.Fatalf("Patcher.Rewire(%v, %q) failed", r, to)
+			}
+			for _, r2 := range sys.Refs() {
+				wt, _ := want.Transition(r2)
+				gt, _ := got.Transition(r2)
+				if wt != gt {
+					t.Fatalf("patched %v to %q: transition %v = %v, want %v", r, to, r2, gt, wt)
+				}
+			}
+		}
+	}
+	// After all patches, one more Rewire per machine restores the previous
+	// patch: the non-patched transitions must read as the specification.
+	for _, r := range sys.Refs() {
+		got, ok := p.Rewire(r, "", "")
+		if !ok {
+			t.Fatalf("identity patch of %v failed", r)
+		}
+		for _, r2 := range sys.Refs() {
+			st, _ := sys.Transition(r2)
+			gt, _ := got.Transition(r2)
+			if st != gt {
+				t.Fatalf("after restore, transition %v = %v, want spec %v", r2, gt, st)
+			}
+		}
+	}
+}
+
+// TestPatcherRejects pins the cheap precondition checks.
+func TestPatcherRejects(t *testing.T) {
+	sys := mustTwoMachineT(t)
+	p := NewPatcher(sys)
+	if _, ok := p.Rewire(Ref{Machine: 9, Name: "a1"}, "", "s1"); ok {
+		t.Error("Rewire accepted an unknown machine")
+	}
+	if _, ok := p.Rewire(Ref{Machine: 0, Name: "zz"}, "", "s1"); ok {
+		t.Error("Rewire accepted an unknown transition")
+	}
+	if _, ok := p.Rewire(Ref{Machine: 0, Name: "a1"}, "", "zz"); ok {
+		t.Error("Rewire accepted an undeclared state")
+	}
+	if _, ok := p.RewireAddress(Ref{Machine: 0, Name: "a1"}, 7); ok {
+		t.Error("RewireAddress accepted an out-of-range destination")
+	}
+	if _, ok := p.RewireAddress(Ref{Machine: 0, Name: "a1"}, DestEnv); ok {
+		t.Error("RewireAddress accepted an unchanged destination")
+	}
+}
+
+func mustTwoMachineT(t *testing.T) *System {
+	t.Helper()
+	a, err := NewMachine("A", "s0", []State{"s0", "s1"}, []Transition{
+		{Name: "a1", From: "s0", Input: "x", Output: "y", To: "s1", Dest: DestEnv},
+		{Name: "a2", From: "s1", Input: "i", Output: "m", To: "s0", Dest: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMachine("B", "q0", []State{"q0", "q1"}, []Transition{
+		{Name: "b1", From: "q0", Input: "m", Output: "z", To: "q1", Dest: DestEnv},
+		{Name: "b2", From: "q1", Input: "w", Output: "v", To: "q0", Dest: DestEnv},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

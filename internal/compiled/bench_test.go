@@ -1,0 +1,71 @@
+package compiled_test
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/compiled"
+	"cfsmdiag/internal/experiments"
+	"cfsmdiag/internal/paper"
+)
+
+// The before/after pair backing BENCH_compile.json: the same serial sweep on
+// the interpreted and the compiled engine. Run with
+//
+//	go test ./internal/compiled -bench Sweep -benchmem
+//
+// or regenerate the committed record with `cfsmdiag compilebench`.
+
+func BenchmarkCompile(b *testing.B) {
+	spec := paper.MustFigure1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiled.Compile(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkSweep(b *testing.B, interpreted bool) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweepOpts(spec, suite,
+			experiments.SweepOptions{Workers: 1, Interpreted: interpreted}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepInterpreted(b *testing.B) { benchmarkSweep(b, true) }
+func BenchmarkSweepCompiled(b *testing.B)   { benchmarkSweep(b, false) }
+
+// BenchmarkRunnerSuite measures the compiled simulator alone (the oracle hot
+// path), next to the interpreted System.RunSuite.
+func BenchmarkRunnerSuite(b *testing.B) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+	prog, err := compiled.Compile(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := prog.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunSuite(suite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpretedSuite(b *testing.B) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.RunSuite(suite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

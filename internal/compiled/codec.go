@@ -1,0 +1,343 @@
+package compiled
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+)
+
+// Binary model codec: a compact, versioned on-disk form of a cfsm.System.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "CFSMBIN\x00"
+//	8       2     format version (currently 1)
+//	10      2     reserved (0)
+//	12      32    SHA-256 of the payload (content hash)
+//	44      ...   payload
+//
+// payload:
+//
+//	u32 stringCount, then per string: u32 byteLen + UTF-8 bytes
+//	u32 machineCount, then per machine:
+//	    u32 nameID, u32 initialID
+//	    u32 stateCount,      stateCount × u32 stateID
+//	    u32 transitionCount, per transition:
+//	        u32 nameID, fromID, inputID, outputID, toID; i32 dest (-1 = env)
+//
+// String IDs index the string table; destinations are machine indices in
+// file order. Decoding rebuilds the SystemJSON document and runs it through
+// cfsm.FromJSON, so a decoded system passes the full model validation — the
+// codec can not smuggle an invalid system past the constructor. The content
+// hash keys the server's model registry; EncodeSystem is deterministic, so
+// equal systems hash equally.
+
+// Magic identifies a binary model file.
+const Magic = "CFSMBIN\x00"
+
+// Version is the current binary format version.
+const Version uint16 = 1
+
+const headerSize = len(Magic) + 2 + 2 + sha256.Size
+
+// Typed codec errors, mirrored by the CLI's exit paths and the server's
+// unsupported_model_format responses.
+var (
+	// ErrBadMagic: the file does not start with the binary model magic.
+	ErrBadMagic = errors.New("compiled: not a binary model file (bad magic)")
+	// ErrUnsupportedVersion: the file's format version is newer than this
+	// build understands.
+	ErrUnsupportedVersion = errors.New("compiled: unsupported binary model version")
+	// ErrTruncated: the file ends inside a header or payload field.
+	ErrTruncated = errors.New("compiled: truncated binary model")
+	// ErrHashMismatch: the payload does not match the header's content hash.
+	ErrHashMismatch = errors.New("compiled: binary model content hash mismatch")
+)
+
+// IsBinary reports whether data begins with the binary model magic; use it
+// to sniff model files before choosing the JSON or binary decoder.
+func IsBinary(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == Magic
+}
+
+// enc accumulates the payload.
+type enc struct {
+	buf  []byte
+	ids  map[string]uint32
+	strs []string
+}
+
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+func (e *enc) str(s string) {
+	id, ok := e.ids[s]
+	if !ok {
+		id = uint32(len(e.strs))
+		e.ids[s] = id
+		e.strs = append(e.strs, s)
+	}
+	e.u32(id)
+}
+
+// encodePayload serializes the system body (everything after the header).
+func encodePayload(sys *cfsm.System) []byte {
+	// First pass interns every string in deterministic (encounter) order so
+	// the table can precede the machines.
+	e := &enc{ids: make(map[string]uint32)}
+	body := &enc{ids: e.ids}
+	intern := func(s string) {
+		if _, ok := e.ids[s]; !ok {
+			e.ids[s] = uint32(len(e.strs))
+			e.strs = append(e.strs, s)
+		}
+	}
+	for i := 0; i < sys.N(); i++ {
+		m := sys.Machine(i)
+		intern(m.Name())
+		intern(string(m.Initial()))
+		for _, st := range m.States() {
+			intern(string(st))
+		}
+		for _, t := range m.Transitions() {
+			intern(t.Name)
+			intern(string(t.From))
+			intern(string(t.Input))
+			intern(string(t.Output))
+			intern(string(t.To))
+		}
+	}
+	body.strs = e.strs
+	body.u32(uint32(len(e.strs)))
+	for _, s := range e.strs {
+		body.u32(uint32(len(s)))
+		body.buf = append(body.buf, s...)
+	}
+	body.u32(uint32(sys.N()))
+	for i := 0; i < sys.N(); i++ {
+		m := sys.Machine(i)
+		body.str(m.Name())
+		body.str(string(m.Initial()))
+		states := m.States()
+		body.u32(uint32(len(states)))
+		for _, st := range states {
+			body.str(string(st))
+		}
+		trans := m.Transitions()
+		body.u32(uint32(len(trans)))
+		for _, t := range trans {
+			body.str(t.Name)
+			body.str(string(t.From))
+			body.str(string(t.Input))
+			body.str(string(t.Output))
+			body.str(string(t.To))
+			body.u32(uint32(int32(t.Dest)))
+		}
+	}
+	return body.buf
+}
+
+// EncodeSystem serializes the system into the versioned binary form. The
+// encoding is deterministic: equal systems produce identical bytes and
+// therefore identical content hashes.
+func EncodeSystem(sys *cfsm.System) []byte {
+	payload := encodePayload(sys)
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, 0)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// ModelHash returns the hex content hash of the system's canonical binary
+// encoding — the key of the server's content-addressed model registry.
+func ModelHash(sys *cfsm.System) string {
+	sum := sha256.Sum256(encodePayload(sys))
+	return hex.EncodeToString(sum[:])
+}
+
+// Header is the decoded fixed-size prefix of a binary model file.
+type Header struct {
+	Version uint16
+	// Hash is the hex content hash stored in the file.
+	Hash string
+	// PayloadLen is the byte length of the payload following the header.
+	PayloadLen int
+}
+
+// DecodeHeader validates the magic and version and returns the header
+// without touching the payload (the hash is NOT verified; DecodeSystem
+// does that).
+func DecodeHeader(data []byte) (Header, error) {
+	if !IsBinary(data) {
+		return Header{}, ErrBadMagic
+	}
+	if len(data) < headerSize {
+		return Header{}, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(data[len(Magic):])
+	if v != Version {
+		return Header{}, fmt.Errorf("%w: file version %d, this build reads version %d",
+			ErrUnsupportedVersion, v, Version)
+	}
+	return Header{
+		Version:    v,
+		Hash:       hex.EncodeToString(data[len(Magic)+4 : headerSize]),
+		PayloadLen: len(data) - headerSize,
+	}, nil
+}
+
+// dec reads payload fields, latching ErrTruncated.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// DecodeSystem decodes and fully validates a binary model: magic, version,
+// content hash, payload structure, and finally the model rules themselves
+// via cfsm.FromJSON. The typed sentinel errors (ErrBadMagic,
+// ErrUnsupportedVersion, ErrTruncated, ErrHashMismatch) classify file-level
+// failures.
+func DecodeSystem(data []byte) (*cfsm.System, error) {
+	h, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	payload := data[headerSize:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.Hash {
+		return nil, ErrHashMismatch
+	}
+	d := &dec{buf: payload}
+	nStr := d.u32()
+	if d.err == nil && uint64(nStr)*4 > uint64(len(payload)) {
+		return nil, ErrTruncated
+	}
+	strs := make([]string, nStr)
+	for i := range strs {
+		strs[i] = string(d.bytes(int(d.u32())))
+	}
+	str := func(id uint32) string {
+		if d.err != nil {
+			return ""
+		}
+		if int(id) >= len(strs) {
+			d.err = fmt.Errorf("%w: string id %d out of range", ErrTruncated, id)
+			return ""
+		}
+		return strs[id]
+	}
+	nMach := d.u32()
+	if d.err == nil && uint64(nMach)*12 > uint64(len(payload)) {
+		return nil, ErrTruncated
+	}
+	type rawTrans struct {
+		name, from, input, output, to string
+		dest                          int32
+	}
+	type rawMachine struct {
+		name, initial string
+		states        []string
+		trans         []rawTrans
+	}
+	raw := make([]rawMachine, nMach)
+	for i := range raw {
+		raw[i].name = str(d.u32())
+		raw[i].initial = str(d.u32())
+		nStates := d.u32()
+		if d.err == nil && uint64(nStates)*4 > uint64(len(payload)) {
+			return nil, ErrTruncated
+		}
+		raw[i].states = make([]string, nStates)
+		for j := range raw[i].states {
+			raw[i].states[j] = str(d.u32())
+		}
+		nTrans := d.u32()
+		if d.err == nil && uint64(nTrans)*24 > uint64(len(payload)) {
+			return nil, ErrTruncated
+		}
+		raw[i].trans = make([]rawTrans, nTrans)
+		for j := range raw[i].trans {
+			raw[i].trans[j] = rawTrans{
+				name:   str(d.u32()),
+				from:   str(d.u32()),
+				input:  str(d.u32()),
+				output: str(d.u32()),
+				to:     str(d.u32()),
+				dest:   int32(d.u32()),
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after payload", ErrTruncated, len(payload)-d.off)
+	}
+	// Destinations are machine indices in the file; the JSON document wants
+	// the destination machine's name, resolvable only after all records are
+	// read.
+	doc := cfsm.SystemJSON{Machines: make([]cfsm.MachineJSON, nMach)}
+	for i, rm := range raw {
+		mj := cfsm.MachineJSON{Name: rm.name, Initial: rm.initial, States: rm.states}
+		for _, rt := range rm.trans {
+			tj := cfsm.TransitionJSON{
+				Name:   rt.name,
+				From:   rt.from,
+				Input:  rt.input,
+				Output: rt.output,
+				To:     rt.to,
+			}
+			if rt.dest >= 0 {
+				if int(rt.dest) >= len(raw) {
+					return nil, fmt.Errorf("%w: transition %s.%s destination index %d out of range",
+						ErrTruncated, rm.name, rt.name, rt.dest)
+				}
+				tj.Dest = raw[rt.dest].name
+			}
+			mj.Transitions = append(mj.Transitions, tj)
+		}
+		doc.Machines[i] = mj
+	}
+	sys, err := cfsm.FromJSON(doc)
+	if err != nil {
+		return nil, fmt.Errorf("compiled: binary model fails validation: %w", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,269 @@
+package compiled
+
+import (
+	"fmt"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/testgen"
+)
+
+// Engine executes the diagnosis hot paths against a compiled Program,
+// implementing core.Engine. Verdict-level behaviour is byte-for-byte
+// identical to the interpreted engine (core.NewSystemEngine); only the
+// representation differs — dense tables, one-cell overlays and packed
+// integer configurations instead of string-keyed maps and system clones.
+//
+// An Engine is NOT safe for concurrent use (it reuses scratch buffers);
+// give each worker its own Engine over a shared Program.
+type Engine struct {
+	p *Program
+	r *Runner // scratch runner for explains and variant runs
+
+	// Compiled-suite cache, keyed by slice identity: sweeps call Explains
+	// with the same base suite for every hypothesis of every mutant.
+	suiteKey  *cfsm.TestCase
+	suiteLen  int
+	suite     [][]cin
+	suiteBad  []error // per-case compile error (out-of-range port)
+	obsKey    *[]cfsm.Observation
+	obsLen    int
+	observed  [][]cobs
+	inBuf     []cin
+	searchBuf search
+
+	// One-entry memo for the fault.Ref→transition-index map lookup:
+	// sweep callers probe every fault of one transition consecutively, and
+	// hashing cfsm.Ref map keys shows up in sweep profiles (~6%).
+	memoRef   cfsm.Ref
+	memoIdx   int32
+	memoFound bool
+	memoSet   bool
+}
+
+// overlayFor is Program.OverlayFor with the Ref lookup memoised (see the
+// memo fields above). Behaviour is identical; the differential tests pin it.
+func (e *Engine) overlayFor(f fault.Fault) (Overlay, bool) {
+	if !e.memoSet || f.Ref != e.memoRef {
+		e.memoIdx, e.memoFound = e.p.refIdx[f.Ref]
+		e.memoRef = f.Ref
+		e.memoSet = true
+	}
+	if !e.memoFound {
+		return Overlay{}, false
+	}
+	return e.p.overlayAt(e.memoIdx, f)
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// NewEngine compiles the system and returns an engine over it. It fails
+// when the global configuration space cannot be packed into the integer
+// keys the searches require (see Program.Packable); callers should fall
+// back to the interpreted engine in that case.
+func NewEngine(sys *cfsm.System) (*Engine, error) {
+	p, err := Compile(sys)
+	if err != nil {
+		return nil, err
+	}
+	return EngineFor(p)
+}
+
+// EngineFor returns an engine over an already-compiled program, sharing the
+// program with any number of sibling engines.
+func EngineFor(p *Program) (*Engine, error) {
+	if !p.Packable() {
+		return nil, fmt.Errorf("compiled: global state space of %d machines exceeds %d packed configurations",
+			p.N(), maxPackedConfigs)
+	}
+	return &Engine{p: p, r: p.NewRunner()}, nil
+}
+
+// Program returns the engine's compiled program.
+func (e *Engine) Program() *Program { return e.p }
+
+// compileSuite lowers the suite, cached by slice identity.
+func (e *Engine) compileSuite(suite []cfsm.TestCase) {
+	if len(suite) > 0 && e.suiteKey == &suite[0] && e.suiteLen == len(suite) {
+		return
+	}
+	e.suite = e.suite[:0]
+	e.suiteBad = e.suiteBad[:0]
+	for _, tc := range suite {
+		ci, err := e.p.compileInputs(tc.Inputs, nil)
+		e.suite = append(e.suite, ci)
+		e.suiteBad = append(e.suiteBad, err)
+	}
+	if len(suite) > 0 {
+		e.suiteKey = &suite[0]
+	} else {
+		e.suiteKey = nil
+	}
+	e.suiteLen = len(suite)
+}
+
+// compileObserved lowers the observation sequences, cached by slice
+// identity: one analysis calls Explains once per hypothesis with the same
+// observations.
+func (e *Engine) compileObserved(observed [][]cfsm.Observation) {
+	if len(observed) > 0 && e.obsKey == &observed[0] && e.obsLen == len(observed) {
+		return
+	}
+	e.observed = e.observed[:0]
+	for _, obs := range observed {
+		e.observed = append(e.observed, e.p.compileObs(obs, nil))
+	}
+	if len(observed) > 0 {
+		e.obsKey = &observed[0]
+	} else {
+		e.obsKey = nil
+	}
+	e.obsLen = len(observed)
+}
+
+// Explains reports whether injecting f makes every suite case reproduce the
+// matching observation sequence — the compiled form of the interpreted
+// apply-and-resimulate check, with the per-mutant system clone replaced by
+// an overlay and an early exit on the first divergent observation (the
+// comparison is deterministic, so the verdict is unchanged).
+func (e *Engine) Explains(suite []cfsm.TestCase, observed [][]cfsm.Observation, f fault.Fault) bool {
+	ov, ok := e.overlayFor(f)
+	if !ok {
+		return false
+	}
+	e.compileSuite(suite)
+	e.compileObserved(observed)
+	r := e.r
+	r.ov = ov
+	defer r.Flush()
+	for i := range e.suite {
+		if e.suiteBad[i] != nil {
+			return false
+		}
+		want := e.observed[i]
+		if len(want) != len(e.suite[i]) {
+			return false
+		}
+		r.restart()
+		for j, ci := range e.suite[i] {
+			o, _, _, err := r.step(ci)
+			if err != nil {
+				return false
+			}
+			if o != want[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// variant is a compiled behavioural hypothesis: the program under one
+// overlay.
+type variant struct {
+	e  *Engine
+	ov Overlay
+}
+
+// NewVariant returns the executable handle for the specification rewired
+// with f (or the specification itself for nil). Validation failures return
+// the interpreted fault.Validate error so callers see identical messages.
+func (e *Engine) NewVariant(f *fault.Fault) (core.Variant, error) {
+	if f == nil {
+		return variant{e: e, ov: None()}, nil
+	}
+	ov, ok := e.overlayFor(*f)
+	if !ok {
+		if err := f.Validate(e.p.src); err != nil {
+			return nil, err
+		}
+		// An overlay/Validate disagreement would be a compiler defect; the
+		// differential tests pin this branch closed.
+		return nil, fmt.Errorf("compiled: fault %s has no overlay", f.Describe(e.p.src))
+	}
+	return variant{e: e, ov: ov}, nil
+}
+
+// Run executes a test case for the variant from the initial configuration.
+func (v variant) Run(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	r := v.e.r
+	r.ov = v.ov
+	r.restart()
+	return r.Run(tc)
+}
+
+// RunInputs executes the inputs from the initial configuration and returns
+// the reached configuration packed as the engine's Position.
+func (v variant) RunInputs(inputs []cfsm.Input) ([]cfsm.Observation, core.Position, error) {
+	e := v.e
+	cis, err := e.p.compileInputs(inputs, e.inBuf)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.inBuf = cis
+	r := e.r
+	r.ov = v.ov
+	r.restart()
+	defer r.Flush()
+	var obs []cfsm.Observation
+	for _, ci := range cis {
+		o, _, _, err := r.step(ci)
+		if err != nil {
+			return nil, nil, err
+		}
+		obs = append(obs, e.p.decodeObs(o))
+	}
+	return obs, e.p.pack(r.cfg), nil
+}
+
+// TransferToState finds a shortest avoid-respecting input sequence from the
+// initial configuration to any configuration with the given machine in the
+// target state (testgen.TransferToState over the specification).
+func (e *Engine) TransferToState(machine int, target cfsm.State, avoid testgen.RefSet) ([]cfsm.Input, bool) {
+	goal := int32(-1)
+	if id, ok := e.p.machines[machine].stateID[target]; ok {
+		goal = id
+	}
+	return e.transferSearch(machine, goal, avoid)
+}
+
+// Distinguish finds a shortest avoid-respecting input sequence separating
+// the two variant positions (testgen.Distinguish over the overlaid
+// programs). Both positions must come from this engine's variants.
+func (e *Engine) Distinguish(a, b core.VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool) {
+	va, okA := a.V.(variant)
+	vb, okB := b.V.(variant)
+	pa, okPA := a.Pos.(uint64)
+	pb, okPB := b.Pos.(uint64)
+	if !okA || !okB || !okPA || !okPB {
+		return nil, false
+	}
+	return e.distinguishSearch(va.ov, pa, vb.ov, pb, avoid)
+}
+
+// FaultEquivalentToSpec reports whether the mutant realized by f is
+// observationally equivalent to the specification — the compiled form of
+// testgen.SystemsEquivalent(spec, mutant). Faults with no legal overlay are
+// not equivalent (they realize no mutant).
+func (e *Engine) FaultEquivalentToSpec(f fault.Fault) bool {
+	ov, ok := e.overlayFor(f)
+	if !ok {
+		return false
+	}
+	_, distinguishable := e.distinguishSearch(None(), e.p.initialP, ov, e.p.initialP, nil)
+	return !distinguishable
+}
+
+// FaultsEquivalent reports whether the mutants realized by two faults are
+// observationally equivalent, the compiled form of the sweep's
+// diagnosed-equivalence check.
+func (e *Engine) FaultsEquivalent(a, b fault.Fault) bool {
+	ovA, okA := e.overlayFor(a)
+	ovB, okB := e.overlayFor(b)
+	if !okA || !okB {
+		return false
+	}
+	_, distinguishable := e.distinguishSearch(ovA, e.p.initialP, ovB, e.p.initialP, nil)
+	return !distinguishable
+}

@@ -153,6 +153,9 @@ func Localize(a *Analysis, oracle Oracle, opts ...Option) (*Localization, error)
 func localize(ctx context.Context, a *Analysis, oracle Oracle, cfg *settings) (*Localization, error) {
 	m := newMetrics(cfg.registry)
 	oracle = wrapOracle(oracle, ctx, m)
+	if cfg.engine != nil {
+		a.eng = cfg.engine
+	}
 	loc, err := localizeOnce(ctx, a, oracle, cfg, m)
 	if err != nil {
 		return nil, err
@@ -358,10 +361,10 @@ func groupDiagnoses(a *Analysis) ([]cfsm.Ref, map[cfsm.Ref][]fault.Fault) {
 }
 
 // variant pairs a fault hypothesis (nil for the specification itself) with
-// the rewired system that realizes it.
+// the engine-executable handle that realizes it.
 type variant struct {
 	fault *fault.Fault
-	sys   *cfsm.System
+	h     Variant
 }
 
 // candidateOutcome is the result of testing one candidate transition.
@@ -379,13 +382,18 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 		return candidateOutcome{}, fmt.Errorf("core: candidate %s not in specification", a.Spec.RefString(ref))
 	}
 
-	variants := []variant{{fault: nil, sys: a.Spec}}
+	eng := a.engine()
+	specVar, err := eng.NewVariant(nil)
+	if err != nil {
+		return candidateOutcome{}, fmt.Errorf("core: specification variant: %w", err)
+	}
+	variants := []variant{{fault: nil, h: specVar}}
 	for i := range hyps {
-		sys, err := hyps[i].Apply(a.Spec)
+		h, err := eng.NewVariant(&hyps[i])
 		if err != nil {
 			return candidateOutcome{}, fmt.Errorf("core: apply hypothesis %s: %w", hyps[i].Describe(a.Spec), err)
 		}
-		variants = append(variants, variant{fault: &hyps[i], sys: sys})
+		variants = append(variants, variant{fault: &hyps[i], h: h})
 	}
 
 	// Transfer sequence to the candidate's source state, avoiding every
@@ -393,13 +401,13 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 	// not yet trusted).
 	avoidWithSelf := avoid.Clone()
 	avoidWithSelf[ref] = true
-	transfer, ok := testgen.TransferToState(a.Spec, ref.Machine, t.From, avoidWithSelf)
+	transferInputs, ok := eng.TransferToState(ref.Machine, t.From, avoidWithSelf)
 	if !ok {
 		// The candidate cannot be exercised without touching another
 		// candidate: its hypotheses stay unresolved.
 		return candidateOutcome{remaining: hyps}, nil
 	}
-	prefix := append([]cfsm.Input{cfsm.Reset()}, transfer.Inputs...)
+	prefix := append([]cfsm.Input{cfsm.Reset()}, transferInputs...)
 	prefix = append(prefix, cfsm.Input{Port: ref.Machine, Sym: t.Input})
 
 	live := variants
@@ -407,7 +415,7 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 		if cfg.maxAdditionalTests > 0 && len(loc.AdditionalTests) >= cfg.maxAdditionalTests {
 			break // test budget exhausted: remaining hypotheses stay open
 		}
-		test, ok := nextDiscriminatingTest(live, prefix, avoid)
+		test, ok := nextDiscriminatingTest(eng, live, prefix, avoid)
 		if !ok {
 			break
 		}
@@ -506,24 +514,18 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 // live variants: the fixed prefix, extended — when the prefix alone does not
 // already separate some pair — by a distinguishing suffix for the first
 // still-separable pair.
-func nextDiscriminatingTest(live []variant, prefix []cfsm.Input, avoid testgen.RefSet) (cfsm.TestCase, bool) {
+func nextDiscriminatingTest(eng Engine, live []variant, prefix []cfsm.Input, avoid testgen.RefSet) (cfsm.TestCase, bool) {
 	type run struct {
 		obs []cfsm.Observation
-		cfg cfsm.Config
+		pos Position
 	}
 	runs := make([]run, len(live))
 	for i, v := range live {
-		cfg := v.sys.InitialConfig()
-		var obs []cfsm.Observation
-		for _, in := range prefix {
-			next, o, _, err := v.sys.Apply(cfg, in)
-			if err != nil {
-				return cfsm.TestCase{}, false
-			}
-			obs = append(obs, o)
-			cfg = next
+		obs, pos, err := v.h.RunInputs(prefix)
+		if err != nil {
+			return cfsm.TestCase{}, false
 		}
-		runs[i] = run{obs: obs, cfg: cfg}
+		runs[i] = run{obs: obs, pos: pos}
 	}
 	// If the prefix already separates a pair of variants, it is the test.
 	for i := 0; i < len(live); i++ {
@@ -536,9 +538,9 @@ func nextDiscriminatingTest(live []variant, prefix []cfsm.Input, avoid testgen.R
 	// Otherwise search for a distinguishing suffix for some pair.
 	for i := 0; i < len(live); i++ {
 		for j := i + 1; j < len(live); j++ {
-			suffix, ok := testgen.Distinguish(
-				testgen.Variant{Sys: live[i].sys, Cfg: runs[i].cfg},
-				testgen.Variant{Sys: live[j].sys, Cfg: runs[j].cfg},
+			suffix, ok := eng.Distinguish(
+				VariantPos{V: live[i].h, Pos: runs[i].pos},
+				VariantPos{V: live[j].h, Pos: runs[j].pos},
 				avoid,
 			)
 			if !ok {
@@ -574,7 +576,7 @@ func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observat
 	var out []variant
 	var elims []elimination
 	for _, v := range live {
-		predicted, err := v.sys.Run(test)
+		predicted, err := v.h.Run(test)
 		if err != nil {
 			elims = append(elims, elimination{fault: v.fault, reason: "prediction failed: " + err.Error()})
 			continue

@@ -110,6 +110,11 @@ type Analysis struct {
 	// all), EscalateCombined re-runs Step 5B with the full combined
 	// hypothesis space. See DESIGN.md §3.
 	Escalated bool
+
+	// eng is the execution engine for the hot inner operations (explains,
+	// variants, Step-6 searches); nil resolves to the interpreted default via
+	// Analysis.engine. See WithEngine.
+	eng Engine
 }
 
 // HasSymptoms reports whether any test case revealed a difference.
@@ -118,7 +123,8 @@ func (a *Analysis) HasSymptoms() bool { return len(a.Symptoms) > 0 }
 // Analyze performs Steps 1–5 for the given specification, test suite and
 // observed outputs (one observation sequence per test case, as produced by
 // executing the suite on the implementation under test). Options other than
-// WithRegistry are ignored here; they configure the Step-6 entry points.
+// WithRegistry and WithEngine are ignored here; they configure the Step-6
+// entry points.
 func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observation, opts ...Option) (*Analysis, error) {
 	cfg := defaultSettings()
 	for _, opt := range opts {
@@ -133,6 +139,7 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		Spec:         spec,
 		Suite:        suite,
 		Observed:     observed,
+		eng:          cfg.engine,
 		FirstSymptom: make(map[int]int),
 		Conflicts:    make(map[int]MachineSets),
 		EndStates:    make(map[cfsm.Ref][]cfsm.State),

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/testgen"
+)
+
+// Engine abstracts the execution substrate behind the diagnosis pipeline's
+// hot inner operations: hypothesis verification (explains), behavioural
+// variant execution, and the Step-6 transfer/distinguishing searches. The
+// pipeline's control flow — symptom extraction, conflict and candidate set
+// construction, the refinement rounds, escalations and verdicts — never
+// depends on which engine runs underneath, so two engines over the same
+// specification must produce byte-for-byte identical Analyses and
+// Localizations.
+//
+// The default engine interprets the string-keyed cfsm.System directly. The
+// compiled engine (internal/compiled) lowers the system into dense integer
+// tables once and patches single table cells per fault hypothesis; the
+// differential tests in internal/compiled pin the equivalence.
+//
+// An Engine is bound to one specification at construction; passing it to a
+// diagnosis of a different specification is a programming error.
+type Engine interface {
+	// Explains reports whether injecting f into the specification makes
+	// every test case of the suite reproduce the matching observation
+	// sequence. Faults that fail validation explain nothing.
+	Explains(suite []cfsm.TestCase, observed [][]cfsm.Observation, f fault.Fault) bool
+	// NewVariant returns an executable handle for the specification rewired
+	// with f, or for the specification itself when f is nil. The error
+	// mirrors fault.Fault.Apply's validation.
+	NewVariant(f *fault.Fault) (Variant, error)
+	// TransferToState finds a shortest avoid-respecting input sequence from
+	// the initial configuration to any global configuration in which the
+	// given machine is in the target state (testgen.TransferToState
+	// semantics, including the search limit).
+	TransferToState(machine int, target cfsm.State, avoid testgen.RefSet) ([]cfsm.Input, bool)
+	// Distinguish finds a shortest avoid-respecting input sequence whose
+	// observation sequences differ between the two variant positions
+	// (testgen.Distinguish semantics). Both positions must come from this
+	// engine's variants.
+	Distinguish(a, b VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool)
+}
+
+// Variant is one behavioural hypothesis — the specification or a rewired
+// copy — executable from its initial configuration.
+type Variant interface {
+	// Run executes a test case from the initial configuration and returns
+	// the observation sequence (cfsm.System.Run semantics).
+	Run(tc cfsm.TestCase) ([]cfsm.Observation, error)
+	// RunInputs executes the inputs from the initial configuration and
+	// additionally returns the reached position for use with
+	// Engine.Distinguish.
+	RunInputs(inputs []cfsm.Input) ([]cfsm.Observation, Position, error)
+}
+
+// Position is an engine-specific encoding of a variant's reached global
+// configuration. The interpreted engine uses cfsm.Config; the compiled
+// engine packs the configuration into an integer.
+type Position any
+
+// VariantPos pairs a variant with a position it reached.
+type VariantPos struct {
+	V   Variant
+	Pos Position
+}
+
+// engine resolves the analysis' execution engine, defaulting to the
+// interpreted one so hand-built Analyses (tests, replay) keep working.
+func (a *Analysis) engine() Engine {
+	if a.eng == nil {
+		a.eng = systemEngine{spec: a.Spec}
+	}
+	return a.eng
+}
+
+// systemEngine is the interpreted default: every operation runs against the
+// string-keyed cfsm.System exactly as the pipeline historically did.
+type systemEngine struct {
+	spec *cfsm.System
+}
+
+// NewSystemEngine returns the interpreted engine for a specification. It is
+// what the pipeline uses when no WithEngine option is given; the constructor
+// exists so differential tests can name the baseline explicitly.
+func NewSystemEngine(spec *cfsm.System) Engine { return systemEngine{spec: spec} }
+
+func (e systemEngine) Explains(suite []cfsm.TestCase, observed [][]cfsm.Observation, f fault.Fault) bool {
+	mutant, err := f.Apply(e.spec)
+	if err != nil {
+		return false
+	}
+	for i, tc := range suite {
+		predicted, err := mutant.Run(tc)
+		if err != nil {
+			return false
+		}
+		if !cfsm.ObsEqual(predicted, observed[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e systemEngine) NewVariant(f *fault.Fault) (Variant, error) {
+	if f == nil {
+		return systemVariant{sys: e.spec}, nil
+	}
+	sys, err := f.Apply(e.spec)
+	if err != nil {
+		return nil, err
+	}
+	return systemVariant{sys: sys}, nil
+}
+
+func (e systemEngine) TransferToState(machine int, target cfsm.State, avoid testgen.RefSet) ([]cfsm.Input, bool) {
+	res, ok := testgen.TransferToState(e.spec, machine, target, avoid)
+	return res.Inputs, ok
+}
+
+func (e systemEngine) Distinguish(a, b VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool) {
+	return testgen.Distinguish(
+		testgen.Variant{Sys: a.V.(systemVariant).sys, Cfg: a.Pos.(cfsm.Config)},
+		testgen.Variant{Sys: b.V.(systemVariant).sys, Cfg: b.Pos.(cfsm.Config)},
+		avoid,
+	)
+}
+
+// systemVariant executes one hypothesis against its interpreted system.
+type systemVariant struct {
+	sys *cfsm.System
+}
+
+func (v systemVariant) Run(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	return v.sys.Run(tc)
+}
+
+func (v systemVariant) RunInputs(inputs []cfsm.Input) ([]cfsm.Observation, Position, error) {
+	cfg := v.sys.InitialConfig()
+	var obs []cfsm.Observation
+	for _, in := range inputs {
+		next, o, _, err := v.sys.Apply(cfg, in)
+		if err != nil {
+			return nil, nil, err
+		}
+		obs = append(obs, o)
+		cfg = next
+	}
+	return obs, cfg, nil
+}

@@ -53,22 +53,11 @@ func (a *Analysis) verifyHypotheses() {
 }
 
 // explains reports whether injecting the fault into the specification makes
-// the whole test suite reproduce the observed outputs.
+// the whole test suite reproduce the observed outputs. The check is delegated
+// to the analysis' execution engine (interpreted by default, dense compiled
+// tables via WithEngine).
 func (a *Analysis) explains(f fault.Fault) bool {
-	mutant, err := f.Apply(a.Spec)
-	if err != nil {
-		return false
-	}
-	for i, tc := range a.Suite {
-		predicted, err := mutant.Run(tc)
-		if err != nil {
-			return false
-		}
-		if !cfsm.ObsEqual(predicted, a.Observed[i]) {
-			return false
-		}
-	}
-	return true
+	return a.engine().Explains(a.Suite, a.Observed, f)
 }
 
 // endStatesFor computes EndStates(T_k): the states s ≠ NextState(T_k) such

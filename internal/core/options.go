@@ -15,6 +15,7 @@ type settings struct {
 	tracer             Tracer
 	registry           *obs.Registry // nil = observability disabled
 	trace              *trace.Tracer // nil = structured tracing disabled
+	engine             Engine        // nil = interpreted systemEngine
 }
 
 func defaultSettings() settings {
@@ -55,4 +56,13 @@ func WithoutAddressEscalation() Option {
 // default — disables instrumentation at no cost to the hot path.
 func WithRegistry(r *obs.Registry) Option {
 	return func(s *settings) { s.registry = r }
+}
+
+// WithEngine selects the execution engine for the hot inner operations
+// (hypothesis verification, variant runs, Step-6 searches). The engine must
+// have been built for the same specification passed to Analyze/Diagnose; the
+// verdicts are engine-independent by contract (see Engine). A nil engine —
+// the default — uses the interpreted system directly.
+func WithEngine(e Engine) Option {
+	return func(s *settings) { s.engine = e }
 }

@@ -59,34 +59,39 @@ func planCandidateTest(a *Analysis, ref cfsm.Ref, hyps []fault.Fault, avoid test
 	if !ok {
 		return PlannedTest{}, false
 	}
-	variants := []variant{{fault: nil, sys: a.Spec}}
+	eng := a.engine()
+	specVar, err := eng.NewVariant(nil)
+	if err != nil {
+		return PlannedTest{}, false
+	}
+	variants := []variant{{fault: nil, h: specVar}}
 	for i := range hyps {
-		sys, err := hyps[i].Apply(a.Spec)
+		h, err := eng.NewVariant(&hyps[i])
 		if err != nil {
 			continue
 		}
-		variants = append(variants, variant{fault: &hyps[i], sys: sys})
+		variants = append(variants, variant{fault: &hyps[i], h: h})
 	}
 	if len(variants) < 2 {
 		return PlannedTest{}, false
 	}
 	avoidWithSelf := avoid.Clone()
 	avoidWithSelf[ref] = true
-	transfer, ok := testgen.TransferToState(a.Spec, ref.Machine, t.From, avoidWithSelf)
+	transferInputs, ok := eng.TransferToState(ref.Machine, t.From, avoidWithSelf)
 	if !ok {
 		return PlannedTest{}, false
 	}
-	prefix := append([]cfsm.Input{cfsm.Reset()}, transfer.Inputs...)
+	prefix := append([]cfsm.Input{cfsm.Reset()}, transferInputs...)
 	prefix = append(prefix, cfsm.Input{Port: ref.Machine, Sym: t.Input})
 
-	test, ok := nextDiscriminatingTest(variants, prefix, avoid)
+	test, ok := nextDiscriminatingTest(eng, variants, prefix, avoid)
 	if !ok {
 		return PlannedTest{}, false
 	}
 	test.Name = "suggested-" + ref.Name
 	planned := PlannedTest{Target: ref, Test: test}
 	for _, v := range variants {
-		predicted, err := v.sys.Run(test)
+		predicted, err := v.h.Run(test)
 		if err != nil {
 			continue
 		}

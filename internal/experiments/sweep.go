@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/compiled"
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
@@ -123,6 +124,15 @@ type SweepOptions struct {
 	// TraceFailures caps how many failing mutants are traced. Zero with a
 	// non-nil Trace means 1.
 	TraceFailures int
+	// Interpreted forces the historical string-keyed execution path. By
+	// default the sweep compiles the specification into the dense table
+	// representation (internal/compiled) once, shares the immutable program
+	// across workers, and diagnoses every mutant against a one-cell table
+	// overlay instead of a cloned system. The two paths produce byte-
+	// identical SweepResults (pinned by differential tests); the sweep falls
+	// back to the interpreted path automatically when the system's global
+	// state space cannot be packed for the compiled searches.
+	Interpreted bool
 }
 
 // Metric families of the sweep engine.
@@ -235,7 +245,46 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 	sweepStart := time.Now()
 	defer func() { met.duration.Observe(time.Since(sweepStart).Seconds()) }()
 
+	// Lower the specification once; every worker shares the immutable program
+	// and realizes mutants as one-cell overlays. A nil prog selects the
+	// interpreted path (forced, or state space too large to pack).
+	var prog *compiled.Program
+	if !opts.Interpreted {
+		if p, err := compiled.Compile(spec); err == nil && p.Packable() {
+			prog = p
+		}
+	}
+
 	if workers == 1 {
+		if prog != nil {
+			eng, err := compiled.EngineFor(prog)
+			if err != nil {
+				return res, err // unreachable: Packable checked above
+			}
+			oracleR := prog.NewRunner()
+			for _, f := range fault.Enumerate(spec) {
+				ov, ok := prog.OverlayFor(f)
+				if !ok {
+					continue // mirrors fault.ForEachMutant's apply-skip
+				}
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+				met.busy.Inc()
+				start := time.Now()
+				report, err := diagnoseMutantCompiled(ctx, spec, suite, eng, oracleR, f, ov, opts, &traceBudget)
+				met.busy.Dec()
+				if err != nil {
+					if ctxErr := ctx.Err(); ctxErr != nil {
+						return res, ctxErr
+					}
+					return res, err
+				}
+				met.observe(report, time.Since(start))
+				res.add(report)
+			}
+			return res, nil
+		}
 		err := fault.ForEachMutant(spec, func(m fault.Mutant) error {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -283,7 +332,41 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker engine and oracle runner over the shared program:
+			// both reuse scratch buffers and must not cross goroutines.
+			var eng *compiled.Engine
+			var oracleR *compiled.Runner
+			if prog != nil {
+				var err error
+				if eng, err = compiled.EngineFor(prog); err != nil {
+					eng = nil // unreachable: Packable checked at selection
+				} else {
+					oracleR = prog.NewRunner()
+				}
+			}
 			for idx := range jobs {
+				var report MutantReport
+				var err error
+				if eng != nil {
+					ov, ok := prog.OverlayFor(faults[idx])
+					if !ok {
+						// Mirrors the skip in fault.ForEachMutant; cannot
+						// happen for Enumerate's output.
+						results[idx] = outcome{done: true, skipped: true}
+						continue
+					}
+					met.busy.Inc()
+					start := time.Now()
+					report, err = diagnoseMutantCompiled(wctx, spec, suite, eng, oracleR, faults[idx], ov, opts, &traceBudget)
+					met.busy.Dec()
+					results[idx] = outcome{done: true, report: report, err: err}
+					if err != nil {
+						cancel()
+						return
+					}
+					met.observe(report, time.Since(start))
+					continue
+				}
 				sys, err := faults[idx].Apply(spec)
 				if err != nil {
 					// Mirrors the skip in fault.ForEachMutant; cannot happen
@@ -294,7 +377,7 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 				m := fault.Mutant{Fault: faults[idx], System: sys}
 				met.busy.Inc()
 				start := time.Now()
-				report, err := diagnoseMutant(wctx, spec, suite, m, opts, &traceBudget)
+				report, err = diagnoseMutant(wctx, spec, suite, m, opts, &traceBudget)
 				met.busy.Dec()
 				// Each worker writes only its own index; no lock needed.
 				results[idx] = outcome{done: true, report: report, err: err}
@@ -363,27 +446,70 @@ func diagnoseMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 	}
 	report.AdditionalTests = oracle.Tests - len(suite)
 	report.AdditionalIn = oracle.Inputs
+	classifyOutcome(loc, m.Fault, &report, opts.CheckEquivalence,
+		func() bool { return testgen.SystemsEquivalent(spec, m.System) },
+		func(diagnosed fault.Fault) bool { return diagnosedEquivalent(spec, diagnosed, m.System) })
+	if opts.Trace != nil && report.Outcome != OutcomeUndetected && atomic.AddInt64(traceBudget, -1) >= 0 {
+		traceMutant(ctx, spec, suite, m, report.Outcome, opts.Trace)
+	}
+	return report, nil
+}
+
+// diagnoseMutantCompiled is diagnoseMutant on the compiled substrate: the
+// injected fault is realized as a table overlay on the oracle runner instead
+// of a cloned system, and the analysis itself runs on the worker's compiled
+// engine. Verdicts, counts and classification are byte-identical to the
+// interpreted path.
+func diagnoseMutantCompiled(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, eng *compiled.Engine, oracleR *compiled.Runner, f fault.Fault, ov compiled.Overlay, opts SweepOptions, traceBudget *int64) (MutantReport, error) {
+	report := MutantReport{Fault: f}
+	oracleR.SetOverlay(ov)
+	oracle := &compiled.Oracle{R: oracleR}
+	loc, err := core.DiagnoseContext(ctx, spec, suite, oracle, core.WithRegistry(opts.Registry), core.WithEngine(eng))
+	if err != nil {
+		return report, fmt.Errorf("diagnose %s: %w", f.Describe(spec), err)
+	}
+	report.AdditionalTests = oracle.Tests - len(suite)
+	report.AdditionalIn = oracle.Inputs
+	classifyOutcome(loc, f, &report, opts.CheckEquivalence,
+		func() bool { return eng.FaultEquivalentToSpec(f) },
+		func(diagnosed fault.Fault) bool { return eng.FaultsEquivalent(diagnosed, f) })
+	if opts.Trace != nil && report.Outcome != OutcomeUndetected && atomic.AddInt64(traceBudget, -1) >= 0 {
+		// The traced re-run stays on the interpreted path: it needs a mutant
+		// system for the oracle and is off the hot path by construction.
+		if sys, err := f.Apply(spec); err == nil {
+			traceMutant(ctx, spec, suite, fault.Mutant{Fault: f, System: sys}, report.Outcome, opts.Trace)
+		}
+	}
+	return report, nil
+}
+
+// classifyOutcome folds a localization verdict into the report, with the
+// equivalence predicates abstracted so the interpreted and compiled paths
+// classify identically: specEquiv decides mutant ≡ specification for
+// undetected mutants, diagEquiv decides diagnosed-fault ≡ injected-fault for
+// wrong localizations.
+func classifyOutcome(loc *core.Localization, injected fault.Fault, report *MutantReport, checkEquivalence bool, specEquiv func() bool, diagEquiv func(diagnosed fault.Fault) bool) {
 	switch loc.Verdict {
 	case core.VerdictNoFault:
 		report.Outcome = OutcomeUndetected
-		if opts.CheckEquivalence {
-			report.EquivalentToSpec = testgen.SystemsEquivalent(spec, m.System)
+		if checkEquivalence {
+			report.EquivalentToSpec = specEquiv()
 		}
 	case core.VerdictLocalized:
 		switch {
-		case loc.Fault.Ref == m.Fault.Ref:
+		case loc.Fault.Ref == injected.Ref:
 			report.Outcome = OutcomeLocalizedCorrect
-			report.ExactFault = *loc.Fault == m.Fault
+			report.ExactFault = *loc.Fault == injected
 		default:
 			report.Outcome = OutcomeLocalizedWrong
-			if opts.CheckEquivalence && diagnosedEquivalent(spec, *loc.Fault, m.System) {
+			if checkEquivalence && diagEquiv(*loc.Fault) {
 				report.Outcome = OutcomeLocalizedEquivalent
 			}
 		}
 	case core.VerdictAmbiguous:
 		report.Outcome = OutcomeAmbiguousMissesTruth
 		for _, r := range loc.Remaining {
-			if r.Ref == m.Fault.Ref {
+			if r.Ref == injected.Ref {
 				report.Outcome = OutcomeAmbiguousContainsTruth
 				break
 			}
@@ -391,10 +517,6 @@ func diagnoseMutant(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 	default:
 		report.Outcome = OutcomeInconsistent
 	}
-	if opts.Trace != nil && report.Outcome != OutcomeUndetected && atomic.AddInt64(traceBudget, -1) >= 0 {
-		traceMutant(ctx, spec, suite, m, report.Outcome, opts.Trace)
-	}
-	return report, nil
 }
 
 // traceMutant re-runs one detected mutant's diagnosis with structured tracing

@@ -266,8 +266,11 @@ func (s *api) execDiagnose(ctx context.Context, payload json.RawMessage) (json.R
 
 // sweepJobRequest is the "sweep" job kind's request document.
 type sweepJobRequest struct {
-	Spec  cfsm.SystemJSON `json:"spec"`
-	Suite []testCaseJSON  `json:"suite,omitempty"` // default: generated tour
+	Spec cfsm.SystemJSON `json:"spec"`
+	// SpecRef names a registered model by content hash instead of an inline
+	// spec document; it wins when both are set.
+	SpecRef string         `json:"specRef,omitempty"`
+	Suite   []testCaseJSON `json:"suite,omitempty"` // default: generated tour
 	// CheckEquivalence enables the (expensive) equivalence check on
 	// undetected mutants.
 	CheckEquivalence bool `json:"checkEquivalence,omitempty"`
@@ -298,7 +301,7 @@ func (s *api) execSweep(ctx context.Context, payload json.RawMessage) (json.RawM
 	if err := s.suiteSizeErr("suite", len(req.Suite), func(i int) int { return len(req.Suite[i].Inputs) }); err != nil {
 		return nil, err
 	}
-	spec, err := cfsm.FromJSON(req.Spec)
+	spec, err := s.resolveModel(req.Spec, req.SpecRef)
 	if err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
 	}

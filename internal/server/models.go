@@ -1,0 +1,258 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/compiled"
+	"cfsmdiag/internal/obs"
+)
+
+// The content-addressed model registry. Every endpoint that accepts a system
+// resolves it through the registry, so a model seen once — inline or
+// uploaded — is never re-validated: the parsed *cfsm.System is served from
+// cache, keyed by the content hash of its canonical binary encoding
+// (compiled.ModelHash). Cached systems are immutable after construction, so
+// sharing one across concurrent requests and job workers is safe.
+//
+// Two key namespaces share the cache:
+//
+//   - "<hex hash>": the canonical content hash, set on upload and after any
+//     successful inline resolution. Requests reference it via the *Ref
+//     request fields and GET /v1/models/{hash}.
+//   - "doc:<hex hash>": the hash of the inline JSON document, so repeated
+//     inline submissions of the same document skip cfsm.FromJSON without
+//     first constructing the system.
+
+// Model registry metric families.
+const (
+	metricModelHits    = "cfsmdiag_model_registry_hits_total"
+	metricModelMisses  = "cfsmdiag_model_registry_misses_total"
+	metricModelSize    = "cfsmdiag_model_registry_size"
+	metricModelUploads = "cfsmdiag_model_uploads_total"
+	metricModelRejects = "cfsmdiag_model_rejects_total"
+)
+
+// modelRegistry is a bounded FIFO cache of validated systems.
+type modelRegistry struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cfsm.System
+	order   []string // insertion order over keys, for FIFO eviction
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	uploads *obs.Counter
+	rejects *obs.Counter
+	size    *obs.Gauge
+}
+
+func newModelRegistry(reg *obs.Registry, capEntries int) *modelRegistry {
+	return &modelRegistry{
+		cap:     capEntries,
+		entries: make(map[string]*cfsm.System),
+		hits:    reg.Counter(metricModelHits, "Model resolutions served from the registry cache."),
+		misses:  reg.Counter(metricModelMisses, "Model resolutions that had to parse and validate the model."),
+		uploads: reg.Counter(metricModelUploads, "Models accepted by POST /v1/models."),
+		rejects: reg.Counter(metricModelRejects, "Model uploads rejected (bad format, bad hash, invalid model)."),
+		size:    reg.Gauge(metricModelSize, "Cache entries currently held by the model registry."),
+	}
+}
+
+// get looks a key up without touching the hit/miss counters.
+func (mr *modelRegistry) get(key string) (*cfsm.System, bool) {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	sys, ok := mr.entries[key]
+	return sys, ok
+}
+
+// put stores sys under every key, evicting oldest entries beyond the cap.
+// It reports whether all keys were already present.
+func (mr *modelRegistry) put(sys *cfsm.System, keys ...string) bool {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	all := true
+	for _, key := range keys {
+		if _, ok := mr.entries[key]; ok {
+			continue
+		}
+		all = false
+		mr.entries[key] = sys
+		mr.order = append(mr.order, key)
+	}
+	for len(mr.order) > mr.cap {
+		delete(mr.entries, mr.order[0])
+		mr.order = mr.order[1:]
+	}
+	mr.size.Set(int64(len(mr.entries)))
+	return all
+}
+
+// byHash returns the model stored under a content hash.
+func (mr *modelRegistry) byHash(hash string) (*cfsm.System, bool) {
+	sys, ok := mr.get(hash)
+	if ok {
+		mr.hits.Inc()
+	} else {
+		mr.misses.Inc()
+	}
+	return sys, ok
+}
+
+// resolveDoc resolves an inline JSON document to a validated system, caching
+// by the document's hash so a repeated submission skips validation entirely.
+func (mr *modelRegistry) resolveDoc(doc cfsm.SystemJSON) (*cfsm.System, error) {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		// Unreachable for decoded wire documents; resolve without caching.
+		return cfsm.FromJSON(doc)
+	}
+	sum := sha256.Sum256(raw)
+	docKey := "doc:" + hex.EncodeToString(sum[:])
+	if sys, ok := mr.get(docKey); ok {
+		mr.hits.Inc()
+		return sys, nil
+	}
+	mr.misses.Inc()
+	sys, err := cfsm.FromJSON(doc)
+	if err != nil {
+		return nil, err
+	}
+	mr.put(sys, docKey, compiled.ModelHash(sys))
+	return sys, nil
+}
+
+// resolveModel resolves a request's (inline document, registry reference)
+// pair. A non-empty ref must name an uploaded or previously seen model; it
+// takes precedence over the inline document.
+func (s *api) resolveModel(doc cfsm.SystemJSON, ref string) (*cfsm.System, error) {
+	if ref != "" {
+		if sys, ok := s.models.byHash(ref); ok {
+			return sys, nil
+		}
+		return nil, fmt.Errorf("model %s is not in the registry; upload it with POST /v1/models", ref)
+	}
+	return s.models.resolveDoc(doc)
+}
+
+// --- POST /v1/models and GET /v1/models/{hash} ---
+
+type modelResponse struct {
+	Hash        string `json:"hash"`
+	Machines    int    `json:"machines"`
+	Transitions int    `json:"transitions"`
+	// Cached reports whether the model was already in the registry.
+	Cached bool `json:"cached"`
+}
+
+// handleModels accepts a model upload in either wire format: a JSON system
+// document, or the versioned binary form produced by `cfsmdiag convert`
+// (sniffed by its magic). Binary files with an unsupported version, a
+// content-hash mismatch or a truncated payload answer 422 with the
+// unsupported_model_format code; models that fail validation answer 422
+// unprocessable.
+func (s *api) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			fmt.Errorf("%s requires POST", r.URL.Path))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("read request: %w", err))
+		return
+	}
+	var sys *cfsm.System
+	if compiled.IsBinary(data) {
+		sys, err = compiled.DecodeSystem(data)
+		if err != nil {
+			s.models.rejects.Inc()
+			switch {
+			case errors.Is(err, compiled.ErrUnsupportedVersion),
+				errors.Is(err, compiled.ErrTruncated),
+				errors.Is(err, compiled.ErrHashMismatch),
+				errors.Is(err, compiled.ErrBadMagic):
+				writeErr(w, http.StatusUnprocessableEntity, codeUnsupportedModel, err)
+			default:
+				// Structurally sound file, but the model breaks the rules.
+				writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
+			}
+			return
+		}
+	} else {
+		var doc cfsm.SystemJSON
+		if err := strictUnmarshal(data, &doc); err != nil {
+			s.models.rejects.Inc()
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if sys, err = cfsm.FromJSON(doc); err != nil {
+			s.models.rejects.Inc()
+			writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
+			return
+		}
+	}
+	hash := compiled.ModelHash(sys)
+	cached := s.models.put(sys, hash)
+	s.models.uploads.Inc()
+	writeJSON(w, http.StatusOK, modelResponse{
+		Hash:        hash,
+		Machines:    sys.N(),
+		Transitions: sys.NumTransitions(),
+		Cached:      cached,
+	})
+}
+
+type modelGetResponse struct {
+	Hash string          `json:"hash"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// handleModelGet serves a registered model back by its content hash, as the
+// JSON document, or as the binary form with "?format=binary".
+func (s *api) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			fmt.Errorf("%s requires GET", r.URL.Path))
+		return
+	}
+	hash := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	if hash == "" || strings.Contains(hash, "/") {
+		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no such route %s", r.URL.Path))
+		return
+	}
+	sys, ok := s.models.byHash(hash)
+	if !ok {
+		writeErr(w, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("model %s is not in the registry", hash))
+		return
+	}
+	if r.URL.Query().Get("format") == "binary" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(compiled.EncodeSystem(sys))
+		return
+	}
+	doc, err := sys.MarshalJSON()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelGetResponse{Hash: hash, Spec: doc})
+}

@@ -15,8 +15,19 @@
 //	                    "suite": [<case>...]?}                  -> verdict + fault + log
 //	                   ?trace=1 (requires Config.EnableTracing)  -> + structured trace,
 //	                    replayable offline with `cfsmdiag replay`; 501 when disabled
+//	POST /v1/models    <system JSON document> or the binary     -> content hash + stats
+//	                    model form produced by `cfsmdiag convert`
+//	GET  /v1/models/{hash}                                      -> the registered model
+//	                   ?format=binary                            -> its binary encoding
 //	GET  /healthz                                               -> liveness probe
 //	GET  /metrics                                               -> Prometheus text exposition
+//
+// Every endpoint that takes a system resolves it through a content-addressed
+// model registry: a model seen once (inline or uploaded) is cached by the
+// content hash of its canonical binary encoding and never re-validated.
+// Requests may replace an inline "spec"/"iut" document with a "specRef"/
+// "iutRef" content hash of a registered model. Registry traffic is measured
+// by the cfsmdiag_model_* metric families.
 //
 // Services built with NewService and Config.EnableJobs additionally serve
 // the durable batch queue under /v1/jobs (submit, poll, fetch result,
@@ -38,11 +49,13 @@
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
 // with codes bad_request, method_not_allowed, unsupported_media_type,
-// payload_too_large, suite_too_large, unprocessable, not_found,
-// not_implemented, timeout, canceled, internal, queue_full, conflict and
-// unavailable. Wrong methods answer 405 with an Allow header; non-JSON
-// content types answer 415; "?trace=1" on a server without tracing answers
-// 501.
+// payload_too_large, suite_too_large, unprocessable, unsupported_model_format,
+// not_found, not_implemented, timeout, canceled, internal, queue_full,
+// conflict and unavailable. Wrong methods answer 405 with an Allow header;
+// non-JSON content types answer 415; "?trace=1" on a server without tracing
+// answers 501. Binary model uploads with an unsupported version, a content-
+// hash mismatch or a truncated payload answer 422 with
+// unsupported_model_format, mirroring the compiled codec's typed errors.
 //
 // # Observability
 //
@@ -96,6 +109,9 @@ type Config struct {
 	MaxSuiteCases int
 	// MaxCaseInputs caps inputs per test case (default 65536).
 	MaxCaseInputs int
+	// ModelCacheEntries caps the content-addressed model registry (default
+	// 256 cache keys); oldest entries are evicted first.
+	ModelCacheEntries int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// EnableTracing honors "?trace=1" on /v1/diagnose: the diagnosis runs
@@ -155,13 +171,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxCaseInputs <= 0 {
 		c.MaxCaseInputs = 65536
 	}
+	if c.ModelCacheEntries <= 0 {
+		c.ModelCacheEntries = 256
+	}
 	return c
 }
 
 // api is the configured service.
 type api struct {
-	cfg Config
-	m   httpMetrics
+	cfg    Config
+	m      httpMetrics
+	models *modelRegistry
 }
 
 // New returns the service's HTTP handler with the given configuration. It
@@ -205,7 +225,11 @@ func (s *Service) Close(ctx context.Context) error {
 // durable job queue behind /v1/jobs.
 func NewService(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	s := &api{cfg: cfg, m: newHTTPMetrics(cfg.Registry)}
+	s := &api{
+		cfg:    cfg,
+		m:      newHTTPMetrics(cfg.Registry),
+		models: newModelRegistry(cfg.Registry, cfg.ModelCacheEntries),
+	}
 
 	// Pre-register the pipeline families so /metrics lists the full schema
 	// (request latency, oracle queries, sweep durations, simulator steps)
@@ -236,6 +260,10 @@ func NewService(cfg Config) (*Service, error) {
 		cfg.Registry.Counter(metricDeprecated, helpDeprecated, obs.L("route", alias))
 		mux.Handle(alias, s.wrap(alias, s.deprecated(path, s.post(h))))
 	}
+	// The model registry surface: uploads sniff JSON vs binary themselves,
+	// so they bypass the JSON-only s.post wrapper.
+	mux.Handle("/v1/models", s.wrap("/v1/models", s.handleModels))
+	mux.Handle("/v1/models/", s.wrap("/v1/models/{hash}", s.handleModelGet))
 	mux.Handle("/healthz", s.wrap("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.wrap("/metrics", s.handleMetrics))
 	if cfg.EnablePprof {
@@ -288,6 +316,7 @@ func RouteList(cfg Config) []string {
 	for _, p := range v1Paths {
 		routes = append(routes, "POST "+p)
 	}
+	routes = append(routes, "POST /v1/models", "GET /v1/models/{hash}")
 	for _, p := range v1Paths {
 		routes = append(routes, "POST /api"+p[len("/v1"):]+" (deprecated)")
 	}
@@ -314,6 +343,7 @@ const (
 	codePayloadTooLarge  = "payload_too_large"
 	codeSuiteTooLarge    = "suite_too_large"
 	codeUnprocessable    = "unprocessable"
+	codeUnsupportedModel = "unsupported_model_format"
 	codeNotFound         = "not_found"
 	codeNotImplemented   = "not_implemented"
 	codeTimeout          = "timeout"
@@ -469,7 +499,7 @@ func (s *api) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sys, err := cfsm.FromJSON(req.Spec)
+	sys, err := s.models.resolveDoc(req.Spec)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
@@ -541,6 +571,9 @@ func encodeInputs(ins []cfsm.Input) []string {
 
 type suiteRequest struct {
 	Spec cfsm.SystemJSON `json:"spec"`
+	// SpecRef names a registered model by content hash instead of an inline
+	// spec document; it wins when both are set.
+	SpecRef string `json:"specRef,omitempty"`
 	// Kind selects the generator: "tour" (default), "verification", or
 	// "verification-minimized".
 	Kind string `json:"kind,omitempty"`
@@ -560,7 +593,7 @@ func (s *api) handleSuite(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sys, err := cfsm.FromJSON(req.Spec)
+	sys, err := s.resolveModel(req.Spec, req.SpecRef)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
@@ -604,9 +637,13 @@ func (s *api) handleSuite(w http.ResponseWriter, r *http.Request) {
 // --- POST /v1/diagnose ---
 
 type diagnoseRequest struct {
-	Spec  cfsm.SystemJSON `json:"spec"`
-	IUT   cfsm.SystemJSON `json:"iut"`
-	Suite []testCaseJSON  `json:"suite,omitempty"` // default: generated tour
+	Spec cfsm.SystemJSON `json:"spec"`
+	IUT  cfsm.SystemJSON `json:"iut"`
+	// SpecRef and IUTRef name registered models by content hash instead of
+	// the inline documents; a ref wins over its inline counterpart.
+	SpecRef string         `json:"specRef,omitempty"`
+	IUTRef  string         `json:"iutRef,omitempty"`
+	Suite   []testCaseJSON `json:"suite,omitempty"` // default: generated tour
 	// MaxAdditionalTests bounds the adaptive phase (0 = unbounded).
 	MaxAdditionalTests int `json:"maxAdditionalTests,omitempty"`
 }
@@ -654,11 +691,11 @@ func traceRequested(r *http.Request) bool {
 // the suite_too_large code before calling in, and the job executors call
 // suiteSizeErr themselves.
 func (s *api) prepareDiagnose(req diagnoseRequest) (spec, iut *cfsm.System, suite []cfsm.TestCase, err error) {
-	spec, err = cfsm.FromJSON(req.Spec)
+	spec, err = s.resolveModel(req.Spec, req.SpecRef)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("spec: %w", err)
 	}
-	iut, err = cfsm.FromJSON(req.IUT)
+	iut, err = s.resolveModel(req.IUT, req.IUTRef)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("iut: %w", err)
 	}
@@ -828,9 +865,12 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 // --- POST /v1/analyze ---
 
 type analyzeRequest struct {
-	Spec         cfsm.SystemJSON `json:"spec"`
-	Suite        []testCaseJSON  `json:"suite"`
-	Observations [][]string      `json:"observations"`
+	Spec cfsm.SystemJSON `json:"spec"`
+	// SpecRef names a registered model by content hash instead of an inline
+	// spec document; it wins when both are set.
+	SpecRef      string         `json:"specRef,omitempty"`
+	Suite        []testCaseJSON `json:"suite"`
+	Observations [][]string     `json:"observations"`
 }
 
 type plannedTestJSON struct {
@@ -857,7 +897,7 @@ func (s *api) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !s.checkSuiteSize(w, "observations", len(req.Observations), func(i int) int { return len(req.Observations[i]) }) {
 		return
 	}
-	spec, err := cfsm.FromJSON(req.Spec)
+	spec, err := s.resolveModel(req.Spec, req.SpecRef)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, fmt.Errorf("spec: %w", err))
 		return

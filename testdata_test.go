@@ -1,0 +1,37 @@
+package cfsmdiag_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"cfsmdiag/internal/paper"
+)
+
+// TestFixturesMatchPaper pins the committed testdata models to the paper
+// package: CI's convert/info/diagnose round-trip smoke reads these files, so
+// they must not drift from the in-code Figure 1 definitions.
+func TestFixturesMatchPaper(t *testing.T) {
+	spec := paper.MustFigure1()
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, sys := range map[string]interface{ MarshalJSON() ([]byte, error) }{
+		"testdata/figure1.json":        spec,
+		"testdata/figure1-faulty.json": iut,
+	} {
+		want, err := sys.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is stale; regenerate it from the paper package", path)
+		}
+	}
+}
