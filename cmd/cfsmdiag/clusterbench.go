@@ -1,0 +1,361 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/cluster"
+	"cfsmdiag/internal/experiments"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/randgen"
+	"cfsmdiag/internal/server"
+	"cfsmdiag/internal/testgen"
+)
+
+// ClusterBenchRow is one worker-process-count measurement of experiment E15.
+type ClusterBenchRow struct {
+	WorkerProcs   int     `json:"worker_procs"`
+	Sweeps        int     `json:"sweeps"`
+	Seconds       float64 `json:"seconds"`
+	MutantsPerSec float64 `json:"mutants_per_sec"`
+	SpeedupVsOne  float64 `json:"speedup_vs_one_worker"`
+}
+
+// ClusterBenchChaos records the mid-sweep worker kill: the coordinator must
+// replay the orphaned lease and still merge every verdict exactly once.
+type ClusterBenchChaos struct {
+	WorkerKilled      string `json:"worker_killed"`
+	RangesDoneAtKill  int    `json:"ranges_done_at_kill"`
+	Ranges            int    `json:"ranges"`
+	LeaseExpirations  int64  `json:"lease_expirations"`
+	StaleReports      int64  `json:"stale_reports"`
+	DuplicateReports  int64  `json:"duplicate_reports"`
+	IdenticalVerdicts bool   `json:"identical_verdicts"`
+}
+
+// ClusterBenchRecord is the machine-readable E15 record written by
+// `cfsmdiag clusterbench`: distributed-sweep throughput as real worker
+// processes are added, plus the chaos-kill exactly-once check.
+type ClusterBenchRecord struct {
+	System     string `json:"system"`
+	Mutants    int    `json:"mutants"`
+	SuiteCases int    `json:"suite_cases"`
+	Ranges     int    `json:"ranges"`
+	RangeSize  int    `json:"range_size"`
+	// Cpus is the host's CPU count when the record was written. Worker
+	// processes are pinned to GOMAXPROCS=1, so process scaling needs at
+	// least workers+1 CPUs; on fewer, the speedup column honestly reports
+	// ~1x (the same single-core trap SweepBenchRow.GoMaxProcs documents).
+	Cpus           int                `json:"cpus"`
+	LeaseTTLMillis int64              `json:"lease_ttl_millis"`
+	Rows           []ClusterBenchRow  `json:"rows"`
+	Chaos          *ClusterBenchChaos `json:"chaos,omitempty"`
+}
+
+// cmdClusterBench runs experiment E15: it mounts a /v1/cluster coordinator
+// in-process, re-execs this binary as GOMAXPROCS=1 `serve -worker` processes
+// pulling ranges over real HTTP, and measures sweep throughput at 1..N worker
+// processes. With -chaos it then SIGKILLs a worker that provably holds a
+// lease and asserts the finished sweep is verdict-identical to the local
+// single-goroutine sweep — the lease-expiry replay path, end to end.
+func cmdClusterBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("clusterbench", flag.ContinueOnError)
+	path := fs.String("out", "BENCH_cluster.json", "output path for the record")
+	maxWorkers := fs.Int("workers", 2, "worker processes to scale up to")
+	sweeps := fs.Int("sweeps", 2, "timed sweeps per worker count")
+	rangeSize := fs.Int("range-size", 24, "mutant-index shard width per lease")
+	seed := fs.Int64("seed", 1, "seed for the generated workload system")
+	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "lease TTL (bounds chaos recovery time)")
+	chaos := fs.Bool("chaos", true, "SIGKILL a lease-holding worker mid-sweep and verify the merged verdicts still match the local sweep")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if *maxWorkers < 1 || *sweeps < 1 {
+		return fmt.Errorf("-workers and -sweeps must be at least 1")
+	}
+
+	// The workload is a generated system an order of magnitude larger than
+	// Figure 1 (~1500 mutants at ~0.5ms each), swept with the equivalence
+	// check on, so per-range diagnosis dominates the lease/push round trips
+	// and process scaling is measurable.
+	sys := randgen.MustGenerate(randgen.Config{
+		N: 4, States: 4, ExtInputs: 3, Messages: 2, IntInputs: 2, Density: 0.9, Seed: *seed,
+	})
+	suite, _ := testgen.Tour(sys, 0)
+	mutants := len(fault.Enumerate(sys))
+	opts := cluster.Options{CheckEquivalence: true}
+
+	local, err := experiments.RunSweepOpts(sys, suite,
+		experiments.SweepOptions{Workers: 1, CheckEquivalence: true})
+	if err != nil {
+		return err
+	}
+
+	svc, err := server.NewService(server.Config{
+		EnableCluster:    true,
+		ClusterLeaseTTL:  *leaseTTL,
+		ClusterRangeSize: *rangeSize,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close(context.Background())
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	}()
+	coord := svc.Cluster()
+	coordURL := "http://" + ln.Addr().String()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	spawn := func(name string) error {
+		cmd := exec.Command(exe, "serve", "-worker", "-coordinator", coordURL,
+			"-worker-name", name, "-poll", "2ms", "-addr", "127.0.0.1:0", "-quiet")
+		// One OS thread of compute per worker process: the scaling measured
+		// here is process scaling, not the in-process goroutine pool (E5).
+		env := os.Environ()[:0:0]
+		for _, kv := range os.Environ() {
+			if !strings.HasPrefix(kv, "GOMAXPROCS=") {
+				env = append(env, kv)
+			}
+		}
+		cmd.Env = append(env, "GOMAXPROCS=1")
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procs = append(procs, cmd)
+		return nil
+	}
+
+	runSweep := func() (cluster.SweepStatus, *experiments.SweepResult, error) {
+		st, err := coord.Create(sys, suite, opts, *rangeSize)
+		if err != nil {
+			return st, nil, err
+		}
+		deadline := time.Now().Add(5 * time.Minute)
+		for st.State != cluster.SweepDone {
+			if time.Now().After(deadline) {
+				return st, nil, fmt.Errorf("sweep %s stalled at %d/%d ranges", st.ID, st.Done, st.Ranges)
+			}
+			// A coarse poll: the workers' CPUs are the measurement, and a hot
+			// status loop on a small host would steal cycles from them.
+			time.Sleep(10 * time.Millisecond)
+			if st, err = coord.Get(st.ID); err != nil {
+				return st, nil, err
+			}
+		}
+		res, ok := coord.Result(st.ID)
+		if !ok {
+			return st, nil, fmt.Errorf("sweep %s finished without a merged result", st.ID)
+		}
+		return st, res, nil
+	}
+
+	// waitParticipating runs warmup sweeps until the named worker has taken
+	// at least one lease, so a freshly spawned process is provably pulling
+	// work before its measurement starts.
+	waitParticipating := func(name string) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			st, _, err := runSweep()
+			if err != nil {
+				return err
+			}
+			ranges, err := coord.Ranges(st.ID)
+			if err != nil {
+				return err
+			}
+			for _, r := range ranges {
+				if r.Worker == name {
+					return nil
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("worker %s never leased a range — did its process start?", name)
+			}
+		}
+	}
+
+	rec := ClusterBenchRecord{
+		System:         fmt.Sprintf("randgen(seed=%d)", *seed),
+		Mutants:        mutants,
+		SuiteCases:     len(suite),
+		RangeSize:      *rangeSize,
+		Cpus:           runtime.NumCPU(),
+		LeaseTTLMillis: leaseTTL.Milliseconds(),
+	}
+	fmt.Fprintf(out, "E15 workload: %d mutants x %d suite cases, range size %d, coordinator %s\n",
+		mutants, len(suite), *rangeSize, coordURL)
+	if rec.Cpus < *maxWorkers+1 {
+		fmt.Fprintf(out, "note: only %d CPU(s) for %d single-threaded workers + coordinator — process scaling cannot show on this host; the speedup column records what actually happened\n",
+			rec.Cpus, *maxWorkers)
+	}
+
+	var base float64
+	for w := 1; w <= *maxWorkers; w++ {
+		name := fmt.Sprintf("bench-w%d", w)
+		if err := spawn(name); err != nil {
+			return err
+		}
+		if err := waitParticipating(name); err != nil {
+			return err
+		}
+		start := time.Now()
+		var st cluster.SweepStatus
+		for i := 0; i < *sweeps; i++ {
+			if st, _, err = runSweep(); err != nil {
+				return err
+			}
+		}
+		secs := time.Since(start).Seconds()
+		row := ClusterBenchRow{
+			WorkerProcs:   w,
+			Sweeps:        *sweeps,
+			Seconds:       secs,
+			MutantsPerSec: float64(mutants**sweeps) / secs,
+		}
+		if w == 1 {
+			base = row.MutantsPerSec
+		}
+		if base > 0 {
+			row.SpeedupVsOne = row.MutantsPerSec / base
+		}
+		rec.Ranges = st.Ranges
+		rec.Rows = append(rec.Rows, row)
+		fmt.Fprintf(out, "  worker processes=%d: %.0f mutants/sec (%.2fx vs 1 process)\n",
+			w, row.MutantsPerSec, row.SpeedupVsOne)
+	}
+
+	var chaosErr error
+	if *chaos && len(procs) >= 2 {
+		ch, err := runClusterChaos(coord, sys, suite, opts, *rangeSize, procs[0], "bench-w1", local)
+		if err != nil {
+			return err
+		}
+		rec.Chaos = ch
+		fmt.Fprintf(out, "chaos: killed %s with %d/%d ranges done; %d lease expirations, %d stale pushes; identical verdicts: %v\n",
+			ch.WorkerKilled, ch.RangesDoneAtKill, ch.Ranges,
+			ch.LeaseExpirations, ch.StaleReports, ch.IdenticalVerdicts)
+		if !ch.IdenticalVerdicts {
+			chaosErr = fmt.Errorf("chaos sweep diverged from the local sweep — exactly-once merging is broken")
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *path)
+	return chaosErr
+}
+
+// runClusterChaos creates sweeps until it catches the victim worker holding
+// an unexpired lease, SIGKILLs it, and lets the survivors finish. The
+// orphaned lease expires, replays, and the merged result must still be
+// verdict-identical to the local reference sweep.
+func runClusterChaos(coord *cluster.Coordinator, sys *cfsm.System, suite []cfsm.TestCase,
+	opts cluster.Options, rangeSize int, victim *exec.Cmd, victimName string,
+	local experiments.SweepResult) (*ClusterBenchChaos, error) {
+	ch := &ClusterBenchChaos{WorkerKilled: victimName}
+	var st cluster.SweepStatus
+	killed := false
+	for attempt := 0; attempt < 5 && !killed; attempt++ {
+		var err error
+		st, err = coord.Create(sys, suite, opts, rangeSize)
+		if err != nil {
+			return nil, err
+		}
+		for !killed {
+			cur, err := coord.Get(st.ID)
+			if err != nil {
+				return nil, err
+			}
+			if cur.State == cluster.SweepDone {
+				break // too fast to catch a lease; try another sweep
+			}
+			ranges, err := coord.Ranges(st.ID)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range ranges {
+				// Kill only once the sweep has made some progress AND the
+				// victim provably holds an unexpired lease, so the kill
+				// orphans real in-flight work.
+				if cur.Done > 0 && r.State == cluster.RangeLeased && r.Worker == victimName {
+					if err := victim.Process.Kill(); err != nil {
+						return nil, fmt.Errorf("kill %s: %w", victimName, err)
+					}
+					victim.Wait()
+					killed = true
+					ch.RangesDoneAtKill = cur.Done
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !killed {
+		return nil, fmt.Errorf("chaos: never caught %s holding a lease — sweeps finish too fast for this range size", victimName)
+	}
+
+	deadline := time.Now().Add(5 * time.Minute)
+	for st.State != cluster.SweepDone {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos sweep %s stalled at %d/%d ranges after the kill", st.ID, st.Done, st.Ranges)
+		}
+		time.Sleep(5 * time.Millisecond)
+		var err error
+		if st, err = coord.Get(st.ID); err != nil {
+			return nil, err
+		}
+	}
+	res, ok := coord.Result(st.ID)
+	if !ok {
+		return nil, fmt.Errorf("chaos sweep %s finished without a merged result", st.ID)
+	}
+	ch.Ranges = st.Ranges
+	ch.LeaseExpirations = st.Expirations
+	ch.StaleReports = st.Stale
+	ch.DuplicateReports = st.Duplicates
+	ch.IdenticalVerdicts = reflect.DeepEqual(res.Reports, local.Reports) &&
+		reflect.DeepEqual(res.Counts, local.Counts) &&
+		res.Detected == local.Detected
+	return ch, nil
+}

@@ -12,7 +12,10 @@
 //	cfsmdiag detect      <system.json> [-suite s] [-address]  detection report
 //	cfsmdiag mutants     <system.json>                    enumerate faults
 //	cfsmdiag sweep       <system.json>|-paper [-workers N] [-equiv] [-benchjson f]
-//	                     exhaustive parallel mutant sweep (E5)
+//	                     exhaustive parallel mutant sweep (E5); with
+//	                     [-distributed -coordinator URL | -distributed
+//	                     -workers-urls u1,u2] the sweep is sharded over
+//	                     /v1/cluster workers instead of local goroutines
 //	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
 //	cfsmdiag diagnose    -spec s.json -iut i.json | -paper  [-suite t.json] [-report]
 //	                     [-narrate] [-trace out.jsonl] [-chrome out.json] [-explain] [-stats]
@@ -23,10 +26,14 @@
 //	cfsmdiag record      <system.json> -suite t.json      observation log
 //	cfsmdiag analyze     -spec s.json -suite t.json -obs o.json   offline analysis
 //	cfsmdiag serve       [-addr host:port] [-timeout d] [-pprof] [-tracing=false]
-//	                     [-logjson] [-quiet]
+//	                     [-logjson] [-quiet] [-legacy-api]
 //	                     [-oracle-timeout d] [-oracle-retries N] [-oracle-votes K]
 //	                     [-jobs] [-jobs-dir d] [-jobs-workers N] [-jobs-queue N]
-//	                     versioned JSON-over-HTTP service with /metrics + /healthz
+//	                     [-cluster] [-cluster-dir d] [-lease-ttl d] [-range-size N]
+//	                     [-worker -coordinator u1,u2 [-worker-name s] [-poll d]]
+//	                     versioned JSON-over-HTTP service with /metrics + /healthz;
+//	                     -cluster mounts the /v1/cluster sweep coordinator and
+//	                     -worker turns the process into a range-pulling sweep peer
 //	cfsmdiag jobs        <submit|status|result|cancel|list|watch|bench> ...
 //	                     client for the /v1/jobs batch API of a running service;
 //	                     bench runs the E13 throughput experiment in-process
@@ -35,6 +42,10 @@
 //	cfsmdiag info        <model.json|model.bin>  header, content hash and shape
 //	cfsmdiag compilebench [-out BENCH_compile.json]  E14: compiled-representation
 //	                     speedup record (interpreted vs compiled hot paths)
+//	cfsmdiag clusterbench [-out BENCH_cluster.json] [-workers N] [-sweeps N]
+//	                     E15: multi-process distributed-sweep scaling record;
+//	                     re-execs itself as GOMAXPROCS=1 worker processes and
+//	                     chaos-kills one mid-sweep to prove exactly-once merging
 //
 // Every subcommand that takes a system file accepts either format; binary
 // models carry a content hash that is verified on load.
@@ -73,6 +84,7 @@ import (
 	"time"
 
 	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/cluster"
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
@@ -94,7 +106,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs|convert|info|compilebench> ...")
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs|convert|info|compilebench|clusterbench> ...")
 	}
 	switch args[0] {
 	case "validate":
@@ -135,6 +147,8 @@ func run(args []string, out io.Writer) error {
 		return cmdInfo(args[1:], out)
 	case "compilebench":
 		return cmdCompileBench(args[1:], out)
+	case "clusterbench":
+		return cmdClusterBench(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -739,10 +753,14 @@ func cmdRecord(args []string, out io.Writer) error {
 }
 
 // cmdServe runs the JSON-over-HTTP diagnosis service (internal/server):
-// /v1/validate, /v1/suite, /v1/analyze, /v1/diagnose (plus the deprecated
-// /api/* aliases), /healthz and /metrics. With -jobs it also mounts the
-// durable /v1/jobs batch API. It shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight requests and running jobs before persisting the queue.
+// /v1/validate, /v1/suite, /v1/analyze, /v1/diagnose, /healthz and /metrics.
+// With -jobs it also mounts the durable /v1/jobs batch API, with -cluster the
+// /v1/cluster distributed-sweep coordinator, and with -worker the process
+// doubles as a sweep worker that pulls mutant ranges from -coordinator peers
+// (plus POST /v1/cluster/attach for ad-hoc attachment). The unversioned
+// /api/* aliases are sunset (410 Gone) unless -legacy-api restores them. It
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests and
+// running jobs before persisting the queue.
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -751,6 +769,7 @@ func cmdServe(args []string, out io.Writer) error {
 	tracing := fs.Bool("tracing", true, "honor ?trace=1 on /v1/diagnose (inline structured traces)")
 	logJSON := fs.Bool("logjson", false, "emit access logs as JSON instead of text")
 	quiet := fs.Bool("quiet", false, "disable access logging")
+	legacyAPI := fs.Bool("legacy-api", false, "restore the deprecated unversioned /api/* aliases (default: 410 Gone with a successor Link)")
 	oracleTimeout := fs.Duration("oracle-timeout", 0, "per-execution oracle timeout for diagnoses (0 = none); enables the resilient retry layer")
 	oracleRetries := fs.Int("oracle-retries", 0, "failed oracle executions tolerated per diagnostic query")
 	oracleVotes := fs.Int("oracle-votes", 0, "successful executions majority-voted per diagnostic test (<=1 = no voting)")
@@ -758,8 +777,19 @@ func cmdServe(args []string, out io.Writer) error {
 	jobsDir := fs.String("jobs-dir", "", "durability directory for the job queue (WAL + snapshots; implies -jobs, empty = in-memory only)")
 	jobsWorkers := fs.Int("jobs-workers", 0, "job worker pool size (<=0 = GOMAXPROCS)")
 	jobsQueue := fs.Int("jobs-queue", 0, "admission-control queue depth (<=0 = default)")
+	clusterOn := fs.Bool("cluster", false, "mount the /v1/cluster distributed-sweep coordinator")
+	clusterDir := fs.String("cluster-dir", "", "durability directory for the sweep journal (implies -cluster, empty = in-memory only)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "how long a leased mutant range stays fenced to one worker before it is replayed (0 = coordinator default)")
+	rangeSize := fs.Int("range-size", 0, "default mutant-index shard width per lease (<=0 = coordinator default)")
+	workerOn := fs.Bool("worker", false, "pull sweep ranges from -coordinator peers and serve POST /v1/cluster/attach")
+	coordinators := fs.String("coordinator", "", "comma-separated coordinator base URLs the worker polls (with -worker)")
+	workerName := fs.String("worker-name", "", "worker name reported on leases (default: hostname-pid)")
+	workerPoll := fs.Duration("poll", 0, "worker idle back-off between passes that found no work (0 = default)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
+	}
+	if *coordinators != "" && !*workerOn {
+		return fmt.Errorf("-coordinator requires -worker")
 	}
 	var logger *obs.Logger // nil disables
 	if !*quiet {
@@ -772,6 +802,7 @@ func cmdServe(args []string, out io.Writer) error {
 		EnablePprof:         *pprofOn,
 		EnableTracing:       *tracing,
 		InstrumentSimulator: true,
+		EnableLegacyAPI:     *legacyAPI,
 		OracleTimeout:       *oracleTimeout,
 		OracleRetries:       *oracleRetries,
 		OracleVotes:         *oracleVotes,
@@ -779,6 +810,26 @@ func cmdServe(args []string, out io.Writer) error {
 		JobsDir:             *jobsDir,
 		JobsWorkers:         *jobsWorkers,
 		JobsQueueDepth:      *jobsQueue,
+		EnableCluster:       *clusterOn || *clusterDir != "",
+		ClusterDir:          *clusterDir,
+		ClusterLeaseTTL:     *leaseTTL,
+		ClusterRangeSize:    *rangeSize,
+	}
+	var worker *cluster.Worker
+	if *workerOn {
+		name := *workerName
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		worker = cluster.NewWorker(cluster.WorkerConfig{
+			Name:         name,
+			Coordinators: splitURLList(*coordinators),
+			PollInterval: *workerPoll,
+			Registry:     cfg.Registry,
+			Logger:       logger,
+		})
+		cfg.ClusterWorker = worker
 	}
 	svc, err := server.NewService(cfg)
 	if err != nil {
@@ -787,6 +838,10 @@ func cmdServe(args []string, out io.Writer) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if worker != nil {
+		worker.Start()
+		defer worker.Stop()
 	}
 	fmt.Fprintf(out, "cfsmdiag service listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(out, "  routes: %s\n", strings.Join(server.RouteList(cfg), ", "))
@@ -797,6 +852,21 @@ func cmdServe(args []string, out io.Writer) error {
 			durable = "durable in " + *jobsDir
 		}
 		fmt.Fprintf(out, "  jobs: %d workers, %s\n", svc.Jobs().Workers(), durable)
+	}
+	if cfg.EnableCluster {
+		durable := "in-memory only"
+		if *clusterDir != "" {
+			durable = "journal in " + *clusterDir
+		}
+		fmt.Fprintf(out, "  cluster: coordinator mounted (%s)\n", durable)
+	}
+	if worker != nil {
+		coords := worker.Coordinators()
+		if len(coords) == 0 {
+			fmt.Fprintf(out, "  cluster: worker idle, waiting for POST /v1/cluster/attach\n")
+		} else {
+			fmt.Fprintf(out, "  cluster: worker polling %s\n", strings.Join(coords, ", "))
+		}
 	}
 	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
@@ -820,6 +890,18 @@ func cmdServe(args []string, out io.Writer) error {
 		// to the WAL for the next start.
 		return svc.Close(shutdownCtx)
 	}
+}
+
+// splitURLList splits a comma-separated URL list, trimming whitespace and
+// trailing slashes and dropping empty entries.
+func splitURLList(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // parseArgs parses flags that may appear before or after the positional

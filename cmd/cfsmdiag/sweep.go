@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,8 +32,15 @@ func cmdSweep(args []string, out io.Writer) error {
 	stats := fs.Bool("stats", false, "append a cost report (oracle queries, per-mutant latency, simulator steps)")
 	tracePath := fs.String("trace", "", "write a structured JSONL trace of the first traced failing mutants to this path")
 	traceFailures := fs.Int("tracefailures", 1, "how many failing mutants to trace (with -trace)")
+	distributed := fs.Bool("distributed", false, "shard the sweep over /v1/cluster workers instead of local goroutines")
+	coordURL := fs.String("coordinator", "", "base URL of a running coordinator (with -distributed; default: embedded coordinator)")
+	workersURLs := fs.String("workers-urls", "", "comma-separated worker base URLs to attach to the embedded coordinator (with -distributed)")
+	rangeSize := fs.Int("range-size", 0, "mutant-index shard width per lease (with -distributed; <=0 = coordinator default)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
+	}
+	if !*distributed && (*coordURL != "" || *workersURLs != "") {
+		return fmt.Errorf("-coordinator and -workers-urls require -distributed")
 	}
 	var sys *cfsm.System
 	var err error
@@ -82,6 +90,18 @@ func cmdSweep(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "note: -workers %d is not positive; using GOMAXPROCS (%d)\n", *workers, effective)
 			}
 		})
+	}
+
+	if *distributed {
+		if *benchJSON != "" || *stats || *tracePath != "" {
+			return fmt.Errorf("-benchjson, -stats and -trace are local-sweep features; drop them with -distributed")
+		}
+		return runDistributedSweep(sys, suite, distSweepConfig{
+			coordinator: strings.TrimRight(*coordURL, "/"),
+			workerURLs:  splitURLList(*workersURLs),
+			rangeSize:   *rangeSize,
+			equiv:       *equiv,
+		}, out)
 	}
 
 	if *benchJSON != "" {

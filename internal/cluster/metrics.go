@@ -1,0 +1,41 @@
+package cluster
+
+import "cfsmdiag/internal/obs"
+
+// clusterMetrics is the cfsmdiag_cluster_* family set. Every field is
+// nil-safe: a nil registry yields no-op series.
+type clusterMetrics struct {
+	reg     *obs.Registry
+	sweeps  *obs.Counter // cfsmdiag_cluster_sweeps_total
+	active  *obs.Gauge   // cfsmdiag_cluster_sweeps_active
+	leases  *obs.Counter // cfsmdiag_cluster_leases_total
+	expired *obs.Counter // cfsmdiag_cluster_lease_expirations_total
+	pending *obs.Gauge   // cfsmdiag_cluster_ranges_pending
+	mutants *obs.Counter // cfsmdiag_cluster_mutants_merged_total
+}
+
+func newClusterMetrics(reg *obs.Registry) clusterMetrics {
+	return clusterMetrics{
+		reg: reg,
+		sweeps: reg.Counter("cfsmdiag_cluster_sweeps_total",
+			"Distributed sweeps created."),
+		active: reg.Gauge("cfsmdiag_cluster_sweeps_active",
+			"Distributed sweeps currently running."),
+		leases: reg.Counter("cfsmdiag_cluster_leases_total",
+			"Range leases granted, including replays after expiry."),
+		expired: reg.Counter("cfsmdiag_cluster_lease_expirations_total",
+			"Leases that timed out and returned their range to the pending pool."),
+		pending: reg.Gauge("cfsmdiag_cluster_ranges_pending",
+			"Ranges currently waiting for a worker across all sweeps."),
+		mutants: reg.Counter("cfsmdiag_cluster_mutants_merged_total",
+			"Mutant verdicts merged into sweep results."),
+	}
+}
+
+// reports counts result pushes by disposition: merged, duplicate (range
+// already done), stale (fencing token superseded), invalid (wrong shape).
+func (m clusterMetrics) reports(disposition string) *obs.Counter {
+	return m.reg.Counter("cfsmdiag_cluster_reports_total",
+		"Range result pushes by disposition.",
+		obs.L("disposition", disposition))
+}

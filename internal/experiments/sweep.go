@@ -227,6 +227,50 @@ func RunSweepOpts(spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (
 // boundary, and returns ctx.Err() together with the deterministic prefix of
 // reports completed before the cancellation.
 func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions) (SweepResult, error) {
+	return runSweepFaults(ctx, spec, suite, fault.Enumerate(spec), opts)
+}
+
+// RunSweepRange diagnoses the faults with enumeration indices in [lo, hi) —
+// the deterministic fault.Enumerate order — and returns their reports in that
+// order. It is the unit of work of the distributed sweep: a cluster worker
+// runs one range per lease, and concatenating the reports of the ranges
+// [0,k), [k,2k), … reproduces a whole-space sweep byte for byte (the merge
+// itself is MergeReports). Out-of-range bounds are clamped; an inverted
+// range is empty.
+func RunSweepRange(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, opts SweepOptions, lo, hi int) ([]MutantReport, error) {
+	faults := fault.Enumerate(spec)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(faults) {
+		hi = len(faults)
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	res, err := runSweepFaults(ctx, spec, suite, faults[lo:hi], opts)
+	return res.Reports, err
+}
+
+// MergeReports folds per-mutant reports — already in fault-enumeration
+// order — into the aggregate SweepResult, exactly as the local sweep loop
+// does. The cluster coordinator uses it to merge worker-pushed ranges into a
+// result byte-identical to a single-process sweep.
+func MergeReports(spec *cfsm.System, suite []cfsm.TestCase, reports []MutantReport) SweepResult {
+	res := SweepResult{
+		Spec:   spec,
+		Suite:  suite,
+		Counts: make(map[MutantOutcome]int),
+	}
+	for _, r := range reports {
+		res.add(r)
+	}
+	return res
+}
+
+// runSweepFaults is the sweep engine over an explicit fault list: the whole
+// enumeration for the local sweep, one contiguous range for a cluster worker.
+func runSweepFaults(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCase, faults []fault.Fault, opts SweepOptions) (SweepResult, error) {
 	res := SweepResult{
 		Spec:   spec,
 		Suite:  suite,
@@ -262,7 +306,7 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 				return res, err // unreachable: Packable checked above
 			}
 			oracleR := prog.NewRunner()
-			for _, f := range fault.Enumerate(spec) {
+			for _, f := range faults {
 				ov, ok := prog.OverlayFor(f)
 				if !ok {
 					continue // mirrors fault.ForEachMutant's apply-skip
@@ -285,7 +329,7 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 			}
 			return res, nil
 		}
-		err := fault.ForEachMutant(spec, func(m fault.Mutant) error {
+		err := fault.ForEachMutantOf(spec, faults, func(m fault.Mutant) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -306,7 +350,6 @@ func RunSweepContext(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCa
 		return res, err
 	}
 
-	faults := fault.Enumerate(spec)
 	type outcome struct {
 		done    bool // the job ran (diagnosed, failed, or apply-skipped)
 		skipped bool // fault could not be applied; mirrors ForEachMutant's skip

@@ -437,7 +437,15 @@ func (m *Manager) List() []*Job {
 	for _, j := range m.jobs {
 		out = append(out, j.clone())
 	}
-	sort.Slice(out, func(i, k int) bool { return idNumber(out[i].ID) < idNumber(out[k].ID) })
+	// Stable order regardless of map iteration: submit time first (what a
+	// human reading the listing expects), id as the tiebreaker for jobs
+	// accepted within the same clock tick.
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].EnqueuedAt.Equal(out[k].EnqueuedAt) {
+			return out[i].EnqueuedAt.Before(out[k].EnqueuedAt)
+		}
+		return idNumber(out[i].ID) < idNumber(out[k].ID)
+	})
 	return out
 }
 

@@ -15,6 +15,7 @@ import (
 	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/experiments"
 	"cfsmdiag/internal/jobs"
+	httpapi "cfsmdiag/internal/server/api"
 	"cfsmdiag/internal/testgen"
 )
 
@@ -131,12 +132,32 @@ func (s *api) handleJobs(mgr *jobs.Manager) http.HandlerFunc {
 		case http.MethodPost:
 			s.handleJobSubmit(mgr, w, r)
 		case http.MethodGet, http.MethodHead:
+			page, err := httpapi.ParsePage(r, 100, 1000)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, codeBadRequest, err)
+				return
+			}
+			state := jobs.State(r.URL.Query().Get("state"))
+			switch state {
+			case "", jobs.StateQueued, jobs.StateRunning, jobs.StateSucceeded,
+				jobs.StateFailed, jobs.StateCanceled:
+			default:
+				writeErr(w, http.StatusBadRequest, codeBadRequest,
+					fmt.Errorf("unknown state %q", state))
+				return
+			}
 			views := []jobView{}
 			for _, j := range mgr.List() {
+				if state != "" && j.State != state {
+					continue
+				}
 				views = append(views, viewOf(j))
 			}
+			total := len(views)
+			lo, hi := page.Window(total)
 			writeJSON(w, http.StatusOK, map[string]any{
-				"jobs":  views,
+				"jobs":  views[lo:hi],
+				"total": total,
 				"stats": mgr.Stats(),
 			})
 		default:

@@ -451,11 +451,109 @@ func TestServiceGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestJobsListPagination: GET /v1/jobs returns a stable order (submit time,
+// then id) across repeated calls, honors ?limit=/?offset= windows and the
+// ?state= filter, and rejects malformed paging.
+func TestJobsListPagination(t *testing.T) {
+	_, srv := newJobsService(t, Config{JobsWorkers: 1})
+
+	spec := systemDoc(t, paper.MustFigure1())
+	iut, err := paper.FaultyImplementation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		// Distinct MaxAdditionalTests keeps each payload out of the
+		// content-addressed duplicate cache.
+		reqDoc, err := json.Marshal(diagnoseRequest{
+			Spec: spec, IUT: systemDoc(t, iut), Suite: suiteDoc(paper.TestSuite()),
+			MaxAdditionalTests: i + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := post(t, srv, "/v1/jobs", jobSubmitRequest{Kind: "diagnose", Request: reqDoc})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d: %s", i, resp.StatusCode, body)
+		}
+		var accepted jobView
+		if err := json.Unmarshal(body, &accepted); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, accepted.ID)
+	}
+
+	type listDoc struct {
+		Jobs  []jobView `json:"jobs"`
+		Total int       `json:"total"`
+	}
+	decodeList := func(path string) listDoc {
+		resp, body := get(t, srv, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		var doc listDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	// Stable ordering regression: repeated listings come back in submit
+	// order every time, never map order.
+	for round := 0; round < 3; round++ {
+		doc := decodeList("/v1/jobs")
+		if doc.Total != 5 || len(doc.Jobs) != 5 {
+			t.Fatalf("round %d: total=%d jobs=%d", round, doc.Total, len(doc.Jobs))
+		}
+		for i, j := range doc.Jobs {
+			if j.ID != ids[i] {
+				t.Fatalf("round %d: jobs[%d] = %s, want %s", round, i, j.ID, ids[i])
+			}
+		}
+	}
+
+	// Pagination windows.
+	if doc := decodeList("/v1/jobs?limit=2"); len(doc.Jobs) != 2 || doc.Total != 5 ||
+		doc.Jobs[0].ID != ids[0] || doc.Jobs[1].ID != ids[1] {
+		t.Fatalf("limit=2: %+v", doc)
+	}
+	if doc := decodeList("/v1/jobs?limit=2&offset=3"); len(doc.Jobs) != 2 ||
+		doc.Jobs[0].ID != ids[3] || doc.Jobs[1].ID != ids[4] {
+		t.Fatalf("limit=2&offset=3: %+v", doc)
+	}
+	if doc := decodeList("/v1/jobs?offset=99"); len(doc.Jobs) != 0 || doc.Total != 5 {
+		t.Fatalf("offset past the end: %+v", doc)
+	}
+
+	// State filter: once everything is terminal, succeeded matches all and
+	// queued matches none.
+	for _, id := range ids {
+		pollJob(t, srv, id)
+	}
+	if doc := decodeList("/v1/jobs?state=succeeded"); doc.Total != 5 {
+		t.Fatalf("state=succeeded total = %d", doc.Total)
+	}
+	if doc := decodeList("/v1/jobs?state=queued"); doc.Total != 0 {
+		t.Fatalf("state=queued total = %d", doc.Total)
+	}
+
+	// Malformed paging and unknown states are 400s.
+	for _, q := range []string{"?limit=0", "?limit=-1", "?offset=-2", "?state=bogus"} {
+		resp, _ := get(t, srv, "/v1/jobs"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
 // TestDeprecatedAliasCounter: every /api/* hit bumps the migration counter
-// with the alias route label.
+// with the alias route label (legacy aliases re-enabled for this test; the
+// sunset default is covered by TestLegacySunset).
 func TestDeprecatedAliasCounter(t *testing.T) {
 	reg := obs.New()
-	srv := httptest.NewServer(New(Config{Registry: reg}))
+	srv := httptest.NewServer(New(Config{Registry: reg, EnableLegacyAPI: true}))
 	defer srv.Close()
 
 	for i := 0; i < 3; i++ {

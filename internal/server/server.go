@@ -34,13 +34,38 @@
 // cancel; see the route table in jobs.go): accepted jobs survive a restart
 // via a write-ahead log, duplicate submissions are answered from a
 // content-addressed result cache, and a full queue rejects work with 429
-// plus a Retry-After estimate.
+// plus a Retry-After estimate. GET /v1/jobs lists in stable order (submit
+// time, then id) with ?limit=/?offset= pagination and an optional ?state=
+// filter.
 //
-// The unversioned /api/* paths from the first release are served as
-// deprecated aliases of the matching /v1/* route; they answer with a
-// "Deprecation: true" header and a Link to the successor and will be removed
-// one release after the v1 surface shipped. Each hit also bumps the
-// cfsmdiag_deprecated_api_total counter so migrations are measurable.
+// # Endpoints (cluster)
+//
+// Services built with NewService and Config.EnableCluster serve the
+// distributed mutant sweep (internal/cluster) under /v1/cluster:
+//
+//	POST /v1/cluster/sweeps                        create a sweep (spec or specRef)
+//	GET  /v1/cluster/sweeps                        list sweeps (stable order, paginated)
+//	GET  /v1/cluster/sweeps/{id}                   status + merged result when done
+//	GET  /v1/cluster/sweeps/{id}/ranges            per-range lease states
+//	POST /v1/cluster/sweeps/{id}/lease             worker pulls a range lease (204 = no work)
+//	POST /v1/cluster/sweeps/{id}/ranges/{n}/result worker pushes a range's verdicts
+//	POST /v1/cluster/attach                        hand this worker a coordinator URL
+//	                                               (worker processes only; Config.ClusterWorker)
+//
+// Ranges are leased with fencing tokens and expire on worker loss, so the
+// merged result is byte-identical to a single-process sweep — zero verdicts
+// lost, zero duplicated (package cluster documents the protocol).
+//
+// # Sunset of the unversioned /api/* aliases
+//
+// The unversioned /api/* paths from the first release reached their
+// announced sunset (one release after the v1 surface shipped) and answer
+// 410 Gone with a Link to the successor /v1 route by default. Operators
+// with straggling clients can re-enable them for one more release with
+// Config.EnableLegacyAPI (`cfsmdiag serve -legacy-api`), which restores the
+// old behavior: the alias serves the request with a "Deprecation: true"
+// header and the successor Link. Either way each hit bumps the
+// cfsmdiag_deprecated_api_total counter so migrations stay measurable.
 //
 // # Errors
 //
@@ -79,6 +104,7 @@ import (
 	"time"
 
 	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/cluster"
 	"cfsmdiag/internal/core"
 	"cfsmdiag/internal/experiments"
 	"cfsmdiag/internal/fault"
@@ -86,6 +112,7 @@ import (
 	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/resilient"
+	httpapi "cfsmdiag/internal/server/api"
 	"cfsmdiag/internal/testgen"
 	"cfsmdiag/internal/trace"
 )
@@ -140,6 +167,30 @@ type Config struct {
 	// Tracer receives job.* events (submit, run spans, cache hits, drain);
 	// nil disables job tracing.
 	Tracer *trace.Tracer
+	// EnableLegacyAPI re-enables the deprecated unversioned /api/* aliases
+	// of the first release (off by default). When disabled — the sunset
+	// default — the aliases answer 410 Gone with a successor-version Link
+	// so stragglers learn the /v1 route; either way every hit bumps the
+	// cfsmdiag_deprecated_api_total counter, keeping the migration
+	// measurable right up to removal.
+	EnableLegacyAPI bool
+	// EnableCluster mounts the distributed-sweep coordinator under
+	// /v1/cluster/sweeps (services built with NewService only; New ignores
+	// the flag, as with EnableJobs).
+	EnableCluster bool
+	// ClusterDir stores the cluster journal so created sweeps and merged
+	// ranges survive a restart; empty keeps sweeps in memory only.
+	ClusterDir string
+	// ClusterLeaseTTL bounds how long a leased range stays fenced to one
+	// worker before it replays elsewhere; <= 0 selects the cluster default.
+	ClusterLeaseTTL time.Duration
+	// ClusterRangeSize is the default mutant-index shard width; <= 0
+	// selects the cluster default.
+	ClusterRangeSize int
+	// ClusterWorker, when non-nil, mounts POST /v1/cluster/attach so ad-hoc
+	// coordinators (e.g. `cfsmdiag sweep -distributed -workers-urls=...`)
+	// can introduce themselves to this process's sweep worker.
+	ClusterWorker *cluster.Worker
 	// OracleTimeout, OracleRetries and OracleVotes configure the resilient
 	// retry layer (internal/resilient) around every diagnosis oracle:
 	// per-execution timeout, retry budget for failed executions, and
@@ -189,9 +240,11 @@ type api struct {
 // use NewService for the batch surface.
 func New(cfg Config) http.Handler {
 	cfg.EnableJobs = false
+	cfg.EnableCluster = false
 	svc, err := NewService(cfg)
 	if err != nil {
-		// Unreachable: every error path of NewService requires EnableJobs.
+		// Unreachable: every error path of NewService requires EnableJobs or
+		// EnableCluster.
 		panic(err)
 	}
 	return svc.Handler()
@@ -203,6 +256,7 @@ func New(cfg Config) http.Handler {
 type Service struct {
 	handler http.Handler
 	mgr     *jobs.Manager
+	coord   *cluster.Coordinator
 }
 
 // Handler returns the service's HTTP handler.
@@ -211,14 +265,23 @@ func (s *Service) Handler() http.Handler { return s.handler }
 // Jobs returns the batch-job manager, nil when jobs are disabled.
 func (s *Service) Jobs() *jobs.Manager { return s.mgr }
 
-// Close drains the job subsystem: running jobs finish (until ctx expires),
-// queued jobs persist for the next start. A job-less service closes
-// instantly.
+// Cluster returns the distributed-sweep coordinator, nil when disabled.
+func (s *Service) Cluster() *cluster.Coordinator { return s.coord }
+
+// Close drains the job subsystem (running jobs finish until ctx expires,
+// queued jobs persist for the next start) and releases the cluster
+// coordinator's journal. A service without either closes instantly.
 func (s *Service) Close(ctx context.Context) error {
-	if s.mgr == nil {
-		return nil
+	var err error
+	if s.coord != nil {
+		err = s.coord.Close()
 	}
-	return s.mgr.Close(ctx)
+	if s.mgr != nil {
+		if e := s.mgr.Close(ctx); err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 // NewService builds the HTTP surface and, when cfg.EnableJobs is set, the
@@ -254,11 +317,18 @@ func NewService(cfg Config) (*Service, error) {
 	for _, path := range v1Paths {
 		h := handlers[path]
 		mux.Handle(path, s.wrap(path, s.post(h)))
-		// Deprecated unversioned alias, kept for one release. Pre-register
-		// its migration counter so /metrics lists the family at zero.
+		// Unversioned alias of the first release, past its announced sunset
+		// (one release after v1 shipped). By default it answers 410 Gone with
+		// a successor Link; Config.EnableLegacyAPI restores the old
+		// deprecated-but-working behavior for one more release. Pre-register
+		// the migration counter so /metrics lists the family at zero.
 		alias := "/api" + path[len("/v1"):]
 		cfg.Registry.Counter(metricDeprecated, helpDeprecated, obs.L("route", alias))
-		mux.Handle(alias, s.wrap(alias, s.deprecated(path, s.post(h))))
+		if cfg.EnableLegacyAPI {
+			mux.Handle(alias, s.wrap(alias, s.deprecated(path, s.post(h))))
+		} else {
+			mux.Handle(alias, s.wrap(alias, s.gone(path)))
+		}
 	}
 	// The model registry surface: uploads sniff JSON vs binary themselves,
 	// so they bypass the JSON-only s.post wrapper.
@@ -294,6 +364,31 @@ func NewService(cfg Config) (*Service, error) {
 		mux.Handle("/v1/jobs", s.wrap("/v1/jobs", s.handleJobs(mgr)))
 		mux.Handle("/v1/jobs/", s.wrap("/v1/jobs/{id}", s.handleJob(mgr)))
 	}
+	if cfg.EnableCluster {
+		coord, err := cluster.Open(cluster.Config{
+			LeaseTTL:  cfg.ClusterLeaseTTL,
+			RangeSize: cfg.ClusterRangeSize,
+			Dir:       cfg.ClusterDir,
+			Registry:  cfg.Registry,
+			Logger:    cfg.Logger,
+		})
+		if err != nil {
+			if svc.mgr != nil {
+				_ = svc.mgr.Close(context.Background())
+			}
+			return nil, err
+		}
+		svc.coord = coord
+		ch := coord.Handler(func(ref string) (*cfsm.System, error) {
+			return s.resolveModel(cfsm.SystemJSON{}, ref)
+		})
+		mux.Handle(cluster.Prefix+"/sweeps", s.wrap(cluster.Prefix+"/sweeps", ch.ServeHTTP))
+		mux.Handle(cluster.Prefix+"/sweeps/", s.wrap(cluster.Prefix+"/sweeps/{id}", ch.ServeHTTP))
+	}
+	if cfg.ClusterWorker != nil {
+		attach := cfg.ClusterWorker.AttachHandler()
+		mux.Handle(cluster.Prefix+"/attach", s.wrap(cluster.Prefix+"/attach", attach.ServeHTTP))
+	}
 
 	mux.Handle("/", s.wrap("other", func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no such route %s", r.URL.Path))
@@ -317,14 +412,28 @@ func RouteList(cfg Config) []string {
 		routes = append(routes, "POST "+p)
 	}
 	routes = append(routes, "POST /v1/models", "GET /v1/models/{hash}")
+	legacyNote := " (sunset: 410)"
+	if cfg.EnableLegacyAPI {
+		legacyNote = " (deprecated)"
+	}
 	for _, p := range v1Paths {
-		routes = append(routes, "POST /api"+p[len("/v1"):]+" (deprecated)")
+		routes = append(routes, "POST /api"+p[len("/v1"):]+legacyNote)
 	}
 	if cfg.EnableJobs {
 		routes = append(routes,
 			"POST /v1/jobs", "GET /v1/jobs", "GET /v1/jobs/stats",
 			"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result",
 			"POST /v1/jobs/{id}/cancel", "DELETE /v1/jobs/{id}")
+	}
+	if cfg.EnableCluster {
+		routes = append(routes,
+			"POST /v1/cluster/sweeps", "GET /v1/cluster/sweeps",
+			"GET /v1/cluster/sweeps/{id}", "GET /v1/cluster/sweeps/{id}/ranges",
+			"POST /v1/cluster/sweeps/{id}/lease",
+			"POST /v1/cluster/sweeps/{id}/ranges/{n}/result")
+	}
+	if cfg.ClusterWorker != nil {
+		routes = append(routes, "POST /v1/cluster/attach")
 	}
 	routes = append(routes, "GET /healthz", "GET /metrics")
 	if cfg.EnablePprof {
@@ -335,42 +444,36 @@ func RouteList(cfg Config) []string {
 
 // --- error envelope ---
 
-// Error codes of the v1 envelope.
+// Error codes of the v1 envelope, shared with every other HTTP surface
+// through internal/server/api (one envelope for the whole service).
 const (
-	codeBadRequest       = "bad_request"
-	codeMethodNotAllowed = "method_not_allowed"
-	codeUnsupportedMedia = "unsupported_media_type"
-	codePayloadTooLarge  = "payload_too_large"
-	codeSuiteTooLarge    = "suite_too_large"
-	codeUnprocessable    = "unprocessable"
-	codeUnsupportedModel = "unsupported_model_format"
-	codeNotFound         = "not_found"
-	codeNotImplemented   = "not_implemented"
-	codeTimeout          = "timeout"
-	codeCanceled         = "canceled"
-	codeInternal         = "internal"
-	codeQueueFull        = "queue_full"
-	codeConflict         = "conflict"
-	codeUnavailable      = "unavailable"
+	codeBadRequest       = httpapi.CodeBadRequest
+	codeMethodNotAllowed = httpapi.CodeMethodNotAllowed
+	codeUnsupportedMedia = httpapi.CodeUnsupportedMedia
+	codePayloadTooLarge  = httpapi.CodePayloadTooLarge
+	codeSuiteTooLarge    = httpapi.CodeSuiteTooLarge
+	codeUnprocessable    = httpapi.CodeUnprocessable
+	codeUnsupportedModel = httpapi.CodeUnsupportedModel
+	codeNotFound         = httpapi.CodeNotFound
+	codeNotImplemented   = httpapi.CodeNotImplemented
+	codeTimeout          = httpapi.CodeTimeout
+	codeCanceled         = httpapi.CodeCanceled
+	codeInternal         = httpapi.CodeInternal
+	codeQueueFull        = httpapi.CodeQueueFull
+	codeConflict         = httpapi.CodeConflict
+	codeUnavailable      = httpapi.CodeUnavailable
 )
 
-type errorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type errorDetail = httpapi.ErrorDetail
 
-type errorEnvelope struct {
-	Error errorDetail `json:"error"`
-}
+type errorEnvelope = httpapi.ErrorEnvelope
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	httpapi.WriteJSON(w, status, v)
 }
 
 func writeErr(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, errorEnvelope{Error: errorDetail{Code: code, Message: err.Error()}})
+	httpapi.WriteError(w, status, code, err)
 }
 
 // writePipelineErr maps a diagnosis-pipeline error onto the envelope:
@@ -414,11 +517,21 @@ func (s *api) post(h http.HandlerFunc) http.HandlerFunc {
 // headers on every response, plus a log line for migration tracking.
 func (s *api) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		httpapi.Deprecate(w, successor)
 		s.cfg.Registry.Counter(metricDeprecated, helpDeprecated, obs.L("route", r.URL.Path)).Inc()
 		s.cfg.Logger.Warn("deprecated route", "route", r.URL.Path, "successor", successor)
 		h(w, r)
+	}
+}
+
+// gone answers for an alias past its sunset: 410, the successor Link, and
+// the same migration counter as the deprecated path, so operators still see
+// which clients have not moved.
+func (s *api) gone(successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.cfg.Registry.Counter(metricDeprecated, helpDeprecated, obs.L("route", r.URL.Path)).Inc()
+		s.cfg.Logger.Warn("sunset route", "route", r.URL.Path, "successor", successor)
+		httpapi.Gone(w, r.URL.Path, successor)
 	}
 }
 

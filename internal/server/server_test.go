@@ -59,7 +59,7 @@ func TestValidateEndpoint(t *testing.T) {
 	srv := httptest.NewServer(Handler())
 	defer srv.Close()
 
-	resp, body := post(t, srv, "/api/validate", validateRequest{Spec: systemDoc(t, paper.MustFigure1())})
+	resp, body := post(t, srv, "/v1/validate", validateRequest{Spec: systemDoc(t, paper.MustFigure1())})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
@@ -85,7 +85,7 @@ func TestDiagnoseEndpoint(t *testing.T) {
 		IUT:   systemDoc(t, iut),
 		Suite: suiteDoc(paper.TestSuite()),
 	}
-	resp, body := post(t, srv, "/api/diagnose", req)
+	resp, body := post(t, srv, "/v1/diagnose", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
@@ -108,7 +108,7 @@ func TestDiagnoseEndpoint(t *testing.T) {
 
 	// Default suite (generated tour) also works.
 	req.Suite = nil
-	resp, body = post(t, srv, "/api/diagnose", req)
+	resp, body = post(t, srv, "/v1/diagnose", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
@@ -137,7 +137,7 @@ func TestAnalyzeEndpoint(t *testing.T) {
 		Suite:        suiteDoc(suite),
 		Observations: obsDoc,
 	}
-	resp, body := post(t, srv, "/api/analyze", req)
+	resp, body := post(t, srv, "/v1/analyze", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
@@ -169,7 +169,7 @@ func TestSuiteEndpoint(t *testing.T) {
 
 	spec := systemDoc(t, paper.MustFigure1())
 	for _, kind := range []string{"", "tour", "verification", "verification-minimized"} {
-		resp, body := post(t, srv, "/api/suite", suiteRequest{Spec: spec, Kind: kind})
+		resp, body := post(t, srv, "/v1/suite", suiteRequest{Spec: spec, Kind: kind})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("kind %q: status %d: %s", kind, resp.StatusCode, body)
 		}
@@ -184,7 +184,7 @@ func TestSuiteEndpoint(t *testing.T) {
 			t.Errorf("kind %q: uncovered = %v", kind, v.Uncovered)
 		}
 	}
-	resp, _ := post(t, srv, "/api/suite", suiteRequest{Spec: spec, Kind: "bogus"})
+	resp, _ := post(t, srv, "/v1/suite", suiteRequest{Spec: spec, Kind: "bogus"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bogus kind status = %d", resp.StatusCode)
 	}
@@ -195,7 +195,7 @@ func TestEndpointErrors(t *testing.T) {
 	defer srv.Close()
 
 	// Wrong method.
-	resp, err := http.Get(srv.URL + "/api/validate")
+	resp, err := http.Get(srv.URL + "/v1/validate")
 	if err != nil {
 		t.Fatalf("GET: %v", err)
 	}
@@ -205,7 +205,7 @@ func TestEndpointErrors(t *testing.T) {
 	}
 
 	// Bad JSON.
-	resp, err = http.Post(srv.URL+"/api/validate", "application/json", strings.NewReader("{"))
+	resp, err = http.Post(srv.URL+"/v1/validate", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatalf("POST: %v", err)
 	}
@@ -215,13 +215,13 @@ func TestEndpointErrors(t *testing.T) {
 	}
 
 	// Invalid system.
-	r, body := post(t, srv, "/api/validate", map[string]any{"spec": map[string]any{"machines": []any{}}})
+	r, body := post(t, srv, "/v1/validate", map[string]any{"spec": map[string]any{"machines": []any{}}})
 	if r.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("invalid system status = %d: %s", r.StatusCode, body)
 	}
 
 	// Bad suite token in analyze.
-	r, body = post(t, srv, "/api/analyze", map[string]any{
+	r, body = post(t, srv, "/v1/analyze", map[string]any{
 		"spec":         systemDoc(t, paper.MustFigure1()),
 		"suite":        []map[string]any{{"name": "x", "inputs": []string{"bogus"}}},
 		"observations": [][]string{{"-"}},

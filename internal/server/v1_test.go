@@ -53,10 +53,11 @@ func TestV1Validate(t *testing.T) {
 	}
 }
 
-// TestAliasParity: every /api/* alias answers byte-identically to its /v1/*
-// successor and advertises the deprecation.
+// TestAliasParity: with the legacy API re-enabled, every /api/* alias
+// answers byte-identically to its /v1/* successor and advertises the
+// deprecation.
 func TestAliasParity(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(New(Config{EnableLegacyAPI: true}))
 	defer srv.Close()
 
 	spec := systemDoc(t, paper.MustFigure1())
@@ -88,12 +89,39 @@ func TestAliasParity(t *testing.T) {
 	}
 }
 
+// TestLegacySunset: by default the unversioned aliases are past their
+// sunset — 410 Gone, a successor-version Link, the gone code in the
+// envelope — and the migration counter still counts the stragglers.
+func TestLegacySunset(t *testing.T) {
+	reg := obs.New()
+	srv := httptest.NewServer(New(Config{Registry: reg}))
+	defer srv.Close()
+
+	resp, body := post(t, srv, "/api/validate", validateRequest{Spec: systemDoc(t, paper.MustFigure1())})
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status = %d, want 410: %s", resp.StatusCode, body)
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/validate") {
+		t.Errorf("Link = %q, want the successor /v1/validate", link)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Error.Code != "gone" {
+		t.Errorf("code = %q, want gone", env.Error.Code)
+	}
+	if !strings.Contains(env.Error.Message, "/v1/validate") {
+		t.Errorf("message %q does not name the successor", env.Error.Message)
+	}
+	if reg.Counter("cfsmdiag_deprecated_api_total", "", obs.L("route", "/api/validate")).Value() != 1 {
+		t.Error("sunset hit did not bump the migration counter")
+	}
+}
+
 func TestErrorEnvelopeShape(t *testing.T) {
 	srv := httptest.NewServer(Handler())
 	defer srv.Close()
 
-	// 405: wrong method, with Allow header, on both surfaces.
-	for _, path := range []string{"/v1/diagnose", "/api/diagnose"} {
+	// 405: wrong method, with Allow header.
+	for _, path := range []string{"/v1/diagnose"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
