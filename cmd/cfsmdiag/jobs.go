@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -199,6 +201,7 @@ func cmdJobsSubmit(args []string, out io.Writer) error {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the running service")
 	kind := fs.String("kind", "diagnose", "job kind: diagnose or sweep")
 	priority := fs.String("priority", "", "priority class: interactive or batch (default batch)")
+	tenant := fs.String("tenant", "", "tenant attribution for per-tenant fair admission (optional)")
 	usePaper := fs.Bool("paper", false, "submit the built-in Figure 1 request (spec, faulty IUT, paper suite)")
 	specPath := fs.String("spec", "", "specification system JSON file")
 	iutPath := fs.String("iut", "", "implementation-under-test system JSON file (diagnose)")
@@ -221,6 +224,7 @@ func cmdJobsSubmit(args []string, out io.Writer) error {
 	body, err := json.Marshal(map[string]any{
 		"kind":     *kind,
 		"priority": *priority,
+		"tenant":   *tenant,
 		"request":  request,
 	})
 	if err != nil {
@@ -317,35 +321,167 @@ func cmdJobsWatch(args []string, out io.Writer) error {
 	return watchJob(*addr, fs.Arg(0), *interval, out)
 }
 
-// watchJob polls a job's status until it is terminal, printing each state
-// transition, then prints the result document.
+// jobEventDoc mirrors the server's lifecycle-event wire form (sse.go).
+type jobEventDoc struct {
+	Seq      int    `json:"seq"`
+	Job      string `json:"job"`
+	State    string `json:"state"`
+	Terminal bool   `json:"terminal"`
+	Cached   bool   `json:"cached,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// watchState carries the resume position across reconnects and across the
+// fallback rungs, so no rung replays what another already printed.
+type watchState struct {
+	after int    // last event seq seen
+	last  string // last state printed (dedupes the legacy poll)
+}
+
+func (w *watchState) printEvent(out io.Writer, ev jobEventDoc) {
+	w.after = ev.Seq
+	w.last = ev.State
+	cached := ""
+	if ev.Cached {
+		cached = " (cached)"
+	}
+	fmt.Fprintf(out, "%s  state=%s%s\n", ev.Job, ev.State, cached)
+	if ev.Error != "" {
+		fmt.Fprintf(out, "  error: %s\n", ev.Error)
+	}
+}
+
+// finishJob completes a watch at a terminal event: succeeded jobs get their
+// result fetched (the one permitted follow-up request) and pretty-printed.
+func finishJob(base, id, state string, out io.Writer) error {
+	if state != "succeeded" {
+		return nil
+	}
+	var res jobDoc
+	if err := jobsCall(http.MethodGet, base+"/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, res.Result, "", "  ") == nil {
+		fmt.Fprintln(out, pretty.String())
+	} else {
+		fmt.Fprintln(out, string(res.Result))
+	}
+	return nil
+}
+
+// streamSSE holds one SSE connection to the events route and prints frames
+// as they arrive. finished means the terminal event was handled; supported
+// false means this server (or the path to it) cannot stream and the caller
+// should drop a rung. A true return with neither means the connection
+// dropped mid-stream — redial and resume from w.after.
+func (w *watchState) streamSSE(base, id string, out io.Writer) (finished, supported bool, err error) {
+	req, err := http.NewRequest(http.MethodGet,
+		base+"/v1/jobs/"+id+"/events?after="+strconv.Itoa(w.after), nil)
+	if err != nil {
+		return false, false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, false, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(io.Discard, resp.Body)
+		return false, false, nil
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		// Heartbeat comments, id:/event:/retry: fields and frame separators
+		// carry nothing the data JSON does not repeat.
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var ev jobEventDoc
+		if err := json.Unmarshal([]byte(strings.TrimSpace(line[len("data:"):])), &ev); err != nil {
+			return false, true, fmt.Errorf("bad event frame: %w", err)
+		}
+		w.printEvent(out, ev)
+		if ev.Terminal {
+			return true, true, finishJob(base, id, ev.State, out)
+		}
+	}
+	return false, true, nil
+}
+
+// longPollOnce is the fallback for paths that cannot hold an SSE stream:
+// one GET ?wait=&after= returning the events as JSON.
+func (w *watchState) longPollOnce(base, id string, out io.Writer) (finished, supported bool, err error) {
+	var doc struct {
+		Events []jobEventDoc `json:"events"`
+	}
+	url := base + "/v1/jobs/" + id + "/events?wait=30s&after=" + strconv.Itoa(w.after)
+	if err := jobsCall(http.MethodGet, url, nil, &doc); err != nil {
+		return false, false, nil
+	}
+	for _, ev := range doc.Events {
+		w.printEvent(out, ev)
+		if ev.Terminal {
+			return true, true, finishJob(base, id, ev.State, out)
+		}
+	}
+	return false, true, nil
+}
+
+// watchJob follows a job to its terminal state, preferring push over poll:
+// SSE first, the long-poll surface when a stream will not hold, and the
+// legacy status-poll loop only against servers without the events route.
+// Against a streaming server it issues no status polls at all.
 func watchJob(addr, id string, interval time.Duration, out io.Writer) error {
 	base := strings.TrimRight(addr, "/")
-	last := ""
+	w := &watchState{}
+	sseOK := true
+	for rung := 0; ; {
+		switch {
+		case rung == 0 && sseOK:
+			finished, supported, err := w.streamSSE(base, id, out)
+			if finished || err != nil {
+				return err
+			}
+			if !supported {
+				rung = 1
+				continue
+			}
+			// Stream dropped mid-watch: pause briefly, redial, resume.
+			time.Sleep(interval)
+		case rung <= 1:
+			finished, supported, err := w.longPollOnce(base, id, out)
+			if finished || err != nil {
+				return err
+			}
+			if !supported {
+				rung = 2
+				continue
+			}
+		default:
+			return w.pollLegacy(base, id, interval, out)
+		}
+	}
+}
+
+// pollLegacy is the original interval poll of the status route, kept as
+// the bottom rung for servers predating the events stream.
+func (w *watchState) pollLegacy(base, id string, interval time.Duration, out io.Writer) error {
 	for {
 		var j jobDoc
 		if err := jobsCall(http.MethodGet, base+"/v1/jobs/"+id, nil, &j); err != nil {
 			return err
 		}
-		if j.State != last {
+		if j.State != w.last {
 			printJob(out, j)
-			last = j.State
+			w.last = j.State
 		}
 		if j.terminal() {
-			if j.State != "succeeded" {
-				return nil
-			}
-			var res jobDoc
-			if err := jobsCall(http.MethodGet, base+"/v1/jobs/"+id+"/result", nil, &res); err != nil {
-				return err
-			}
-			var pretty bytes.Buffer
-			if json.Indent(&pretty, res.Result, "", "  ") == nil {
-				fmt.Fprintln(out, pretty.String())
-			} else {
-				fmt.Fprintln(out, string(res.Result))
-			}
-			return nil
+			return finishJob(base, id, j.State, out)
 		}
 		time.Sleep(interval)
 	}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cfsmdiag/internal/loadgen"
+)
+
+// cmdLoadgen is experiment E16: the traffic-shaped load harness. Without
+// -base it stands up the full service in-process (fresh per ladder step)
+// and measures the saturation knee; with -base it drives a running server
+// instead. With -gate it additionally compares the fresh record against a
+// committed baseline and fails on SLO regressions — the CI hook.
+func cmdLoadgen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	path := fs.String("out", "BENCH_load.json", "output path for the record")
+	seed := fs.Int64("seed", 1, "seed pinning the arrival schedule, class mix and tenant draw")
+	ratesCSV := fs.String("rates", "", "comma-separated offered-rate ladder in req/s (default 25,50,100,200,400)")
+	step := fs.Duration("step", loadgen.DefaultStepDuration, "arrival window per ladder step")
+	workers := fs.Int("workers", 2, "job worker pool size of the in-process server")
+	tenants := fs.Int("tenants", 4, "simulated tenants the workload is spread across")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant fair admission on the server under test (0 = off)")
+	mixInteractive := fs.Float64("mix-interactive", loadgen.DefaultMix.Interactive, "mix weight of interactive /v1/diagnose requests")
+	mixBatch := fs.Float64("mix-batch", loadgen.DefaultMix.Batch, "mix weight of batch sweep job submissions")
+	mixCache := fs.Float64("mix-cachehit", loadgen.DefaultMix.CacheHit, "mix weight of duplicate (cache-hit) submissions")
+	sloP99 := fs.Float64("slo-p99", loadgen.DefaultSLO.InteractiveP99MS, "SLO: interactive p99 bound in milliseconds")
+	sloAchieved := fs.Float64("slo-achieved", loadgen.DefaultSLO.MinAchievedRatio, "SLO: minimum fraction of offered load absorbed")
+	base := fs.String("base", "", "drive this running server instead of an in-process one (knee caveat: shared server state across steps)")
+	gatePath := fs.String("gate", "", "baseline record to gate against; violations exit non-zero")
+	tolP99 := fs.Float64("tolerance-p99", loadgen.DefaultTolerance.P99Frac, "gate: allowed fractional p99 increase over baseline")
+	tolGoodput := fs.Float64("tolerance-goodput", loadgen.DefaultTolerance.GoodputFrac, "gate: allowed fractional knee/goodput decrease under baseline")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	rates, err := parseRates(*ratesCSV)
+	if err != nil {
+		return err
+	}
+	mix := loadgen.Mix{Interactive: *mixInteractive, Batch: *mixBatch, CacheHit: *mixCache}
+	slo := loadgen.SLO{InteractiveP99MS: *sloP99, MinAchievedRatio: *sloAchieved}
+
+	var rec *loadgen.Record
+	if *base != "" {
+		factory, err := loadgen.PaperWorkload()
+		if err != nil {
+			return err
+		}
+		if len(rates) == 0 {
+			rates = loadgen.DefaultRates
+		}
+		rec, err = loadgen.RunLadder(context.Background(), loadgen.Config{
+			BaseURL:  strings.TrimRight(*base, "/"),
+			Seed:     *seed,
+			Duration: *step,
+			Mix:      mix,
+			Tenants:  *tenants,
+			Factory:  factory,
+		}, rates, slo)
+		if err != nil {
+			return err
+		}
+		rec.Experiment = "e16_load"
+		rec.System = "paper_figure1"
+	} else {
+		rec, err = loadgen.RunBench(context.Background(), loadgen.BenchOptions{
+			Seed:         *seed,
+			Rates:        rates,
+			StepDuration: *step,
+			Workers:      *workers,
+			Tenants:      *tenants,
+			TenantRate:   *tenantRate,
+			Mix:          mix,
+			SLO:          slo,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*path, data, 0o644); err != nil {
+		return err
+	}
+	printLoadRecord(out, *path, rec)
+
+	if *gatePath == "" {
+		return nil
+	}
+	baseline, err := loadgen.ReadRecord(*gatePath)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	tol := loadgen.Tolerance{P99Frac: *tolP99, GoodputFrac: *tolGoodput}
+	if violations := loadgen.Gate(baseline, rec, tol); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(out, "SLO GATE: %s\n", v)
+		}
+		return fmt.Errorf("SLO gate failed: %d violation(s) against %s", len(violations), *gatePath)
+	}
+	fmt.Fprintf(out, "SLO gate passed against %s (p99 tolerance +%.0f%%, goodput tolerance -%.0f%%)\n",
+		*gatePath, tol.P99Frac*100, tol.GoodputFrac*100)
+	return nil
+}
+
+func parseRates(csv string) ([]float64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, tok := range strings.Split(csv, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-rates: %q is not a positive rate", tok)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+func printLoadRecord(out io.Writer, path string, rec *loadgen.Record) {
+	fmt.Fprintf(out, "wrote %s: seed %d, %d-step ladder, gomaxprocs %d\n",
+		path, rec.Seed, len(rec.Steps), rec.GoMaxProcs)
+	for _, step := range rec.Steps {
+		line := fmt.Sprintf("  %6.0f req/s offered: %4d ok / %4d offered (%.0f%%), goodput %.0f/s",
+			step.Rate, step.OK, step.Offered, step.AchievedRatio*100, step.Goodput)
+		if ic := step.Class(loadgen.ClassInteractive); ic != nil && ic.OK > 0 {
+			line += fmt.Sprintf(", interactive p50/p95/p99 %.1f/%.1f/%.1fms", ic.P50MS, ic.P95MS, ic.P99MS)
+		}
+		fmt.Fprintln(out, line)
+	}
+	if rec.KneeRate > 0 {
+		fmt.Fprintf(out, "  max sustainable: %.0f req/s at interactive p99 <= %.0fms and >= %.0f%% absorbed\n",
+			rec.KneeRate, rec.SLO.InteractiveP99MS, rec.SLO.MinAchievedRatio*100)
+	} else {
+		fmt.Fprintf(out, "  no ladder step met the SLO (p99 <= %.0fms, >= %.0f%% absorbed)\n",
+			rec.SLO.InteractiveP99MS, rec.SLO.MinAchievedRatio*100)
+	}
+}

@@ -29,14 +29,24 @@
 //	                     [-logjson] [-quiet] [-legacy-api]
 //	                     [-oracle-timeout d] [-oracle-retries N] [-oracle-votes K]
 //	                     [-jobs] [-jobs-dir d] [-jobs-workers N] [-jobs-queue N]
+//	                     [-jobs-tenant-rate R] [-jobs-tenant-burst N]
 //	                     [-cluster] [-cluster-dir d] [-lease-ttl d] [-range-size N]
 //	                     [-worker -coordinator u1,u2 [-worker-name s] [-poll d]]
 //	                     versioned JSON-over-HTTP service with /metrics + /healthz;
 //	                     -cluster mounts the /v1/cluster sweep coordinator and
 //	                     -worker turns the process into a range-pulling sweep peer
 //	cfsmdiag jobs        <submit|status|result|cancel|list|watch|bench> ...
-//	                     client for the /v1/jobs batch API of a running service;
+//	                     client for the /v1/jobs batch API of a running service
+//	                     (watch and submit -wait follow the SSE event stream,
+//	                     falling back to long-polling, then interval polling);
 //	                     bench runs the E13 throughput experiment in-process
+//	cfsmdiag loadgen     [-out BENCH_load.json] [-seed S] [-rates r1,r2,...]
+//	                     [-step d] [-base URL] [-gate f [-tolerance-p99 f]
+//	                     [-tolerance-goodput f]]  E16: seeded open-loop load
+//	                     harness; without -base it stands up the service
+//	                     in-process per ladder step and writes the saturation-
+//	                     knee record, with -gate it compares against a committed
+//	                     baseline and exits non-zero on SLO regressions
 //	cfsmdiag convert     <model.json|model.bin> -o <out>   convert between the
 //	                     JSON and versioned binary model formats
 //	cfsmdiag info        <model.json|model.bin>  header, content hash and shape
@@ -106,7 +116,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs|convert|info|compilebench|clusterbench> ...")
+		return fmt.Errorf("usage: cfsmdiag <validate|dot|simulate|tour|mutants|sweep|inject|diagnose|replay|seq|verifysuite|detect|analyze|record|serve|jobs|loadgen|convert|info|compilebench|clusterbench> ...")
 	}
 	switch args[0] {
 	case "validate":
@@ -141,6 +151,8 @@ func run(args []string, out io.Writer) error {
 		return cmdServe(args[1:], out)
 	case "jobs":
 		return cmdJobs(args[1:], out)
+	case "loadgen":
+		return cmdLoadgen(args[1:], out)
 	case "convert":
 		return cmdConvert(args[1:], out)
 	case "info":
@@ -777,6 +789,8 @@ func cmdServe(args []string, out io.Writer) error {
 	jobsDir := fs.String("jobs-dir", "", "durability directory for the job queue (WAL + snapshots; implies -jobs, empty = in-memory only)")
 	jobsWorkers := fs.Int("jobs-workers", 0, "job worker pool size (<=0 = GOMAXPROCS)")
 	jobsQueue := fs.Int("jobs-queue", 0, "admission-control queue depth (<=0 = default)")
+	jobsTenantRate := fs.Float64("jobs-tenant-rate", 0, "per-tenant fair admission: submissions per second each tenant may queue (0 = off)")
+	jobsTenantBurst := fs.Int("jobs-tenant-burst", 0, "per-tenant burst capacity (<=0 = about one second of -jobs-tenant-rate)")
 	clusterOn := fs.Bool("cluster", false, "mount the /v1/cluster distributed-sweep coordinator")
 	clusterDir := fs.String("cluster-dir", "", "durability directory for the sweep journal (implies -cluster, empty = in-memory only)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "how long a leased mutant range stays fenced to one worker before it is replayed (0 = coordinator default)")
@@ -810,6 +824,8 @@ func cmdServe(args []string, out io.Writer) error {
 		JobsDir:             *jobsDir,
 		JobsWorkers:         *jobsWorkers,
 		JobsQueueDepth:      *jobsQueue,
+		JobsTenantRate:      *jobsTenantRate,
+		JobsTenantBurst:     *jobsTenantBurst,
 		EnableCluster:       *clusterOn || *clusterDir != "",
 		ClusterDir:          *clusterDir,
 		ClusterLeaseTTL:     *leaseTTL,

@@ -1,0 +1,187 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The event stream is the push counterpart of polling GET /v1/jobs/{id}: every
+// state transition a job goes through is recorded as an Event with a per-job
+// sequence number, retained alongside the job itself, and fanned out to live
+// subscribers. Because events are appended under the same lock that mutates
+// the job, a subscriber that consumes the stream to its terminal event has
+// seen exactly the transitions that produced the job's final state — the
+// stream can never disagree with a status query issued afterwards.
+//
+// History is retained for the job's whole lifetime (a handful of records: a
+// lifecycle is queued → running → terminal, plus one extra queued record per
+// crash replay or shutdown revert), so late subscribers replay the past
+// before joining the live feed and reconnecting clients resume from the last
+// sequence number they saw.
+
+// Event is one job lifecycle transition.
+type Event struct {
+	// Seq numbers the job's events from 1; a reconnecting subscriber passes
+	// the last Seq it saw to Watch (or Last-Event-ID over SSE) to resume.
+	Seq int `json:"seq"`
+	// Job is the job ID the event belongs to.
+	Job string `json:"job"`
+	// State the job entered with this transition.
+	State State `json:"state"`
+	// Terminal marks the stream's final event; the live channel closes after
+	// delivering it.
+	Terminal bool      `json:"terminal"`
+	At       time.Time `json:"at"`
+	// Attempt is the run count at the transition (meaningful from the first
+	// running event on).
+	Attempt int `json:"attempt,omitempty"`
+	// Cached marks the submit-time terminal event of a cache-hit submission.
+	Cached bool `json:"cached,omitempty"`
+	// Replayed marks a queued event synthesized by WAL recovery: the job was
+	// accepted before a crash and re-queued on restart.
+	Replayed bool `json:"replayed,omitempty"`
+	// Error carries the failure message on a failed terminal event.
+	Error string `json:"error,omitempty"`
+}
+
+// subscriberBuffer bounds a subscriber's unconsumed backlog. Lifecycles are
+// a handful of events, so a slow consumer only ever hits the bound if it has
+// stopped reading; the channel is then closed early and the consumer re-
+// subscribes from its last seen Seq (Watch replays history, so nothing is
+// lost).
+const subscriberBuffer = 16
+
+// subscriber is one live Watch registration.
+type subscriber struct {
+	ch   chan Event
+	once sync.Once
+}
+
+// close closes the channel exactly once (emit on overflow, terminal
+// delivery, Watch cancel and manager Close can race).
+func (s *subscriber) close() { s.once.Do(func() { close(s.ch) }) }
+
+// Watch subscribes to a job's lifecycle events. It returns the retained
+// history after seq afterSeq (0 = from the beginning) and a live channel for
+// events not yet recorded. The channel is closed after the terminal event is
+// delivered (or immediately when the job is already terminal and its
+// terminal event is in the returned history). Call cancel to unsubscribe
+// early; it is safe to call more than once.
+//
+// A channel closed before a terminal event was seen means the subscriber
+// fell too far behind (or the manager shut down); resubscribe with the last
+// seen Seq to resume without loss.
+func (m *Manager) Watch(id string, afterSeq int) (history []Event, live <-chan Event, cancel func(), err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	all := m.events[id]
+	if afterSeq < 0 {
+		afterSeq = 0
+	}
+	if afterSeq < len(all) {
+		history = append([]Event(nil), all[afterSeq:]...)
+	}
+	if j.State.Terminal() || m.closing {
+		// Terminal (or shutting down): everything there is to see is in the
+		// history; hand back an already-closed channel.
+		ch := make(chan Event)
+		close(ch)
+		return history, ch, func() {}, nil
+	}
+	sub := &subscriber{ch: make(chan Event, subscriberBuffer)}
+	m.subs[id] = append(m.subs[id], sub)
+	m.met.watchers.Inc()
+	cancel = func() {
+		m.mu.Lock()
+		m.dropSubLocked(id, sub)
+		m.mu.Unlock()
+	}
+	return history, sub.ch, cancel, nil
+}
+
+// dropSubLocked removes one subscriber registration and closes its channel.
+func (m *Manager) dropSubLocked(id string, sub *subscriber) {
+	subs := m.subs[id]
+	for i, s := range subs {
+		if s == sub {
+			m.subs[id] = append(subs[:i:i], subs[i+1:]...)
+			if len(m.subs[id]) == 0 {
+				delete(m.subs, id)
+			}
+			m.met.watchers.Dec()
+			break
+		}
+	}
+	sub.close()
+}
+
+// emitLocked records a job's state transition as the next event and fans it
+// out. Called with the manager lock held, immediately after the job's fields
+// were updated, so event order is exactly transition order.
+func (m *Manager) emitLocked(j *Job, replayed bool) {
+	at := j.EnqueuedAt
+	switch j.State {
+	case StateRunning:
+		at = j.StartedAt
+	case StateSucceeded, StateFailed, StateCanceled:
+		at = j.FinishedAt
+	}
+	ev := Event{
+		Seq:      len(m.events[j.ID]) + 1,
+		Job:      j.ID,
+		State:    j.State,
+		Terminal: j.State.Terminal(),
+		At:       at,
+		Attempt:  j.Attempts,
+		Cached:   j.Cached,
+		Replayed: replayed,
+		Error:    j.Error,
+	}
+	m.events[j.ID] = append(m.events[j.ID], ev)
+	m.met.events.Inc()
+
+	subs := m.subs[j.ID]
+	for _, sub := range subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			// The subscriber stopped consuming; close so it learns to
+			// resubscribe from its last Seq instead of blocking the manager.
+			sub.close()
+		}
+	}
+	if ev.Terminal {
+		for _, sub := range subs {
+			sub.close()
+		}
+		delete(m.subs, j.ID)
+		m.met.watchers.Add(-int64(len(subs)))
+	}
+}
+
+// closeSubsLocked closes every live subscription (manager shutdown).
+func (m *Manager) closeSubsLocked() {
+	for id, subs := range m.subs {
+		for _, sub := range subs {
+			sub.close()
+		}
+		m.met.watchers.Add(-int64(len(subs)))
+		delete(m.subs, id)
+	}
+}
+
+// Events returns a snapshot of the job's retained event history (all of it;
+// use Watch for live delivery).
+func (m *Manager) Events(id string) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return append([]Event(nil), m.events[id]...), nil
+}

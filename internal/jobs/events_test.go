@@ -1,0 +1,403 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drains a live channel into a slice until it closes or the deadline
+// fires.
+func collect(t *testing.T, ch <-chan Event) []Event {
+	t.Helper()
+	var out []Event
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("live channel did not close; got %d events", len(out))
+		}
+	}
+}
+
+// TestWatchDeliversFullLifecycle: a watcher registered at submit time sees
+// queued → running → succeeded with contiguous sequence numbers, the stream
+// ends with a terminal event, and the terminal event agrees with the job's
+// final state — the replay-consistency guarantee.
+func TestWatchDeliversFullLifecycle(t *testing.T) {
+	gate := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		<-gate
+		return payload, nil
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"gated": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j, err := m.Submit(SubmitRequest{Kind: "gated", Payload: json.RawMessage(`{"a":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history, live, cancel, err := m.Watch(j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	close(gate)
+
+	events := append(history, collect(t, live)...)
+	if len(events) < 3 {
+		t.Fatalf("got %d events, want at least queued/running/succeeded: %+v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d, want contiguous from 1: %+v", i, ev.Seq, events)
+		}
+		if ev.Job != j.ID {
+			t.Fatalf("event for job %s, want %s", ev.Job, j.ID)
+		}
+	}
+	if events[0].State != StateQueued {
+		t.Fatalf("first event state = %s, want queued", events[0].State)
+	}
+	last := events[len(events)-1]
+	if !last.Terminal || last.State != StateSucceeded {
+		t.Fatalf("last event = %+v, want terminal succeeded", last)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.Terminal {
+			t.Fatalf("non-final event marked terminal: %+v", ev)
+		}
+	}
+
+	// Replay consistency: the terminal event's state matches a status query
+	// issued after the stream ended.
+	got, err := m.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != last.State {
+		t.Fatalf("stream ended at %s but status reports %s", last.State, got.State)
+	}
+}
+
+// TestWatchLateSubscriberReplaysHistory: subscribing after the job finished
+// returns the full history including the terminal event, and an immediately
+// closed live channel. Resuming from a mid-stream Seq returns only the tail.
+func TestWatchLateSubscriberReplaysHistory(t *testing.T) {
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j, err := m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`1`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, m)
+
+	history, live, cancel, err := m.Watch(j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if extra := collect(t, live); len(extra) != 0 {
+		t.Fatalf("terminal job's live channel delivered %d events", len(extra))
+	}
+	if len(history) < 3 {
+		t.Fatalf("history has %d events, want full lifecycle", len(history))
+	}
+	if last := history[len(history)-1]; !last.Terminal {
+		t.Fatalf("history does not end terminal: %+v", last)
+	}
+
+	// Resume after the first event: history starts at Seq 2.
+	tail, live2, cancel2, err := m.Watch(j.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	collect(t, live2)
+	if len(tail) != len(history)-1 || tail[0].Seq != 2 {
+		t.Fatalf("resume from seq 1: got %+v", tail)
+	}
+
+	if _, _, _, err := m.Watch("j999", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Watch unknown id: %v, want ErrNotFound", err)
+	}
+}
+
+// TestWatchCacheHitEmitsTerminalEvent: a cache-hit submission is born
+// terminal; its single event is terminal, cached, and replayable.
+func TestWatchCacheHitEmitsTerminalEvent(t *testing.T) {
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	if _, err := m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`7`)}); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, m)
+	dup, err := m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`7`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := m.Events(dup.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !events[0].Terminal || !events[0].Cached || events[0].State != StateSucceeded {
+		t.Fatalf("cache-hit events = %+v, want one cached terminal succeeded", events)
+	}
+}
+
+// TestWatchCancelDeliversTerminalEvent: canceling a running job closes every
+// watcher's stream with a canceled terminal event.
+func TestWatchCancelDeliversTerminalEvent(t *testing.T) {
+	started := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"block": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j, err := m.Submit(SubmitRequest{Kind: "block", Payload: json.RawMessage(`1`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live, cancel, err := m.Watch(j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	<-started
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	events := collect(t, live)
+	if len(events) == 0 {
+		t.Fatal("no live events delivered")
+	}
+	last := events[len(events)-1]
+	if !last.Terminal || last.State != StateCanceled {
+		t.Fatalf("last event = %+v, want terminal canceled", last)
+	}
+}
+
+// TestWatchConcurrentSubscribers: many subscribers on many jobs, all under
+// -race, each sees a terminal event and the watcher gauge returns to zero.
+func TestWatchConcurrentSubscribers(t *testing.T) {
+	m, err := Open(Config{Workers: 4}, map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	const jobsN, subsPerJob = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, jobsN*subsPerJob)
+	for i := 0; i < jobsN; i++ {
+		payload := json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))
+		j, err := m.Submit(SubmitRequest{Kind: "echo", Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < subsPerJob; s++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				history, live, cancel, err := m.Watch(id, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cancel()
+				all := history
+				for ev := range live {
+					all = append(all, ev)
+				}
+				if len(all) == 0 || !all[len(all)-1].Terminal {
+					errs <- fmt.Errorf("job %s: stream ended without terminal event (%d events)", id, len(all))
+				}
+			}(j.ID)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if w := m.met.watchers.Value(); w != 0 {
+		t.Fatalf("watcher gauge = %d after all streams ended, want 0", w)
+	}
+}
+
+// TestWatchCancelUnsubscribes: canceling a watch closes its channel without
+// affecting other subscribers, and double-cancel is safe.
+func TestWatchCancelUnsubscribes(t *testing.T) {
+	gate := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		<-gate
+		return payload, nil
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"gated": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	j, err := m.Submit(SubmitRequest{Kind: "gated", Payload: json.RawMessage(`1`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live1, cancel1, err := m.Watch(j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live2, cancel2, err := m.Watch(j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	cancel1()
+	cancel1() // double-cancel must not panic
+	if _, ok := <-live1; ok {
+		// Draining any buffered events is fine; the channel must close.
+		for range live1 {
+		}
+	}
+	close(gate)
+	events := collect(t, live2)
+	if len(events) == 0 || !events[len(events)-1].Terminal {
+		t.Fatalf("surviving subscriber lost the stream: %+v", events)
+	}
+}
+
+// TestWatchCrashReplayEmitsEvents: after a kill/reopen, terminal jobs have a
+// synthesized terminal event and re-queued jobs start their post-restart
+// stream with a Replayed queued event followed by a live terminal.
+func TestWatchCrashReplayEmitsEvents(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 16)
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		started <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return payload, nil
+		}
+	}
+	m1, err := Open(Config{Workers: 1, Dir: dir}, map[string]Executor{
+		"echo": echoExec, "slow": exec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m1.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`1`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, m1)
+	stuck, err := m1.Submit(SubmitRequest{Kind: "slow", Payload: json.RawMessage(`2`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	m1.kill()
+
+	m2, err := Open(Config{Workers: 1, Dir: dir}, map[string]Executor{
+		"echo": echoExec, "slow": echoExec, // replayed run finishes instantly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m2)
+
+	history, live, cancel, err := m2.Watch(done.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if len(history) != 1 || !history[0].Terminal || history[0].State != StateSucceeded {
+		t.Fatalf("recovered terminal job history = %+v, want one terminal succeeded", history)
+	}
+	_ = live
+
+	h2, live2, cancel2, err := m2.Watch(stuck.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	all := append(h2, collect(t, live2)...)
+	if len(all) == 0 || all[0].State != StateQueued || !all[0].Replayed {
+		t.Fatalf("replayed job events = %+v, want leading Replayed queued event", all)
+	}
+	if last := all[len(all)-1]; !last.Terminal || last.State != StateSucceeded {
+		t.Fatalf("replayed job did not stream to terminal: %+v", all)
+	}
+	got, err := m2.Get(stuck.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != all[len(all)-1].State {
+		t.Fatalf("stream terminal %s disagrees with status %s", all[len(all)-1].State, got.State)
+	}
+}
+
+// TestWatchManagerCloseClosesStreams: Close ends every live stream; watchers
+// of still-queued jobs get their channel closed rather than leaking.
+func TestWatchManagerCloseClosesStreams(t *testing.T) {
+	gate := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		select {
+		case <-gate:
+			return payload, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m, err := Open(Config{Workers: 1}, map[string]Executor{"gated": exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One running job, one queued behind it; watch the queued one.
+	if _, err := m.Submit(SubmitRequest{Kind: "gated", Payload: json.RawMessage(`1`)}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(SubmitRequest{Kind: "gated", Payload: json.RawMessage(`2`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live, cancel, err := m.Watch(queued.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	close(gate)
+	closeNow(t, m)
+	for range live { // must terminate: Close closed every subscription
+	}
+	if w := m.met.watchers.Value(); w != 0 {
+		t.Fatalf("watcher gauge = %d after Close, want 0", w)
+	}
+}

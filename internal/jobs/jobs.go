@@ -89,6 +89,9 @@ type Job struct {
 	ID       string   `json:"id"`
 	Kind     string   `json:"kind"`
 	Priority Priority `json:"priority"`
+	// Tenant attributes the submission for per-tenant fair admission; empty
+	// is the shared anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Key is the content address of (Kind, Payload); identical submissions
 	// share it, which is what makes the result cache correct.
 	Key     string          `json:"key"`
@@ -169,8 +172,14 @@ type Stats struct {
 	Retained  int   `json:"retained"` // jobs held for status/result queries
 	Submitted int64 `json:"submitted"`
 	CacheHits int64 `json:"cacheHits"`
-	Dropped   int64 `json:"dropped"`  // admission rejections
-	Replayed  int64 `json:"replayed"` // jobs re-queued by WAL recovery
+	Dropped   int64 `json:"dropped"` // queue-depth admission rejections
+	// TenantRateLimited counts submissions rejected by per-tenant rate
+	// limiting — a separate taxonomy from Dropped (queue-full).
+	TenantRateLimited int64 `json:"tenantRateLimited,omitempty"`
+	// Tenants is the number of distinct recently active tenants the
+	// admission limiter tracks (0 when limiting is disabled).
+	Tenants  int   `json:"tenants,omitempty"`
+	Replayed int64 `json:"replayed"` // jobs re-queued by WAL recovery
 }
 
 // RetryAfter estimates how long a rejected submitter should wait before

@@ -39,6 +39,15 @@ type Config struct {
 	// SnapshotEvery compacts the WAL into a snapshot after this many
 	// appended records. <= 0 selects 256.
 	SnapshotEvery int
+	// TenantRate enables per-tenant fair admission: each tenant's queue
+	// admissions are metered by a token bucket refilled at this rate
+	// (submissions per second). Submissions beyond the bucket are rejected
+	// with ErrTenantRateLimited. <= 0 disables tenant limiting. Cache-hit
+	// duplicates never consume tokens (see tenant.go).
+	TenantRate float64
+	// TenantBurst is each tenant bucket's capacity; <= 0 selects one
+	// second's worth of TenantRate (minimum 1).
+	TenantBurst int
 	// Registry receives cfsmdiag_jobs_* metrics; nil disables.
 	Registry *obs.Registry
 	// Logger receives operational notes (worker fallback, recovery, drain);
@@ -54,7 +63,10 @@ type Config struct {
 type SubmitRequest struct {
 	Kind     string
 	Priority Priority // empty selects PriorityBatch
-	Payload  json.RawMessage
+	// Tenant attributes the submission for per-tenant fair admission and
+	// metrics; empty is the shared anonymous tenant.
+	Tenant  string
+	Payload json.RawMessage
 }
 
 // Manager owns the queue, the worker pool, the durable store and the result
@@ -69,23 +81,27 @@ type Manager struct {
 	tr            *trace.Tracer
 	met           jobMetrics
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	jobs      map[string]*Job
-	queues    map[Priority][]string // job IDs, FIFO per class
-	queued    int
-	cancels   map[string]context.CancelFunc // running jobs
-	requested map[string]bool               // user-initiated cancels in flight
-	cache     *resultCache
-	st        *store
-	nextID    int
-	closing   bool // stop accepting and dispatching
-	killed    bool // crash simulation: record nothing further
-	submitted int64
-	cacheHits int64
-	dropped   int64
-	replayed  int64
-	wg        sync.WaitGroup
+	mu            sync.Mutex
+	cond          *sync.Cond
+	jobs          map[string]*Job
+	queues        map[Priority][]string // job IDs, FIFO per class
+	queued        int
+	cancels       map[string]context.CancelFunc // running jobs
+	requested     map[string]bool               // user-initiated cancels in flight
+	events        map[string][]Event            // per-job lifecycle history
+	subs          map[string][]*subscriber      // live Watch registrations
+	limiter       *tenantLimiter                // nil = no per-tenant limiting
+	cache         *resultCache
+	st            *store
+	nextID        int
+	closing       bool // stop accepting and dispatching
+	killed        bool // crash simulation: record nothing further
+	submitted     int64
+	cacheHits     int64
+	dropped       int64
+	tenantLimited int64
+	replayed      int64
+	wg            sync.WaitGroup
 }
 
 // Open builds a Manager with the given executors (keyed by job kind),
@@ -122,6 +138,9 @@ func Open(cfg Config, execs map[string]Executor) (*Manager, error) {
 		queues:        make(map[Priority][]string),
 		cancels:       make(map[string]context.CancelFunc),
 		requested:     make(map[string]bool),
+		events:        make(map[string][]Event),
+		subs:          make(map[string][]*subscriber),
+		limiter:       newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
 		cache:         newResultCache(cfg.CacheSize),
 		nextID:        1,
 	}
@@ -171,6 +190,9 @@ func (m *Manager) recover(recovered map[string]*Job) {
 			if j.State == StateSucceeded && j.Key != "" && len(j.Result) > 0 {
 				warmed = append(warmed, j)
 			}
+			// Seed the event history with the terminal state so a watcher
+			// subscribing after the restart still receives a terminal event.
+			m.emitLocked(j, false)
 			continue
 		}
 		// Queued or mid-run at the crash: back to the queue. The started-at
@@ -181,6 +203,7 @@ func (m *Manager) recover(recovered map[string]*Job) {
 		m.replayed++
 		m.met.replayed.Inc()
 		m.tr.Emit(trace.KindJobReplay, trace.A("job", id), trace.A("kind", j.Kind))
+		m.emitLocked(j, true)
 	}
 	sort.Slice(warmed, func(i, k int) bool { return warmed[i].FinishedAt.Before(warmed[k].FinishedAt) })
 	for _, j := range warmed {
@@ -221,6 +244,7 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	j := &Job{
 		Kind:       req.Kind,
 		Priority:   req.Priority,
+		Tenant:     req.Tenant,
 		Key:        key,
 		Payload:    append(json.RawMessage(nil), req.Payload...),
 		EnqueuedAt: now,
@@ -235,14 +259,27 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 		m.jobs[j.ID] = j
 		m.submitted++
 		m.cacheHits++
-		m.met.submitted(j.Kind, j.Priority)
+		m.met.submitted(j.Kind, j.Priority, j.Tenant)
 		m.met.cacheHits.Inc()
 		m.tr.Emit(trace.KindJobCacheHit, trace.A("job", j.ID), trace.A("kind", j.Kind), trace.A("key", key))
 		if err := m.appendLocked(walRecord{Op: opSubmit, Job: j}); err != nil {
 			return nil, err
 		}
+		m.emitLocked(j, false)
 		return j.clone(), nil
 	}
+
+	// Per-tenant fair admission before the shared queue-depth check: the
+	// flooding tenant is told precisely that it is the flood (429 with the
+	// tenant_rate_limited code), and its rejected submissions never count
+	// against the shared depth other tenants admit into.
+	if ok, wait := m.limiter.admit(req.Tenant, now); !ok {
+		m.tenantLimited++
+		m.met.tenantLimited(req.Tenant)
+		m.met.tenants.Set(int64(m.limiter.size()))
+		return nil, &RateLimitError{Tenant: req.Tenant, RetryAfter: wait}
+	}
+	m.met.tenants.Set(int64(m.limiter.size()))
 
 	if m.queued >= m.queueDepth {
 		m.dropped++
@@ -261,11 +298,12 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	}
 	m.pushLocked(j)
 	m.submitted++
-	m.met.submitted(j.Kind, j.Priority)
+	m.met.submitted(j.Kind, j.Priority, j.Tenant)
 	m.met.queueDepth.Set(int64(m.queued))
 	m.tr.Emit(trace.KindJobSubmit,
 		trace.A("job", j.ID), trace.A("kind", j.Kind),
 		trace.A("priority", string(j.Priority)), trace.A("key", key))
+	m.emitLocked(j, false)
 	m.cond.Signal()
 	return j.clone(), nil
 }
@@ -352,6 +390,7 @@ func (m *Manager) worker() {
 		if err := m.appendLocked(walRecord{Op: opStart, ID: id, At: j.StartedAt}); err != nil {
 			m.log.Error("jobs: wal append failed", "job", id, "error", err.Error())
 		}
+		m.emitLocked(j, false)
 		m.met.running.Inc()
 		m.met.queueDepth.Set(int64(m.queued))
 		exec := m.execs[j.Kind]
@@ -391,6 +430,9 @@ func (m *Manager) finishLocked(j *Job, result json.RawMessage, err error) {
 	case canceled && m.closing:
 		j.State = StateQueued
 		j.StartedAt = time.Time{}
+		// Watchers see the revert honestly: a queued event after running
+		// means the run was aborted by shutdown and will replay.
+		m.emitLocked(j, false)
 	case err != nil:
 		delete(m.requested, j.ID)
 		j.State = StateFailed
@@ -415,6 +457,7 @@ func (m *Manager) recordDoneLocked(j *Job) {
 		m.log.Error("jobs: wal append failed", "job", j.ID, "error", err.Error())
 	}
 	m.met.completed(j)
+	m.emitLocked(j, false)
 	m.cond.Broadcast() // wake WaitIdle-style waiters
 }
 
@@ -468,6 +511,7 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 			m.log.Error("jobs: wal append failed", "job", id, "error", err.Error())
 		}
 		m.met.completed(j)
+		m.emitLocked(j, false)
 		return j.clone(), nil
 	case StateRunning:
 		m.requested[id] = true
@@ -485,14 +529,16 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Queued:    m.queued,
-		Running:   len(m.cancels),
-		Workers:   m.workers,
-		Retained:  len(m.jobs),
-		Submitted: m.submitted,
-		CacheHits: m.cacheHits,
-		Dropped:   m.dropped,
-		Replayed:  m.replayed,
+		Queued:            m.queued,
+		Running:           len(m.cancels),
+		Workers:           m.workers,
+		Retained:          len(m.jobs),
+		Submitted:         m.submitted,
+		CacheHits:         m.cacheHits,
+		Dropped:           m.dropped,
+		TenantRateLimited: m.tenantLimited,
+		Tenants:           m.limiter.size(),
+		Replayed:          m.replayed,
 	}
 }
 
@@ -547,6 +593,7 @@ func (m *Manager) Close(ctx context.Context) error {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.closeSubsLocked()
 	var err error
 	if m.st != nil && !m.killed {
 		if serr := m.st.snapshot(m.jobs, m.nextID); serr != nil {
@@ -583,6 +630,7 @@ func (m *Manager) kill() {
 	m.mu.Unlock()
 	m.wg.Wait()
 	m.mu.Lock()
+	m.closeSubsLocked()
 	if m.st != nil {
 		m.st.close()
 	}

@@ -20,6 +20,12 @@ const (
 	metricWALRecords = "cfsmdiag_jobs_wal_records_total"
 	metricSnapshots  = "cfsmdiag_jobs_snapshots_total"
 	metricReplayed   = "cfsmdiag_jobs_replayed_total"
+	metricEvents     = "cfsmdiag_jobs_events_total"
+	metricWatchers   = "cfsmdiag_jobs_watchers"
+
+	metricTenantLimited   = "cfsmdiag_jobs_tenant_rate_limited_total"
+	metricTenantSubmitted = "cfsmdiag_jobs_tenant_submitted_total"
+	metricTenants         = "cfsmdiag_jobs_tenants"
 )
 
 // jobMetrics bundles pre-resolved handles; everything is nil-safe so a
@@ -36,6 +42,9 @@ type jobMetrics struct {
 	walRecords *obs.Counter
 	snapshots  *obs.Counter
 	replayed   *obs.Counter
+	events     *obs.Counter
+	watchers   *obs.Gauge
+	tenants    *obs.Gauge
 }
 
 func newJobMetrics(r *obs.Registry) jobMetrics {
@@ -54,6 +63,9 @@ func newJobMetrics(r *obs.Registry) jobMetrics {
 		walRecords: r.Counter(metricWALRecords, "Records appended to the jobs write-ahead log."),
 		snapshots:  r.Counter(metricSnapshots, "WAL compactions into a snapshot."),
 		replayed:   r.Counter(metricReplayed, "Jobs re-queued from the WAL after a restart."),
+		events:     r.Counter(metricEvents, "Job lifecycle events recorded (queued/running/terminal transitions)."),
+		watchers:   r.Gauge(metricWatchers, "Live lifecycle-event subscriptions (Watch registrations)."),
+		tenants:    r.Gauge(metricTenants, "Distinct recently active tenants tracked by the admission limiter."),
 	}
 }
 
@@ -73,13 +85,24 @@ func RegisterMetrics(r *obs.Registry) {
 	}
 }
 
-// submitted records one accepted job.
-func (m jobMetrics) submitted(kind string, p Priority) {
+// submitted records one accepted job, attributed to its tenant.
+func (m jobMetrics) submitted(kind string, p Priority, tenant string) {
 	if m.reg == nil {
 		return
 	}
 	m.reg.Counter(metricSubmitted, "Jobs accepted, by kind and priority.",
 		obs.L("kind", kind), obs.L("priority", string(p))).Inc()
+	m.reg.Counter(metricTenantSubmitted, "Jobs accepted, by tenant.",
+		obs.L("tenant", tenant)).Inc()
+}
+
+// tenantLimited records one per-tenant admission rejection.
+func (m jobMetrics) tenantLimited(tenant string) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter(metricTenantLimited, "Submissions rejected by per-tenant rate limiting.",
+		obs.L("tenant", tenant)).Inc()
 }
 
 // completed records one terminal transition with its latencies.

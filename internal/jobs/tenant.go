@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Per-tenant fair admission: with a shared queue one tenant submitting in a
+// tight loop fills the queue depth and starves everyone else — global
+// admission control (ErrQueueFull) cannot tell the flood from the victims.
+// The manager therefore meters queue admissions per tenant with a classic
+// lazily-refilled token bucket: each tenant may burst up to TenantBurst
+// queued submissions and sustain TenantRate per second; beyond that the
+// submission is rejected with ErrTenantRateLimited (HTTP: 429 with a
+// distinct tenant_rate_limited code) and a retry hint, while other tenants'
+// buckets are untouched.
+//
+// Two deliberate scoping decisions:
+//
+//   - Only submissions that would enter the queue consume tokens. Cache-hit
+//     duplicates are answered without a worker or a queue slot, so they
+//     bypass the limiter — a tenant re-asking for finished work is cheap and
+//     should stay cheap.
+//   - The empty tenant "" is a tenant like any other: all anonymous
+//     submitters share one bucket, so omitting the field is not a bypass.
+var ErrTenantRateLimited = errors.New("jobs: tenant rate limited")
+
+// RateLimitError reports a per-tenant admission rejection. It unwraps to
+// ErrTenantRateLimited and carries the earliest useful retry time.
+type RateLimitError struct {
+	Tenant string
+	// RetryAfter estimates when the tenant's bucket next holds a full token.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	who := e.Tenant
+	if who == "" {
+		who = "(anonymous)"
+	}
+	return fmt.Sprintf("jobs: tenant %s rate limited; retry in %s", who, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Unwrap lets errors.Is(err, ErrTenantRateLimited) match.
+func (e *RateLimitError) Unwrap() error { return ErrTenantRateLimited }
+
+// maxTenantBuckets bounds the limiter's memory against hostile tenant-name
+// spam; when exceeded, buckets that have fully refilled (idle tenants) are
+// discarded — dropping a full bucket is unobservable to its tenant.
+const maxTenantBuckets = 4096
+
+// tenantBucket is one tenant's token bucket. Guarded by the manager lock.
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// tenantLimiter meters queue admissions per tenant.
+type tenantLimiter struct {
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	buckets map[string]*tenantBucket
+}
+
+// newTenantLimiter returns nil (no limiting) when rate <= 0. A non-positive
+// burst defaults to ceil(rate) with a floor of 1, i.e. roughly one second of
+// sustained rate.
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &tenantLimiter{rate: rate, burst: b, buckets: make(map[string]*tenantBucket)}
+}
+
+// admit takes one token from the tenant's bucket, reporting the wait until
+// the next token when none is available. nil receiver admits everything.
+func (l *tenantLimiter) admit(tenant string, now time.Time) (ok bool, wait time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTenantBuckets {
+			l.evictIdle(now)
+		}
+		b = &tenantBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait = time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After granularity is one second anyway
+	}
+	return false, wait
+}
+
+// evictIdle discards buckets that have refilled completely; their tenants
+// would start from a fresh full bucket either way.
+func (l *tenantLimiter) evictIdle(now time.Time) {
+	for tenant, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, tenant)
+		}
+	}
+}
+
+// size reports the live bucket count (distinct recently active tenants).
+func (l *tenantLimiter) size() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.buckets)
+}

@@ -1,0 +1,208 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTenantLimiterAdmitAndRefill pins the token-bucket arithmetic: burst
+// admissions succeed, the next is rejected with a sane retry hint, and
+// elapsed time refills tokens.
+func TestTenantLimiterAdmitAndRefill(t *testing.T) {
+	l := newTenantLimiter(2, 3)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.admit("a", now); !ok {
+			t.Fatalf("admission %d within burst rejected", i)
+		}
+	}
+	ok, wait := l.admit("a", now)
+	if ok {
+		t.Fatal("admission beyond burst accepted")
+	}
+	if wait < time.Second {
+		t.Fatalf("retry hint %s, want >= 1s floor", wait)
+	}
+	// Another tenant is untouched.
+	if ok, _ := l.admit("b", now); !ok {
+		t.Fatal("tenant b rejected by tenant a's flood")
+	}
+	// One second at rate 2 refills two tokens.
+	later := now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.admit("a", later); !ok {
+			t.Fatalf("refilled admission %d rejected", i)
+		}
+	}
+	if ok, _ := l.admit("a", later); ok {
+		t.Fatal("third admission after 1s at rate 2 accepted")
+	}
+}
+
+// TestTenantLimiterDefaults: rate <= 0 disables limiting entirely; burst
+// <= 0 defaults to about one second of rate.
+func TestTenantLimiterDefaults(t *testing.T) {
+	if l := newTenantLimiter(0, 5); l != nil {
+		t.Fatal("rate 0 must disable the limiter")
+	}
+	var nilL *tenantLimiter
+	if ok, _ := nilL.admit("x", time.Now()); !ok {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if nilL.size() != 0 {
+		t.Fatal("nil limiter size != 0")
+	}
+	l := newTenantLimiter(2.5, 0)
+	if l.burst != 3 {
+		t.Fatalf("default burst = %g, want ceil(rate) = 3", l.burst)
+	}
+	l2 := newTenantLimiter(0.5, 0)
+	if l2.burst != 1 {
+		t.Fatalf("default burst = %g, want floor of 1", l2.burst)
+	}
+}
+
+// TestTenantLimiterEviction: the bucket map stays bounded under tenant-name
+// spam because idle (fully refilled) buckets are discarded.
+func TestTenantLimiterEviction(t *testing.T) {
+	l := newTenantLimiter(1000, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < maxTenantBuckets; i++ {
+		l.admit(fmt.Sprintf("t%d", i), now)
+	}
+	if l.size() != maxTenantBuckets {
+		t.Fatalf("size = %d, want %d", l.size(), maxTenantBuckets)
+	}
+	// All buckets refill within 1ms at rate 1000; a new tenant after that
+	// triggers eviction of every idle bucket.
+	l.admit("fresh", now.Add(50*time.Millisecond))
+	if l.size() != 1 {
+		t.Fatalf("size after eviction = %d, want 1", l.size())
+	}
+}
+
+// TestManagerTenantFairAdmission: a flooding tenant is rejected with the
+// typed RateLimitError while other tenants keep submitting, the rejection
+// taxonomy is separate from queue-full drops, and cache hits bypass the
+// limiter.
+func TestManagerTenantFairAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	exec := func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		select {
+		case <-gate:
+			return payload, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m, err := Open(Config{Workers: 1, QueueDepth: 100, TenantRate: 1, TenantBurst: 3},
+		map[string]Executor{"gated": exec, "echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(gate); closeNow(t, m) }()
+
+	// Flood tenant A past its burst.
+	var limited *RateLimitError
+	for i := 0; i < 6; i++ {
+		_, err := m.Submit(SubmitRequest{
+			Kind: "gated", Tenant: "A",
+			Payload: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)),
+		})
+		if err != nil {
+			if !errors.Is(err, ErrTenantRateLimited) {
+				t.Fatalf("flood rejection is %v, want ErrTenantRateLimited", err)
+			}
+			if !errors.As(err, &limited) {
+				t.Fatalf("rejection does not unwrap to *RateLimitError: %v", err)
+			}
+		}
+	}
+	if limited == nil {
+		t.Fatal("6 submissions at burst 3 never tripped the limiter")
+	}
+	if limited.Tenant != "A" || limited.RetryAfter < time.Second {
+		t.Fatalf("rate-limit error = %+v, want tenant A with >= 1s retry", limited)
+	}
+
+	// Tenant B is unaffected by A's flood.
+	if _, err := m.Submit(SubmitRequest{
+		Kind: "gated", Tenant: "B", Payload: json.RawMessage(`{"b":1}`),
+	}); err != nil {
+		t.Fatalf("victim tenant rejected: %v", err)
+	}
+
+	st := m.Stats()
+	if st.TenantRateLimited == 0 {
+		t.Fatal("stats did not count tenant rejections")
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("tenant rejections leaked into queue-full drops: %+v", st)
+	}
+	if st.Tenants < 2 {
+		t.Fatalf("tenants = %d, want >= 2", st.Tenants)
+	}
+}
+
+// TestManagerTenantCacheHitBypassesLimiter: duplicate submissions answered
+// from the result cache never consume tokens, so a tenant at its limit can
+// still fetch finished work.
+func TestManagerTenantCacheHitBypassesLimiter(t *testing.T) {
+	m, err := Open(Config{Workers: 1, TenantRate: 0.001, TenantBurst: 1},
+		map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	if _, err := m.Submit(SubmitRequest{
+		Kind: "echo", Tenant: "A", Payload: json.RawMessage(`9`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, m)
+	// The single token is spent; a fresh payload is rejected...
+	if _, err := m.Submit(SubmitRequest{
+		Kind: "echo", Tenant: "A", Payload: json.RawMessage(`10`),
+	}); !errors.Is(err, ErrTenantRateLimited) {
+		t.Fatalf("fresh payload: %v, want ErrTenantRateLimited", err)
+	}
+	// ...but the duplicate is a cache hit and sails through.
+	for i := 0; i < 3; i++ {
+		dup, err := m.Submit(SubmitRequest{
+			Kind: "echo", Tenant: "A", Payload: json.RawMessage(`9`),
+		})
+		if err != nil {
+			t.Fatalf("cache-hit duplicate rejected: %v", err)
+		}
+		if !dup.Cached {
+			t.Fatal("duplicate was not a cache hit")
+		}
+	}
+}
+
+// TestManagerTenantAnonymousShared: the empty tenant is a real shared
+// bucket, not a bypass.
+func TestManagerTenantAnonymousShared(t *testing.T) {
+	m, err := Open(Config{Workers: 1, TenantRate: 0.001, TenantBurst: 2},
+		map[string]Executor{"echo": echoExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(SubmitRequest{
+			Kind: "echo", Payload: json.RawMessage(fmt.Sprintf(`%d`, i)),
+		}); err != nil {
+			t.Fatalf("anonymous submission %d rejected: %v", i, err)
+		}
+	}
+	_, err = m.Submit(SubmitRequest{Kind: "echo", Payload: json.RawMessage(`99`)})
+	if !errors.Is(err, ErrTenantRateLimited) {
+		t.Fatalf("anonymous flood: %v, want ErrTenantRateLimited", err)
+	}
+}

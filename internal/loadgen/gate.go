@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// SLO is the service-level objective a load step must meet to count as
+// sustainable.
+type SLO struct {
+	// InteractiveP99MS bounds the interactive class's p99 latency.
+	InteractiveP99MS float64 `json:"interactive_p99_ms"`
+	// MinAchievedRatio bounds goodput: at least this fraction of offered
+	// requests must succeed (rejections and shed arrivals both count
+	// against it).
+	MinAchievedRatio float64 `json:"min_achieved_ratio"`
+}
+
+// DefaultSLO is the committed-baseline objective: interactive p99 under
+// 250ms with at least 95% of offered load absorbed.
+var DefaultSLO = SLO{InteractiveP99MS: 250, MinAchievedRatio: 0.95}
+
+// met reports whether a step satisfies the SLO. A step with no
+// interactive completions cannot demonstrate the latency bound and fails.
+func (s SLO) met(step *Report) bool {
+	ic := step.Class(ClassInteractive)
+	if ic == nil || ic.OK == 0 {
+		return false
+	}
+	return ic.P99MS <= s.InteractiveP99MS && step.AchievedRatio >= s.MinAchievedRatio
+}
+
+// Record is the committed BENCH_load.json shape: one ladder run with the
+// per-step reports and the measured saturation knee.
+type Record struct {
+	Experiment string `json:"experiment"`
+	System     string `json:"system"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+	// Workers/TenantRate describe the server under test so the record is
+	// reproducible.
+	Workers    int       `json:"workers"`
+	TenantRate float64   `json:"tenant_rate,omitempty"`
+	Tenants    int       `json:"tenants"`
+	SLO        SLO       `json:"slo"`
+	Steps      []*Report `json:"steps"`
+	// KneeRate is the highest offered rate (diagnoses+jobs per second)
+	// whose step met the SLO — the "max sustainable" row. Zero when no
+	// step met it.
+	KneeRate float64 `json:"knee_rate_per_sec"`
+	// Knee repeats that step's report for direct reading.
+	Knee *Report `json:"knee,omitempty"`
+}
+
+// RunLadder runs cfg once per rate (ascending) and selects the knee: the
+// highest rate whose report meets the SLO. Each step reuses cfg with only
+// Rate replaced, so one seed pins every step's workload.
+func RunLadder(ctx context.Context, cfg Config, rates []float64, slo SLO) (*Record, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: ladder needs at least one rate")
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	rec := &Record{
+		Seed:    cfg.Seed,
+		Tenants: cfg.Tenants,
+		SLO:     slo,
+	}
+	for _, rate := range sorted {
+		stepCfg := cfg
+		stepCfg.Rate = rate
+		stepCfg.Registry = nil // fresh measurement families per step
+		report, err := Run(ctx, stepCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ladder step %g req/s: %w", rate, err)
+		}
+		rec.Steps = append(rec.Steps, report)
+		if slo.met(report) {
+			rec.KneeRate = rate
+			rec.Knee = report
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// Tolerance is the slack the regression gate grants a fresh run before a
+// difference from the committed baseline counts as a regression. Load
+// benches are noisy — especially on shared CI machines — so both knobs are
+// fractional.
+type Tolerance struct {
+	// P99Frac allows the fresh interactive p99 at the knee to exceed the
+	// baseline's by this fraction (0.5 = +50%).
+	P99Frac float64 `json:"p99_frac"`
+	// GoodputFrac allows the fresh knee rate and knee goodput to fall
+	// short of the baseline's by this fraction (0.25 = -25%).
+	GoodputFrac float64 `json:"goodput_frac"`
+}
+
+// DefaultTolerance is deliberately loose: the gate exists to catch
+// step-function regressions (a lost knee step, p99 blowing through the
+// SLO), not single-digit-percent noise.
+var DefaultTolerance = Tolerance{P99Frac: 1.0, GoodputFrac: 0.4}
+
+// Gate compares a fresh run against the committed baseline and returns
+// one violation string per broken objective; empty means the gate passes.
+func Gate(baseline, fresh *Record, tol Tolerance) []string {
+	var violations []string
+	if baseline.KneeRate > 0 && fresh.KneeRate == 0 {
+		violations = append(violations,
+			fmt.Sprintf("no step met the SLO (baseline knee %g req/s)", baseline.KneeRate))
+		return violations
+	}
+	if baseline.Knee == nil || fresh.Knee == nil {
+		return violations // baseline never had a knee: nothing to regress against
+	}
+	if minRate := baseline.KneeRate * (1 - tol.GoodputFrac); fresh.KneeRate < minRate {
+		violations = append(violations, fmt.Sprintf(
+			"knee rate regressed: %g req/s < %.3g (baseline %g - %.0f%% tolerance)",
+			fresh.KneeRate, minRate, baseline.KneeRate, tol.GoodputFrac*100))
+	}
+	if minGoodput := baseline.Knee.Goodput * (1 - tol.GoodputFrac); fresh.Knee.Goodput < minGoodput {
+		violations = append(violations, fmt.Sprintf(
+			"knee goodput regressed: %.1f/s < %.1f (baseline %.1f - %.0f%% tolerance)",
+			fresh.Knee.Goodput, minGoodput, baseline.Knee.Goodput, tol.GoodputFrac*100))
+	}
+	bi, fi := baseline.Knee.Class(ClassInteractive), fresh.Knee.Class(ClassInteractive)
+	if bi != nil && fi != nil && bi.P99MS > 0 {
+		if maxP99 := bi.P99MS * (1 + tol.P99Frac); fi.P99MS > maxP99 {
+			violations = append(violations, fmt.Sprintf(
+				"interactive p99 at knee regressed: %.1fms > %.1fms (baseline %.1fms + %.0f%% tolerance)",
+				fi.P99MS, maxP99, bi.P99MS, tol.P99Frac*100))
+		}
+	}
+	return violations
+}
+
+// ReadRecord loads a committed BENCH_load.json.
+func ReadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// DefaultRates is the committed ladder: low steps establish the uncontended
+// latency floor, upper steps walk past the 1-CPU container's knee (400
+// req/s sits just under the default SLO there; 800 breaches it).
+var DefaultRates = []float64{25, 50, 100, 200, 400, 800}
+
+// DefaultStepDuration keeps a full default ladder under ~15s of wall time
+// while still offering hundreds of arrivals per upper step.
+const DefaultStepDuration = 3 * time.Second

@@ -1,0 +1,429 @@
+// Package loadgen is the traffic-shaped load harness of the diagnosis
+// service: a seeded open-loop workload generator that drives a running
+// server with a configurable mix of interactive diagnoses, batch sweep
+// jobs and cache-hit duplicate submissions across simulated tenants, and
+// reports per-class latency quantiles, throughput and a full error
+// taxonomy.
+//
+// # Open loop
+//
+// Arrivals are scheduled by a Poisson process (exponential inter-arrival
+// times drawn from a seeded rng) and fired without waiting for earlier
+// requests to finish — the offered rate does not slow down when the server
+// does. That is the property that makes the measured saturation knee real:
+// a closed loop self-throttles and hides the very overload the harness
+// exists to find. The only concession to practicality is a bounded
+// in-flight cap; arrivals beyond it are counted as shed, never silently
+// dropped, so a saturated run is visible in the report rather than eaten
+// by file-descriptor exhaustion.
+//
+// The rng drives only the arrival schedule, class mix and tenant draw, so
+// a seed pins the offered workload exactly; latencies are whatever the
+// server under test produces.
+//
+// # Classes
+//
+//   - interactive: synchronous POST /v1/diagnose, the latency-sensitive
+//     path (measured end to end).
+//   - batch: POST /v1/jobs sweep submissions with unique payloads — each
+//     accepted job costs a queue slot and a worker.
+//   - cachehit: POST /v1/jobs duplicate submissions of one fixed payload —
+//     after the first completes, the content-addressed cache answers.
+//
+// Reports quote bucket-interpolated p50/p95/p99 from obs.Histogram on the
+// high-resolution ladder (see obs.HighResLatencyBuckets), achieved
+// throughput, and error counts keyed by the server's error-envelope code
+// (queue_full and tenant_rate_limited stay distinguishable end to end).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cfsmdiag/internal/obs"
+)
+
+// Class is one workload class.
+type Class string
+
+// The workload classes.
+const (
+	ClassInteractive Class = "interactive"
+	ClassBatch       Class = "batch"
+	ClassCacheHit    Class = "cachehit"
+)
+
+// classOrder fixes display order in reports.
+var classOrder = []Class{ClassInteractive, ClassBatch, ClassCacheHit}
+
+// Request is one prepared HTTP call.
+type Request struct {
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// Factory builds the wire request for one arrival. seq increments per
+// arrival (all classes share the counter), so factories can make batch
+// payloads unique and cache-hit payloads identical.
+type Factory func(class Class, tenant string, seq int) Request
+
+// Mix weights the classes; weights are normalized, zero removes the class.
+type Mix struct {
+	Interactive float64
+	Batch       float64
+	CacheHit    float64
+}
+
+// DefaultMix approximates a serving workload: mostly interactive, a
+// steady batch drip, and a tail of duplicate lookups.
+var DefaultMix = Mix{Interactive: 0.6, Batch: 0.2, CacheHit: 0.2}
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL of the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Seed pins the arrival schedule, class mix and tenant draw.
+	Seed int64
+	// Rate is the offered arrival rate in requests per second.
+	Rate float64
+	// Duration bounds the arrival window; in-flight requests are awaited
+	// after it closes.
+	Duration time.Duration
+	// Mix weights the classes (zero value selects DefaultMix).
+	Mix Mix
+	// Tenants spreads submissions across this many simulated tenants
+	// (t0..tN-1); <= 0 selects 1.
+	Tenants int
+	// MaxInFlight caps concurrently outstanding requests; arrivals beyond
+	// it are counted as shed. <= 0 selects 256.
+	MaxInFlight int
+	// Client issues the requests; nil selects a client with a 30s timeout.
+	Client *http.Client
+	// Factory builds request bodies; required.
+	Factory Factory
+	// Registry receives the cfsmdiag_load_* measurement families; nil
+	// selects a fresh private registry (the report is complete either way).
+	Registry *obs.Registry
+}
+
+// Load-harness metric families.
+const (
+	metricLoadRequests = "cfsmdiag_load_requests_total"
+	metricLoadLatency  = "cfsmdiag_load_latency_seconds"
+	metricLoadInFlight = "cfsmdiag_load_in_flight"
+	metricLoadShed     = "cfsmdiag_load_shed_total"
+)
+
+// ClassReport is one class's measurements.
+type ClassReport struct {
+	Class Class `json:"class"`
+	// Offered counts scheduled arrivals; Shed the ones dropped at the
+	// in-flight cap; Completed the ones that got any HTTP response.
+	Offered   int64 `json:"offered"`
+	Shed      int64 `json:"shed,omitempty"`
+	Completed int64 `json:"completed"`
+	OK        int64 `json:"ok"`
+	// Errors is the failure taxonomy: error-envelope codes where the
+	// server sent one (queue_full, tenant_rate_limited, ...), http_<status>
+	// otherwise, and transport/timeout for requests that never completed.
+	Errors map[string]int64 `json:"errors,omitempty"`
+	// Latency quantiles over successful requests, milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// Throughput is successful requests per wall second.
+	Throughput float64 `json:"throughput_per_sec"`
+}
+
+// Report is one load run's result.
+type Report struct {
+	Rate        float64 `json:"rate"`
+	DurationSec float64 `json:"duration_sec"`
+	Seed        int64   `json:"seed"`
+	Offered     int64   `json:"offered"`
+	Shed        int64   `json:"shed,omitempty"`
+	OK          int64   `json:"ok"`
+	// Goodput is total successful requests per wall second; AchievedRatio
+	// is OK/Offered — the fraction of offered load the server absorbed.
+	Goodput       float64          `json:"goodput_per_sec"`
+	AchievedRatio float64          `json:"achieved_ratio"`
+	Errors        map[string]int64 `json:"errors,omitempty"`
+	Classes       []ClassReport    `json:"classes"`
+}
+
+// Class returns the named class's report, nil when absent.
+func (r *Report) Class(c Class) *ClassReport {
+	for i := range r.Classes {
+		if r.Classes[i].Class == c {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// classRecorder accumulates one class's measurements (atomics via obs).
+type classRecorder struct {
+	offered   *obs.Counter
+	shed      *obs.Counter
+	ok        *obs.Counter
+	lat       *obs.Histogram
+	mu        sync.Mutex
+	errCounts map[string]int64
+	completed int64
+}
+
+func (cr *classRecorder) fail(key string) {
+	cr.mu.Lock()
+	cr.errCounts[key]++
+	cr.completed++
+	cr.mu.Unlock()
+}
+
+func (cr *classRecorder) success(elapsed time.Duration) {
+	cr.ok.Inc()
+	cr.lat.Observe(elapsed.Seconds())
+	cr.mu.Lock()
+	cr.completed++
+	cr.mu.Unlock()
+}
+
+// errorEnvelope mirrors the server's single error shape.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// classify maps one response (or transport failure) onto the taxonomy.
+func classify(resp *http.Response, body []byte, err error) (ok bool, key string) {
+	switch {
+	case err != nil && errors.Is(err, context.DeadlineExceeded):
+		return false, "timeout"
+	case err != nil:
+		return false, "transport"
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return true, ""
+	}
+	var env errorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		return false, env.Error.Code
+	}
+	return false, "http_" + strconv.Itoa(resp.StatusCode)
+}
+
+// Run drives one open-loop load run and reports it.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("loadgen: Factory is required")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: Rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be positive, got %s", cfg.Duration)
+	}
+	mix := cfg.Mix
+	if mix == (Mix{}) {
+		mix = DefaultMix
+	}
+	weights := map[Class]float64{
+		ClassInteractive: mix.Interactive,
+		ClassBatch:       mix.Batch,
+		ClassCacheHit:    mix.CacheHit,
+	}
+	var totalWeight float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("loadgen: negative mix weight")
+		}
+		totalWeight += w
+	}
+	if totalWeight == 0 {
+		return nil, fmt.Errorf("loadgen: mix selects no class")
+	}
+	tenants := cfg.Tenants
+	if tenants <= 0 {
+		tenants = 1
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 256
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.New()
+	}
+
+	recs := make(map[Class]*classRecorder, len(classOrder))
+	for _, c := range classOrder {
+		if weights[c] == 0 {
+			continue
+		}
+		label := obs.L("class", string(c))
+		recs[c] = &classRecorder{
+			offered:   reg.Counter(metricLoadRequests, "Load-harness arrivals, by class and outcome.", label, obs.L("outcome", "offered")),
+			shed:      reg.Counter(metricLoadShed, "Arrivals dropped at the local in-flight cap, by class.", label),
+			ok:        reg.Counter(metricLoadRequests, "Load-harness arrivals, by class and outcome.", label, obs.L("outcome", "ok")),
+			lat:       reg.Histogram(metricLoadLatency, "End-to-end request latency, by class.", obs.HighResLatencyBuckets, label),
+			errCounts: make(map[string]int64),
+		}
+	}
+	inFlight := reg.Gauge(metricLoadInFlight, "Requests currently outstanding from the load harness.")
+
+	// pick draws a class by normalized weight, deterministically from rng.
+	pick := func(rng *rand.Rand) Class {
+		x := rng.Float64() * totalWeight
+		for _, c := range classOrder {
+			if w := weights[c]; w > 0 {
+				if x < w {
+					return c
+				}
+				x -= w
+			}
+		}
+		return ClassInteractive
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	next := start
+	seq := 0
+
+arrivals:
+	for {
+		// Exponential inter-arrival: Poisson process at cfg.Rate.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if next.After(end) {
+			break
+		}
+		class := pick(rng)
+		tenant := "t" + strconv.Itoa(rng.Intn(tenants))
+		seq++
+		if sleep := time.Until(next); sleep > 0 {
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				break arrivals
+			}
+		}
+		rec := recs[class]
+		rec.offered.Inc()
+		select {
+		case sem <- struct{}{}:
+		default:
+			rec.shed.Inc()
+			continue
+		}
+		req := cfg.Factory(class, tenant, seq)
+		wg.Add(1)
+		inFlight.Inc()
+		go func(rec *classRecorder, req Request) {
+			defer func() { <-sem; inFlight.Dec(); wg.Done() }()
+			t0 := time.Now()
+			httpReq, err := http.NewRequestWithContext(ctx, req.Method,
+				cfg.BaseURL+req.Path, bytes.NewReader(req.Body))
+			if err != nil {
+				rec.fail("transport")
+				return
+			}
+			httpReq.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(httpReq)
+			var body []byte
+			if err == nil {
+				var buf bytes.Buffer
+				_, rerr := buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if rerr == nil {
+					body = buf.Bytes()
+				}
+			}
+			if ok, key := classify(resp, body, err); ok {
+				rec.success(time.Since(t0))
+			} else {
+				rec.fail(key)
+			}
+		}(rec, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &Report{
+		Rate:        cfg.Rate,
+		DurationSec: elapsed.Seconds(),
+		Seed:        cfg.Seed,
+		Errors:      make(map[string]int64),
+	}
+	for _, c := range classOrder {
+		rec := recs[c]
+		if rec == nil {
+			continue
+		}
+		cr := ClassReport{
+			Class:      c,
+			Offered:    rec.offered.Value(),
+			Shed:       rec.shed.Value(),
+			Completed:  rec.completed,
+			OK:         rec.ok.Value(),
+			P50MS:      rec.lat.Quantile(0.50) * 1000,
+			P95MS:      rec.lat.Quantile(0.95) * 1000,
+			P99MS:      rec.lat.Quantile(0.99) * 1000,
+			Throughput: float64(rec.ok.Value()) / elapsed.Seconds(),
+		}
+		if n := rec.lat.Count(); n > 0 {
+			cr.MeanMS = rec.lat.Sum() / float64(n) * 1000
+		}
+		if len(rec.errCounts) > 0 {
+			cr.Errors = make(map[string]int64, len(rec.errCounts))
+			for k, v := range rec.errCounts {
+				cr.Errors[k] = v
+				report.Errors[k] += v
+			}
+		}
+		report.Offered += cr.Offered
+		report.Shed += cr.Shed
+		report.OK += cr.OK
+		report.Classes = append(report.Classes, cr)
+	}
+	if len(report.Errors) == 0 {
+		report.Errors = nil
+	}
+	report.Goodput = float64(report.OK) / elapsed.Seconds()
+	if report.Offered > 0 {
+		report.AchievedRatio = float64(report.OK) / float64(report.Offered)
+	}
+	sort.Slice(report.Classes, func(i, k int) bool {
+		return classIndex(report.Classes[i].Class) < classIndex(report.Classes[k].Class)
+	})
+	return report, nil
+}
+
+func classIndex(c Class) int {
+	for i, o := range classOrder {
+		if o == c {
+			return i
+		}
+	}
+	return len(classOrder)
+}

@@ -1,0 +1,355 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okStub answers everything 200 with an empty JSON object.
+func okStub() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}"))
+	}))
+}
+
+func mustRun(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	report, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return report
+}
+
+func passthroughFactory(class Class, tenant string, seq int) Request {
+	path := "/v1/diagnose"
+	if class != ClassInteractive {
+		path = "/v1/jobs"
+	}
+	body, _ := json.Marshal(map[string]any{"class": string(class), "tenant": tenant, "seq": seq})
+	return Request{Method: http.MethodPost, Path: path, Body: body}
+}
+
+func TestRunSeedPinsOfferedWorkload(t *testing.T) {
+	srv := okStub()
+	defer srv.Close()
+	cfg := Config{
+		BaseURL:  srv.URL,
+		Seed:     7,
+		Rate:     2000,
+		Duration: 250 * time.Millisecond,
+		Tenants:  4,
+		Factory:  passthroughFactory,
+	}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.Offered == 0 {
+		t.Fatalf("no arrivals offered at 2000/s over 250ms")
+	}
+	if a.Offered != b.Offered {
+		t.Fatalf("same seed, different offered totals: %d vs %d", a.Offered, b.Offered)
+	}
+	for _, class := range classOrder {
+		ca, cb := a.Class(class), b.Class(class)
+		if (ca == nil) != (cb == nil) {
+			t.Fatalf("class %s present in one run only", class)
+		}
+		if ca != nil && ca.Offered != cb.Offered {
+			t.Fatalf("class %s offered %d vs %d across same-seed runs", class, ca.Offered, cb.Offered)
+		}
+	}
+	c := mustRun(t, Config{
+		BaseURL: srv.URL, Seed: 8, Rate: 2000,
+		Duration: 250 * time.Millisecond, Tenants: 4, Factory: passthroughFactory,
+	})
+	if c.Offered == a.Offered {
+		t.Logf("note: different seeds coincidentally offered the same total (%d)", a.Offered)
+	}
+}
+
+func TestRunErrorTaxonomy(t *testing.T) {
+	// Interactive succeeds; sweep submissions get the queue_full envelope;
+	// cache-hit submissions crash with a bare 500.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var doc struct {
+			Class string `json:"class"`
+		}
+		body := new(bytes.Buffer)
+		body.ReadFrom(r.Body)
+		json.Unmarshal(body.Bytes(), &doc)
+		switch Class(doc.Class) {
+		case ClassBatch:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"queue is full"}}`))
+		case ClassCacheHit:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			w.Write([]byte("{}"))
+		}
+	}))
+	defer srv.Close()
+
+	report := mustRun(t, Config{
+		BaseURL:  srv.URL,
+		Seed:     3,
+		Rate:     1500,
+		Duration: 300 * time.Millisecond,
+		Mix:      Mix{Interactive: 1, Batch: 1, CacheHit: 1},
+		Factory:  passthroughFactory,
+	})
+	ic := report.Class(ClassInteractive)
+	if ic == nil || ic.OK == 0 || len(ic.Errors) != 0 {
+		t.Fatalf("interactive class = %+v, want successes and no errors", ic)
+	}
+	if ic.P50MS <= 0 || ic.P99MS < ic.P50MS {
+		t.Fatalf("interactive quantiles p50=%g p99=%g not sane", ic.P50MS, ic.P99MS)
+	}
+	bc := report.Class(ClassBatch)
+	if bc == nil || bc.OK != 0 || bc.Errors["queue_full"] != bc.Completed {
+		t.Fatalf("batch class = %+v, want every completion classified queue_full", bc)
+	}
+	cc := report.Class(ClassCacheHit)
+	if cc == nil || cc.Errors["http_500"] != cc.Completed {
+		t.Fatalf("cachehit class = %+v, want every completion classified http_500", cc)
+	}
+	if report.Errors["queue_full"] != bc.Errors["queue_full"] || report.Errors["http_500"] != cc.Errors["http_500"] {
+		t.Fatalf("aggregate taxonomy %v does not match per-class counts", report.Errors)
+	}
+	if report.AchievedRatio >= 1 {
+		t.Fatalf("achieved ratio %g should reflect the failed classes", report.AchievedRatio)
+	}
+}
+
+func TestRunShedsAtInFlightCap(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+	done := make(chan *Report, 1)
+	go func() {
+		report := mustRun(t, Config{
+			BaseURL:     srv.URL,
+			Seed:        5,
+			Rate:        500,
+			Duration:    200 * time.Millisecond,
+			MaxInFlight: 2,
+			Mix:         Mix{Interactive: 1},
+			Factory:     passthroughFactory,
+		})
+		done <- report
+	}()
+	time.Sleep(350 * time.Millisecond)
+	close(block) // release the two in-flight requests so Run can finish
+	report := <-done
+	if report.Shed == 0 {
+		t.Fatalf("expected shed arrivals with 2 in-flight slots at 500/s, report: %+v", report)
+	}
+	if report.OK != 2 {
+		t.Fatalf("OK = %d, want exactly the 2 in-flight slots", report.OK)
+	}
+	ic := report.Class(ClassInteractive)
+	if ic.Offered != ic.Shed+ic.Completed {
+		t.Fatalf("offered %d != shed %d + completed %d", ic.Offered, ic.Shed, ic.Completed)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := Config{BaseURL: "http://x", Rate: 1, Duration: time.Second, Factory: passthroughFactory}
+	for name, mutate := range map[string]func(*Config){
+		"no base url": func(c *Config) { c.BaseURL = "" },
+		"no factory":  func(c *Config) { c.Factory = nil },
+		"zero rate":   func(c *Config) { c.Rate = 0 },
+		"no duration": func(c *Config) { c.Duration = 0 },
+		"bad mix":     func(c *Config) { c.Mix = Mix{Interactive: -1, Batch: 1} },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: Run accepted an invalid config", name)
+		}
+	}
+}
+
+// synthReport builds a Report whose interactive class has the given p99.
+func synthReport(rate, p99MS, achieved, goodput float64) *Report {
+	return &Report{
+		Rate:          rate,
+		AchievedRatio: achieved,
+		Goodput:       goodput,
+		OK:            100,
+		Offered:       100,
+		Classes: []ClassReport{
+			{Class: ClassInteractive, OK: 60, P99MS: p99MS},
+		},
+	}
+}
+
+func TestSLOMet(t *testing.T) {
+	slo := SLO{InteractiveP99MS: 100, MinAchievedRatio: 0.9}
+	if !slo.met(synthReport(10, 50, 0.99, 9)) {
+		t.Fatalf("healthy step should meet the SLO")
+	}
+	if slo.met(synthReport(10, 150, 0.99, 9)) {
+		t.Fatalf("p99 over bound should fail the SLO")
+	}
+	if slo.met(synthReport(10, 50, 0.5, 5)) {
+		t.Fatalf("low achieved ratio should fail the SLO")
+	}
+	noInteractive := &Report{AchievedRatio: 1, Classes: []ClassReport{{Class: ClassBatch, OK: 10}}}
+	if slo.met(noInteractive) {
+		t.Fatalf("a step with no interactive completions cannot demonstrate the SLO")
+	}
+}
+
+func baselineRecord() *Record {
+	knee := synthReport(100, 50, 0.99, 95)
+	return &Record{KneeRate: 100, Knee: knee, Steps: []*Report{knee}}
+}
+
+func TestGatePassesOnEquivalentRun(t *testing.T) {
+	if v := Gate(baselineRecord(), baselineRecord(), DefaultTolerance); len(v) != 0 {
+		t.Fatalf("identical runs should pass, got %v", v)
+	}
+}
+
+func TestGateFlagsLostKnee(t *testing.T) {
+	fresh := &Record{KneeRate: 0}
+	v := Gate(baselineRecord(), fresh, DefaultTolerance)
+	if len(v) != 1 || !strings.Contains(v[0], "no step met the SLO") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestGateFlagsRegressions(t *testing.T) {
+	tol := Tolerance{P99Frac: 1.0, GoodputFrac: 0.4}
+	fresh := &Record{KneeRate: 25, Knee: synthReport(25, 150, 0.99, 20)}
+	v := Gate(baselineRecord(), fresh, tol)
+	var sawRate, sawGoodput, sawP99 bool
+	for _, s := range v {
+		switch {
+		case strings.Contains(s, "knee rate regressed"):
+			sawRate = true
+		case strings.Contains(s, "knee goodput regressed"):
+			sawGoodput = true
+		case strings.Contains(s, "interactive p99 at knee regressed"):
+			sawP99 = true
+		}
+	}
+	if !sawRate || !sawGoodput || !sawP99 {
+		t.Fatalf("violations = %v, want rate, goodput and p99 regressions flagged", v)
+	}
+	// The same numbers pass with tolerances wide enough to cover them.
+	loose := Tolerance{P99Frac: 3, GoodputFrac: 0.9}
+	if v := Gate(baselineRecord(), fresh, loose); len(v) != 0 {
+		t.Fatalf("loose tolerance should pass, got %v", v)
+	}
+}
+
+func TestGateRoundTripsThroughJSON(t *testing.T) {
+	rec := baselineRecord()
+	rec.Experiment = "e16_load"
+	rec.SLO = DefaultSLO
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if v := Gate(rec, &back, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("record should gate cleanly against its own JSON round trip: %v", v)
+	}
+}
+
+func TestPaperWorkloadFactory(t *testing.T) {
+	factory, err := PaperWorkload()
+	if err != nil {
+		t.Fatalf("PaperWorkload: %v", err)
+	}
+	inter := factory(ClassInteractive, "t0", 1)
+	if inter.Path != "/v1/diagnose" {
+		t.Fatalf("interactive path = %q", inter.Path)
+	}
+	var diag struct {
+		Spec  json.RawMessage   `json:"spec"`
+		IUT   json.RawMessage   `json:"iut"`
+		Suite []json.RawMessage `json:"suite"`
+	}
+	if err := json.Unmarshal(inter.Body, &diag); err != nil {
+		t.Fatalf("interactive body: %v", err)
+	}
+	if len(diag.Spec) == 0 || len(diag.IUT) == 0 || len(diag.Suite) == 0 {
+		t.Fatalf("interactive body missing spec/iut/suite: %s", inter.Body)
+	}
+
+	b1 := factory(ClassBatch, "t0", 1)
+	b2 := factory(ClassBatch, "t0", 2)
+	if b1.Path != "/v1/jobs" || bytes.Equal(b1.Body, b2.Body) {
+		t.Fatalf("batch payloads must be unique per arrival")
+	}
+
+	// Cache-hit request documents must be byte-identical across arrivals
+	// and tenants — that is what makes them cache hits.
+	var c1, c2 struct {
+		Kind    string          `json:"kind"`
+		Request json.RawMessage `json:"request"`
+	}
+	if err := json.Unmarshal(factory(ClassCacheHit, "t0", 3).Body, &c1); err != nil {
+		t.Fatalf("cachehit body: %v", err)
+	}
+	if err := json.Unmarshal(factory(ClassCacheHit, "t9", 4).Body, &c2); err != nil {
+		t.Fatalf("cachehit body: %v", err)
+	}
+	if c1.Kind != "diagnose" || !bytes.Equal(c1.Request, c2.Request) {
+		t.Fatalf("cachehit request documents differ across arrivals")
+	}
+}
+
+// TestRunBenchSingleStep drives the full in-process server once at a low
+// rate: the integration check that the harness, the jobs surface and the
+// tenant field all fit together.
+func TestRunBenchSingleStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("in-process load bench in -short mode")
+	}
+	rec, err := RunBench(context.Background(), BenchOptions{
+		Seed:         42,
+		Rates:        []float64{40},
+		StepDuration: 1200 * time.Millisecond,
+		Workers:      2,
+		Tenants:      3,
+	})
+	if err != nil {
+		t.Fatalf("RunBench: %v", err)
+	}
+	if len(rec.Steps) != 1 || rec.Experiment != "e16_load" || rec.GoMaxProcs == 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	step := rec.Steps[0]
+	if step.Offered == 0 {
+		t.Fatalf("no offered load in bench step")
+	}
+	ic := step.Class(ClassInteractive)
+	if ic == nil || ic.OK == 0 {
+		t.Fatalf("interactive class saw no successes: %+v", step)
+	}
+	if step.Class(ClassBatch) == nil || step.Class(ClassCacheHit) == nil {
+		t.Fatalf("default mix should exercise all three classes: %+v", step.Classes)
+	}
+	for _, c := range step.Classes {
+		if n := c.Errors["transport"] + c.Errors["timeout"]; n == c.Completed && c.Completed > 0 {
+			t.Fatalf("class %s never reached the server: %+v", c.Class, c)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileUniform pins the interpolated quantiles of a dense uniform
+// distribution: 10000 evenly spaced values in (0, 1] observed on a
+// fine-grained ladder must reproduce the true quantiles to within one
+// bucket's interpolation error.
+func TestQuantileUniform(t *testing.T) {
+	r := New()
+	buckets := make([]float64, 100)
+	for i := range buckets {
+		buckets[i] = float64(i+1) / 100
+	}
+	h := r.Histogram("cfsmdiag_test_uniform", "uniform", buckets)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i) / 10000)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.5}, {0.9, 0.9}, {0.95, 0.95}, {0.99, 0.99}, {1, 1},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 0.011 { // one bucket width + rounding
+			t.Errorf("Quantile(%g) = %g, want %g ± 0.011", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantilePointMass puts every observation in one bucket: every quantile
+// must land inside that bucket's bounds, and the median must sit near its
+// midpoint (uniform-within-bucket assumption).
+func TestQuantilePointMass(t *testing.T) {
+	r := New()
+	h := r.Histogram("cfsmdiag_test_point", "point mass", []float64{1, 2, 4, 8})
+	for i := 0; i < 1000; i++ {
+		h.Observe(3) // bucket (2, 4]
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 2 || got > 4 {
+			t.Errorf("Quantile(%g) = %g, want within the (2,4] bucket", q, got)
+		}
+	}
+	if med := h.Quantile(0.5); math.Abs(med-3) > 1 {
+		t.Errorf("median = %g, want ≈ 3", med)
+	}
+}
+
+// TestQuantileBimodal pins the quantiles of a two-cluster distribution: 90%
+// of mass near 1ms, 10% near 100ms. p50 must report the low cluster, p95+
+// the high one — the shape a latency SLO gate has to resolve.
+func TestQuantileBimodal(t *testing.T) {
+	r := New()
+	h := r.Histogram("cfsmdiag_test_bimodal", "bimodal", HighResLatencyBuckets)
+	for i := 0; i < 900; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.1)
+	}
+	if p50 := h.Quantile(0.5); p50 > 0.002 {
+		t.Errorf("p50 = %g, want ≤ 0.002 (low cluster)", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 0.05 || p95 > 0.2 {
+		t.Errorf("p95 = %g, want ≈ 0.1 (high cluster, ±1 bucket)", p95)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.05 || p99 > 0.2 {
+		t.Errorf("p99 = %g, want ≈ 0.1 (high cluster, ±1 bucket)", p99)
+	}
+}
+
+// TestQuantileExponential checks the high-resolution ladder against a seeded
+// exponential distribution (the loadgen arrival/latency shape): every
+// interpolated quantile must be within the ladder's ±25% relative error of
+// the exact sample quantile.
+func TestQuantileExponential(t *testing.T) {
+	r := New()
+	h := r.Histogram("cfsmdiag_test_expo", "exponential", HighResLatencyBuckets)
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64() * 0.010 // mean 10ms
+		h.Observe(samples[i])
+	}
+	exact := func(q float64) float64 {
+		// Selection by sorting a copy is fine at this size.
+		s := append([]float64(nil), samples...)
+		for i := 1; i < len(s); i++ {
+			for k := i; k > 0 && s[k] < s[k-1]; k-- {
+				s[k], s[k-1] = s[k-1], s[k]
+			}
+		}
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return s[idx]
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got, want := h.Quantile(q), exact(q)
+		if math.Abs(got-want)/want > 0.25 {
+			t.Errorf("Quantile(%g) = %g, exact %g: relative error > 25%%", q, got, want)
+		}
+	}
+}
+
+// TestQuantileEdgeCases: nil and empty histograms answer 0; overflow ranks
+// report the highest finite bound rather than inventing a tail.
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+	r := New()
+	h := r.Histogram("cfsmdiag_test_empty", "empty", []float64{1, 2})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf overflow
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only Quantile = %g, want highest finite bound 2", got)
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	h2 := r.Histogram("cfsmdiag_test_clamp", "clamp", []float64{1, 2})
+	h2.Observe(0.5)
+	if got := h2.Quantile(-1); got <= 0 || got > 1 {
+		t.Errorf("Quantile(-1) = %g, want within first bucket", got)
+	}
+	if got := h2.Quantile(2); got <= 0 || got > 1 {
+		t.Errorf("Quantile(2) = %g, want within first bucket", got)
+	}
+}
+
+// TestHighResLatencyBucketsShape sanity-checks the preset: sorted, strictly
+// increasing by the documented ratio, spanning 50µs to beyond 60s.
+func TestHighResLatencyBucketsShape(t *testing.T) {
+	bs := HighResLatencyBuckets
+	if len(bs) == 0 {
+		t.Fatal("empty preset")
+	}
+	if bs[0] > 50e-6*1.0001 {
+		t.Errorf("first bucket %g, want 50µs", bs[0])
+	}
+	if last := bs[len(bs)-1]; last < 60 {
+		t.Errorf("last bucket %g, want ≥ 60s", last)
+	}
+	for i := 1; i < len(bs); i++ {
+		ratio := bs[i] / bs[i-1]
+		if ratio < 1.49 || ratio > 1.51 {
+			t.Errorf("bucket ratio [%d] = %g, want 1.5", i, ratio)
+		}
+	}
+}

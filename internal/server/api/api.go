@@ -32,10 +32,14 @@ const (
 	CodeCanceled         = "canceled"
 	CodeInternal         = "internal"
 	CodeQueueFull        = "queue_full"
-	CodeConflict         = "conflict"
-	CodeUnavailable      = "unavailable"
-	CodeGone             = "gone"
-	CodeLeaseExpired     = "lease_expired"
+	// CodeTenantRateLimited: a per-tenant admission bucket rejected the
+	// submission — distinct from queue_full so clients can tell "you,
+	// specifically, are flooding" from "the shared queue is saturated".
+	CodeTenantRateLimited = "tenant_rate_limited"
+	CodeConflict          = "conflict"
+	CodeUnavailable       = "unavailable"
+	CodeGone              = "gone"
+	CodeLeaseExpired      = "lease_expired"
 )
 
 // ErrorDetail is the envelope's body.

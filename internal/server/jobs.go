@@ -22,13 +22,19 @@ import (
 // The batch surface mounts the durable job queue (internal/jobs) as
 // /v1/jobs:
 //
-//	POST   /v1/jobs              submit {"kind","priority","request"} -> 202 job
+//	POST   /v1/jobs              submit {"kind","priority","tenant","request"} -> 202 job
 //	                             (200 when the result cache answers; 429 +
-//	                             Retry-After when admission control rejects)
+//	                             Retry-After when admission control rejects —
+//	                             code queue_full for the shared queue,
+//	                             tenant_rate_limited for a per-tenant bucket)
 //	GET    /v1/jobs              list job statuses + queue stats
 //	GET    /v1/jobs/stats        queue stats only
 //	GET    /v1/jobs/{id}         one job's status (no payload/result)
 //	GET    /v1/jobs/{id}/result  terminal job incl. result; 409 while live
+//	GET    /v1/jobs/{id}/events  lifecycle event stream: SSE when the client
+//	                             accepts text/event-stream, long-poll with
+//	                             ?wait=<duration>&after=<seq>, plain JSON
+//	                             snapshot otherwise (see sse.go)
 //	POST   /v1/jobs/{id}/cancel  cancel (DELETE /v1/jobs/{id} is equivalent)
 //
 // Submissions are content-addressed: the request document is canonicalized
@@ -40,9 +46,13 @@ import (
 // kind's own request document — for "diagnose" the /v1/diagnose body, for
 // "sweep" a sweepJobRequest.
 type jobSubmitRequest struct {
-	Kind     string          `json:"kind"`
-	Priority string          `json:"priority,omitempty"`
-	Request  json.RawMessage `json:"request"`
+	Kind     string `json:"kind"`
+	Priority string `json:"priority,omitempty"`
+	// Tenant attributes the submission for per-tenant fair admission (when
+	// the server runs with -jobs-tenant-rate); empty shares the anonymous
+	// bucket.
+	Tenant  string          `json:"tenant,omitempty"`
+	Request json.RawMessage `json:"request"`
 }
 
 // jobView is the status wire form: the job without its (possibly large)
@@ -51,6 +61,7 @@ type jobView struct {
 	ID         string     `json:"id"`
 	Kind       string     `json:"kind"`
 	Priority   string     `json:"priority"`
+	Tenant     string     `json:"tenant,omitempty"`
 	Key        string     `json:"key"`
 	State      string     `json:"state"`
 	Cached     bool       `json:"cached,omitempty"`
@@ -69,8 +80,8 @@ type jobResult struct {
 
 func viewOf(j *jobs.Job) jobView {
 	v := jobView{
-		ID: j.ID, Kind: j.Kind, Priority: string(j.Priority), Key: j.Key,
-		State: string(j.State), Cached: j.Cached, Attempts: j.Attempts,
+		ID: j.ID, Kind: j.Kind, Priority: string(j.Priority), Tenant: j.Tenant,
+		Key: j.Key, State: string(j.State), Cached: j.Cached, Attempts: j.Attempts,
 		Error: j.Error, EnqueuedAt: j.EnqueuedAt,
 	}
 	if !j.StartedAt.IsZero() {
@@ -107,7 +118,14 @@ func strictUnmarshal(data []byte, v any) error {
 
 // writeJobsErr maps job-manager errors onto the envelope.
 func writeJobsErr(w http.ResponseWriter, mgr *jobs.Manager, err error) {
+	var limited *jobs.RateLimitError
 	switch {
+	case errors.As(err, &limited):
+		// Per-tenant rejection: same 429 as queue_full but a distinct code,
+		// and the Retry-After comes from the tenant's own bucket refill, not
+		// the shared backlog estimate.
+		w.Header().Set("Retry-After", strconv.Itoa(int(limited.RetryAfter/time.Second)))
+		writeErr(w, http.StatusTooManyRequests, codeTenantRateLimited, err)
 	case errors.Is(err, jobs.ErrQueueFull):
 		retry := mgr.Stats().RetryAfter()
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
@@ -185,6 +203,7 @@ func (s *api) handleJobSubmit(mgr *jobs.Manager, w http.ResponseWriter, r *http.
 	j, err := mgr.Submit(jobs.SubmitRequest{
 		Kind:     req.Kind,
 		Priority: jobs.Priority(req.Priority),
+		Tenant:   req.Tenant,
 		Payload:  payload,
 	})
 	if err != nil {
@@ -246,6 +265,8 @@ func (s *api) handleJob(mgr *jobs.Manager) http.HandlerFunc {
 				return
 			}
 			writeJSON(w, http.StatusOK, jobResult{jobView: viewOf(j), Result: j.Result})
+		case action == "events" && (r.Method == http.MethodGet || r.Method == http.MethodHead):
+			s.handleJobEvents(mgr, w, r, id)
 		case action == "cancel" && r.Method == http.MethodPost:
 			s.handleJobCancel(mgr, w, r, id)
 		default:

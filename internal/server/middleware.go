@@ -100,6 +100,19 @@ func newRequestID() string {
 // panic recovery, request ID, in-flight gauge, per-request timeout, then
 // metrics + access log on the way out.
 func (s *api) wrap(route string, h http.HandlerFunc) http.Handler {
+	return s.wrapWith(route, h, true)
+}
+
+// wrapStream is wrap without the per-request timeout: lifecycle-event
+// streams (SSE, long-poll) are deliberately long-lived, so bounding them by
+// RequestTimeout would sever every watcher mid-stream. The client's
+// disconnect still cancels the request context, and the handlers bound
+// themselves (long-poll caps its wait, SSE ends at the terminal event).
+func (s *api) wrapStream(route string, h http.HandlerFunc) http.Handler {
+	return s.wrapWith(route, h, false)
+}
+
+func (s *api) wrapWith(route string, h http.HandlerFunc, withTimeout bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 
@@ -110,7 +123,7 @@ func (s *api) wrap(route string, h http.HandlerFunc) http.Handler {
 		w.Header().Set("X-Request-ID", reqID)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
 
-		if s.cfg.RequestTimeout > 0 {
+		if withTimeout && s.cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)

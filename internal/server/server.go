@@ -36,7 +36,12 @@
 // content-addressed result cache, and a full queue rejects work with 429
 // plus a Retry-After estimate. GET /v1/jobs lists in stable order (submit
 // time, then id) with ?limit=/?offset= pagination and an optional ?state=
-// filter.
+// filter. GET /v1/jobs/{id}/events streams a job's lifecycle: Server-Sent
+// Events when the client accepts text/event-stream, long-poll with
+// ?wait=/?after= otherwise (see sse.go). With Config.JobsTenantRate set,
+// queue admissions are additionally metered per tenant (the submission's
+// "tenant" field); a flooding tenant answers 429 with the distinct
+// tenant_rate_limited code while other tenants keep submitting.
 //
 // # Endpoints (cluster)
 //
@@ -101,6 +106,7 @@ import (
 	"mime"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"cfsmdiag/internal/cfsm"
@@ -164,6 +170,15 @@ type Config struct {
 	// JobsQueueDepth caps queued jobs; submissions beyond it answer 429
 	// with a Retry-After estimate. <= 0 selects the jobs package default.
 	JobsQueueDepth int
+	// JobsTenantRate enables per-tenant fair admission on the job queue:
+	// each tenant's queue admissions are metered at this rate (submissions
+	// per second); beyond it the submission answers 429 with the distinct
+	// tenant_rate_limited code and a Retry-After from the tenant's own
+	// bucket. <= 0 disables per-tenant limiting.
+	JobsTenantRate float64
+	// JobsTenantBurst is each tenant bucket's burst capacity; <= 0 selects
+	// about one second of JobsTenantRate (minimum 1).
+	JobsTenantBurst int
 	// Tracer receives job.* events (submit, run spans, cache hits, drain);
 	// nil disables job tracing.
 	Tracer *trace.Tracer
@@ -232,6 +247,7 @@ func (c Config) withDefaults() Config {
 type api struct {
 	cfg    Config
 	m      httpMetrics
+	sse    sseMetrics
 	models *modelRegistry
 }
 
@@ -291,6 +307,7 @@ func NewService(cfg Config) (*Service, error) {
 	s := &api{
 		cfg:    cfg,
 		m:      newHTTPMetrics(cfg.Registry),
+		sse:    newSSEMetrics(cfg.Registry),
 		models: newModelRegistry(cfg.Registry, cfg.ModelCacheEntries),
 	}
 
@@ -347,12 +364,14 @@ func NewService(cfg Config) (*Service, error) {
 	svc := &Service{handler: mux}
 	if cfg.EnableJobs {
 		mgr, err := jobs.Open(jobs.Config{
-			Workers:    cfg.JobsWorkers,
-			QueueDepth: cfg.JobsQueueDepth,
-			Dir:        cfg.JobsDir,
-			Registry:   cfg.Registry,
-			Logger:     cfg.Logger,
-			Tracer:     cfg.Tracer,
+			Workers:     cfg.JobsWorkers,
+			QueueDepth:  cfg.JobsQueueDepth,
+			Dir:         cfg.JobsDir,
+			TenantRate:  cfg.JobsTenantRate,
+			TenantBurst: cfg.JobsTenantBurst,
+			Registry:    cfg.Registry,
+			Logger:      cfg.Logger,
+			Tracer:      cfg.Tracer,
 		}, map[string]jobs.Executor{
 			"diagnose": s.execDiagnose,
 			"sweep":    s.execSweep,
@@ -362,7 +381,18 @@ func NewService(cfg Config) (*Service, error) {
 		}
 		svc.mgr = mgr
 		mux.Handle("/v1/jobs", s.wrap("/v1/jobs", s.handleJobs(mgr)))
-		mux.Handle("/v1/jobs/", s.wrap("/v1/jobs/{id}", s.handleJob(mgr)))
+		// The events route is long-lived by design (SSE, long-poll), so it
+		// bypasses the per-request timeout; everything else under /v1/jobs/
+		// keeps the standard chain.
+		jobH := s.wrap("/v1/jobs/{id}", s.handleJob(mgr))
+		eventsH := s.wrapStream("/v1/jobs/{id}/events", s.handleJob(mgr))
+		mux.Handle("/v1/jobs/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/events") {
+				eventsH.ServeHTTP(w, r)
+				return
+			}
+			jobH.ServeHTTP(w, r)
+		}))
 	}
 	if cfg.EnableCluster {
 		coord, err := cluster.Open(cluster.Config{
@@ -423,6 +453,7 @@ func RouteList(cfg Config) []string {
 		routes = append(routes,
 			"POST /v1/jobs", "GET /v1/jobs", "GET /v1/jobs/stats",
 			"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result",
+			"GET /v1/jobs/{id}/events (SSE / long-poll)",
 			"POST /v1/jobs/{id}/cancel", "DELETE /v1/jobs/{id}")
 	}
 	if cfg.EnableCluster {
@@ -447,21 +478,22 @@ func RouteList(cfg Config) []string {
 // Error codes of the v1 envelope, shared with every other HTTP surface
 // through internal/server/api (one envelope for the whole service).
 const (
-	codeBadRequest       = httpapi.CodeBadRequest
-	codeMethodNotAllowed = httpapi.CodeMethodNotAllowed
-	codeUnsupportedMedia = httpapi.CodeUnsupportedMedia
-	codePayloadTooLarge  = httpapi.CodePayloadTooLarge
-	codeSuiteTooLarge    = httpapi.CodeSuiteTooLarge
-	codeUnprocessable    = httpapi.CodeUnprocessable
-	codeUnsupportedModel = httpapi.CodeUnsupportedModel
-	codeNotFound         = httpapi.CodeNotFound
-	codeNotImplemented   = httpapi.CodeNotImplemented
-	codeTimeout          = httpapi.CodeTimeout
-	codeCanceled         = httpapi.CodeCanceled
-	codeInternal         = httpapi.CodeInternal
-	codeQueueFull        = httpapi.CodeQueueFull
-	codeConflict         = httpapi.CodeConflict
-	codeUnavailable      = httpapi.CodeUnavailable
+	codeBadRequest        = httpapi.CodeBadRequest
+	codeMethodNotAllowed  = httpapi.CodeMethodNotAllowed
+	codeUnsupportedMedia  = httpapi.CodeUnsupportedMedia
+	codePayloadTooLarge   = httpapi.CodePayloadTooLarge
+	codeSuiteTooLarge     = httpapi.CodeSuiteTooLarge
+	codeUnprocessable     = httpapi.CodeUnprocessable
+	codeUnsupportedModel  = httpapi.CodeUnsupportedModel
+	codeNotFound          = httpapi.CodeNotFound
+	codeNotImplemented    = httpapi.CodeNotImplemented
+	codeTimeout           = httpapi.CodeTimeout
+	codeCanceled          = httpapi.CodeCanceled
+	codeInternal          = httpapi.CodeInternal
+	codeQueueFull         = httpapi.CodeQueueFull
+	codeTenantRateLimited = httpapi.CodeTenantRateLimited
+	codeConflict          = httpapi.CodeConflict
+	codeUnavailable       = httpapi.CodeUnavailable
 )
 
 type errorDetail = httpapi.ErrorDetail

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cfsmdiag/internal/jobs"
+	"cfsmdiag/internal/obs"
+)
+
+// GET /v1/jobs/{id}/events streams a job's lifecycle — the push counterpart
+// of polling the status route. Three modes, negotiated per request:
+//
+//   - SSE, when the client sends "Accept: text/event-stream": the retained
+//     history replays first, then live events follow as they happen, each as
+//     an SSE frame (id: the event's seq, event: the state name, data: the
+//     JSON event). The stream ends after the terminal event. Heartbeat
+//     comments keep idle connections alive through proxies, and Last-Event-ID
+//     (or ?after=) resumes a reconnect without replaying what the client saw.
+//
+//   - Long-poll, with ?wait=<duration>: events after ?after=<seq> are
+//     returned as JSON as soon as at least one exists, or an empty list when
+//     the wait elapses first. The poll loop "GET ?wait=30s&after=<last>" is
+//     the fallback for clients that cannot hold an SSE connection.
+//
+//   - Snapshot, otherwise: the retained history after ?after=<seq>, as JSON.
+//
+// Both JSON modes answer {"events": [...]}; the stream is over when an
+// event has "terminal": true. The route is mounted without the per-request
+// timeout (wrapStream) — the client's disconnect or the terminal event ends
+// it instead.
+
+// SSE metric families.
+const (
+	metricSSEStreams       = "cfsmdiag_sse_streams"
+	metricSSEStreamsServed = "cfsmdiag_sse_streams_total"
+	metricSSEEvents        = "cfsmdiag_sse_events_total"
+	metricSSEHeartbeats    = "cfsmdiag_sse_heartbeats_total"
+	metricSSELongPolls     = "cfsmdiag_sse_long_polls_total"
+)
+
+// sseHeartbeatInterval keeps idle streams alive through connection-idle
+// timeouts in proxies; a var so stream tests do not wait 15 seconds.
+var sseHeartbeatInterval = 15 * time.Second
+
+// sseMetrics bundles the stream-surface handles.
+type sseMetrics struct {
+	streams    *obs.Gauge
+	served     *obs.Counter
+	events     *obs.Counter
+	heartbeats *obs.Counter
+	longPolls  *obs.Counter
+}
+
+func newSSEMetrics(r *obs.Registry) sseMetrics {
+	return sseMetrics{
+		streams:    r.Gauge(metricSSEStreams, "Live SSE job-event streams."),
+		served:     r.Counter(metricSSEStreamsServed, "SSE job-event streams opened."),
+		events:     r.Counter(metricSSEEvents, "Job lifecycle events delivered over SSE."),
+		heartbeats: r.Counter(metricSSEHeartbeats, "Heartbeat comments written to idle SSE streams."),
+		longPolls:  r.Counter(metricSSELongPolls, "Long-poll requests served on the job-events route."),
+	}
+}
+
+// eventsAfter parses the resume position: ?after= wins, then Last-Event-ID
+// (the header SSE clients replay on reconnect).
+func eventsAfter(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("after")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	after, err := strconv.Atoi(raw)
+	if err != nil || after < 0 {
+		return 0, fmt.Errorf("after/Last-Event-ID %q is not a non-negative integer", raw)
+	}
+	return after, nil
+}
+
+// wantsSSE reports whether the client negotiated an event stream.
+func wantsSSE(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/event-stream")
+}
+
+// handleJobEvents dispatches the three modes of the events route.
+func (s *api) handleJobEvents(mgr *jobs.Manager, w http.ResponseWriter, r *http.Request, id string) {
+	after, err := eventsAfter(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	if wantsSSE(r) {
+		s.serveSSE(mgr, w, r, id, after)
+		return
+	}
+	if waitRaw := r.URL.Query().Get("wait"); waitRaw != "" {
+		wait, err := time.ParseDuration(waitRaw)
+		if err != nil || wait < 0 {
+			writeErr(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("wait %q is not a non-negative duration", waitRaw))
+			return
+		}
+		s.serveLongPoll(mgr, w, r, id, after, wait)
+		return
+	}
+	events, err := mgr.Events(id)
+	if err != nil {
+		writeJobsErr(w, mgr, err)
+		return
+	}
+	if after > len(events) {
+		after = len(events)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": events[after:]})
+}
+
+// maxLongPollWait caps ?wait= so a poll never outlives typical LB idle
+// timeouts; clients just poll again.
+const maxLongPollWait = 60 * time.Second
+
+// serveLongPoll answers with events after the resume point, blocking up to
+// wait for the first one.
+func (s *api) serveLongPoll(mgr *jobs.Manager, w http.ResponseWriter, r *http.Request, id string, after int, wait time.Duration) {
+	s.sse.longPolls.Inc()
+	if wait > maxLongPollWait {
+		wait = maxLongPollWait
+	}
+	history, live, cancel, err := mgr.Watch(id, after)
+	if err != nil {
+		writeJobsErr(w, mgr, err)
+		return
+	}
+	defer cancel()
+	events := history
+	if len(events) == 0 && wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+	collect:
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					break collect
+				}
+				events = append(events, ev)
+				if ev.Terminal {
+					break collect
+				}
+				// Drain whatever arrived in the same burst without blocking.
+				for {
+					select {
+					case ev, ok := <-live:
+						if !ok {
+							break collect
+						}
+						events = append(events, ev)
+						if ev.Terminal {
+							break collect
+						}
+					default:
+						break collect
+					}
+				}
+			case <-timer.C:
+				break collect
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	if events == nil {
+		events = []jobs.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": events})
+}
+
+// serveSSE streams history and live events until the terminal event, the
+// client disconnects, or the manager shuts down.
+func (s *api) serveSSE(mgr *jobs.Manager, w http.ResponseWriter, r *http.Request, id string, after int) {
+	// Probe the job before committing to the stream content type so unknown
+	// IDs still get the JSON error envelope.
+	if _, err := mgr.Get(id); err != nil {
+		writeJobsErr(w, mgr, err)
+		return
+	}
+	rc := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+	// Suggest a client reconnect delay for dropped connections.
+	fmt.Fprint(w, "retry: 2000\n\n")
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	s.sse.served.Inc()
+	s.sse.streams.Inc()
+	defer s.sse.streams.Dec()
+
+	heartbeat := time.NewTicker(sseHeartbeatInterval)
+	defer heartbeat.Stop()
+
+	send := func(ev jobs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.State, data)
+		if err := rc.Flush(); err != nil {
+			return false
+		}
+		s.sse.events.Inc()
+		return true
+	}
+
+	last := after
+	for {
+		history, live, cancel, err := mgr.Watch(id, last)
+		if err != nil {
+			return // job evicted mid-stream; the client reconnects and gets 404
+		}
+		progressed := false
+		for _, ev := range history {
+			last = ev.Seq
+			progressed = true
+			if !send(ev) {
+				cancel()
+				return
+			}
+			if ev.Terminal {
+				cancel()
+				return
+			}
+		}
+	liveLoop:
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					// Closed without a terminal event: either this subscriber
+					// overflowed (resubscribe from last) or the manager is
+					// shutting down (no progress on the next Watch → give up).
+					break liveLoop
+				}
+				last = ev.Seq
+				progressed = true
+				if !send(ev) {
+					cancel()
+					return
+				}
+				if ev.Terminal {
+					cancel()
+					return
+				}
+			case <-heartbeat.C:
+				fmt.Fprint(w, ": heartbeat\n\n")
+				if err := rc.Flush(); err != nil {
+					cancel()
+					return
+				}
+				s.sse.heartbeats.Inc()
+			case <-r.Context().Done():
+				cancel()
+				return
+			}
+		}
+		cancel()
+		if !progressed {
+			// A Watch that yields nothing and closes immediately means the
+			// manager is draining; end the stream rather than spinning.
+			return
+		}
+	}
+}
