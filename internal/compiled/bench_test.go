@@ -6,6 +6,7 @@ import (
 	"cfsmdiag/internal/compiled"
 	"cfsmdiag/internal/experiments"
 	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/testgen"
 )
 
 // The before/after pair backing BENCH_compile.json: the same serial sweep on
@@ -39,6 +40,24 @@ func benchmarkSweep(b *testing.B, interpreted bool) {
 
 func BenchmarkSweepInterpreted(b *testing.B) { benchmarkSweep(b, true) }
 func BenchmarkSweepCompiled(b *testing.B)   { benchmarkSweep(b, false) }
+
+// BenchmarkSweepTour is the workload behind the workers=1 row of
+// BENCH_sweep.json (`cfsmdiag sweep -paper -benchjson`): the Figure 1 sweep
+// with the generated transition-tour suite.
+func BenchmarkSweepTour(b *testing.B) {
+	spec := paper.MustFigure1()
+	suite, uncovered := testgen.Tour(spec, 0)
+	if len(uncovered) > 0 {
+		b.Fatalf("tour left %v uncovered", uncovered)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweepOpts(spec, suite,
+			experiments.SweepOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkRunnerSuite measures the compiled simulator alone (the oracle hot
 // path), next to the interpreted System.RunSuite.

@@ -1,0 +1,35 @@
+package compiled
+
+// Bits is a fixed-capacity bitset over compiled transition indices. The
+// analysis layer (Steps 4–5A) uses it for conflict sets and their
+// intersection: membership and intersection over int32 indices replace the
+// map[cfsm.Ref]bool / map[cfsm.Ref]int sets of the interpreted path.
+type Bits []uint64
+
+// NewBits returns a zeroed bitset able to hold n indices.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Reset clears every bit, keeping the capacity.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Set marks index i.
+func (b Bits) Set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Has reports whether index i is marked.
+func (b Bits) Has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// And intersects b with o in place. The two sets must have equal capacity.
+func (b Bits) And(o Bits) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// CopyFrom overwrites b with o. The two sets must have equal capacity.
+func (b Bits) CopyFrom(o Bits) {
+	copy(b, o)
+}

@@ -15,27 +15,41 @@ import (
 // representation differs — dense tables, one-cell overlays and packed
 // integer configurations instead of string-keyed maps and system clones.
 //
-// An Engine is NOT safe for concurrent use (it reuses scratch buffers);
-// give each worker its own Engine over a shared Program.
+// An Engine is NOT safe for concurrent use: every exported method may read
+// and write the scratch fields below (the runner's configuration buffer, the
+// suite/observation caches, the Ref memo, the search and analysis scratch),
+// none of which are synchronized. The concurrency contract is
+// one-goroutine-per-Engine: give each worker its own Engine over a shared,
+// immutable Program (EngineFor is cheap), the sharing the sweep's worker
+// pool implements and TestEngineSharingAcrossWorkers exercises under -race.
 type Engine struct {
 	p *Program
 	r *Runner // scratch runner for explains and variant runs
 
-	// Compiled-suite cache, keyed by slice identity: sweeps call Explains
-	// with the same base suite for every hypothesis of every mutant.
-	suiteKey  *cfsm.TestCase
-	suiteLen  int
-	suite     [][]cin
-	suiteBad  []error // per-case compile error (out-of-range port)
+	// Compiled-suite cache: sweeps call Explains (and AnalyzeInto) with the
+	// same base suite for every hypothesis of every mutant. SetSuite installs
+	// a suite compiled once per sweep and shared — it is immutable — across
+	// every worker engine; otherwise suiteFor compiles lazily, keyed by
+	// slice identity.
+	csuite    *Suite
 	obsKey    *[]cfsm.Observation
 	obsLen    int
 	observed  [][]cobs
 	inBuf     []cin
 	searchBuf search
 
+	// Analysis scratch (see analysis.go), reused across AnalyzeInto calls.
+	anInter Bits
+	anCur   Bits
+	anITC   [][]int32
+	anFTCtr [][]int32
+	anFTCco [][]int32
+
 	// One-entry memo for the fault.Ref→transition-index map lookup:
 	// sweep callers probe every fault of one transition consecutively, and
-	// hashing cfsm.Ref map keys shows up in sweep profiles (~6%).
+	// hashing cfsm.Ref map keys shows up in sweep profiles (~6%). Unsynchronized
+	// like the rest of the scratch state: safe only under the
+	// one-goroutine-per-Engine contract above.
 	memoRef   cfsm.Ref
 	memoIdx   int32
 	memoFound bool
@@ -83,24 +97,26 @@ func EngineFor(p *Program) (*Engine, error) {
 // Program returns the engine's compiled program.
 func (e *Engine) Program() *Program { return e.p }
 
-// compileSuite lowers the suite, cached by slice identity.
-func (e *Engine) compileSuite(suite []cfsm.TestCase) {
-	if len(suite) > 0 && e.suiteKey == &suite[0] && e.suiteLen == len(suite) {
-		return
+// SetSuite installs a suite compiled once (NewSuite) for reuse by Explains
+// and AnalyzeInto. A sweep compiles the suite a single time and installs it
+// on every worker engine; the Suite is immutable, so the sharing is safe.
+// The suite must have been compiled against this engine's program.
+func (e *Engine) SetSuite(s *Suite) {
+	if s != nil && s.p != e.p {
+		panic("compiled: SetSuite with a suite of a different program")
 	}
-	e.suite = e.suite[:0]
-	e.suiteBad = e.suiteBad[:0]
-	for _, tc := range suite {
-		ci, err := e.p.compileInputs(tc.Inputs, nil)
-		e.suite = append(e.suite, ci)
-		e.suiteBad = append(e.suiteBad, err)
+	e.csuite = s
+}
+
+// suiteFor resolves the compiled form of a suite: the installed/cached one
+// when it matches by slice identity, otherwise a fresh compilation (cached
+// for the next call — one analysis probes the same suite per hypothesis).
+func (e *Engine) suiteFor(suite []cfsm.TestCase) *Suite {
+	if e.csuite.Matches(suite) {
+		return e.csuite
 	}
-	if len(suite) > 0 {
-		e.suiteKey = &suite[0]
-	} else {
-		e.suiteKey = nil
-	}
-	e.suiteLen = len(suite)
+	e.csuite = NewSuite(e.p, suite)
+	return e.csuite
 }
 
 // compileObserved lowers the observation sequences, cached by slice
@@ -110,9 +126,12 @@ func (e *Engine) compileObserved(observed [][]cfsm.Observation) {
 	if len(observed) > 0 && e.obsKey == &observed[0] && e.obsLen == len(observed) {
 		return
 	}
-	e.observed = e.observed[:0]
-	for _, obs := range observed {
-		e.observed = append(e.observed, e.p.compileObs(obs, nil))
+	for len(e.observed) < len(observed) {
+		e.observed = append(e.observed, nil)
+	}
+	e.observed = e.observed[:len(observed)]
+	for i, obs := range observed {
+		e.observed[i] = e.p.compileObs(obs, e.observed[i])
 	}
 	if len(observed) > 0 {
 		e.obsKey = &observed[0]
@@ -132,22 +151,54 @@ func (e *Engine) Explains(suite []cfsm.TestCase, observed [][]cfsm.Observation, 
 	if !ok {
 		return false
 	}
-	e.compileSuite(suite)
+	s := e.suiteFor(suite)
 	e.compileObserved(observed)
+	return e.explainsOverlay(s, e.observed, ov)
+}
+
+// explainsOverlay is Explains after fault lowering: it replays the compiled
+// suite under the overlay and compares against the compiled observations.
+// The compiled analysis (AnalyzeInto) calls it directly with overlays it
+// synthesizes, skipping the per-hypothesis fault construction and validation.
+//
+// A single-cell overlay on transition t behaves exactly like the
+// specification until t first executes, and an overlay never changes when t
+// fires (its From/Input guard is not overlaid). The replay therefore skips
+// the simulation up to fireStep(t): the prefix is compared against the
+// precomputed expected observations, and the simulation resumes from the
+// suite's configuration snapshot. A case in which t never executes reduces
+// to the prefix comparison alone.
+func (e *Engine) explainsOverlay(s *Suite, observed [][]cobs, ov Overlay) bool {
 	r := e.r
 	r.ov = ov
 	defer r.Flush()
-	for i := range e.suite {
-		if e.suiteBad[i] != nil {
+	n := len(e.p.machines)
+	for i := range s.cases {
+		c := &s.cases[i]
+		if c.badInput {
 			return false
 		}
-		want := e.observed[i]
-		if len(want) != len(e.suite[i]) {
+		want := observed[i]
+		if len(want) != len(c.inputs) {
 			return false
 		}
-		r.restart()
-		for j, ci := range e.suite[i] {
-			o, _, _, err := r.step(ci)
+		j0 := 0
+		if ov.t >= 0 && c.snap {
+			j0 = c.fireStep(ov.t)
+			for j := 0; j < j0; j++ {
+				if c.expC[j] != want[j] {
+					return false
+				}
+			}
+			if j0 == len(c.inputs) {
+				continue
+			}
+			copy(r.cfg, c.cfgs[j0*n:(j0+1)*n])
+		} else {
+			r.restart()
+		}
+		for j := j0; j < len(c.inputs); j++ {
+			o, _, _, err := r.step(c.inputs[j])
 			if err != nil {
 				return false
 			}

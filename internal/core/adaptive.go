@@ -398,10 +398,14 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 
 	// Transfer sequence to the candidate's source state, avoiding every
 	// candidate transition including the one under test (its behaviour is
-	// not yet trusted).
-	avoidWithSelf := avoid.Clone()
-	avoidWithSelf[ref] = true
-	transferInputs, ok := eng.TransferToState(ref.Machine, t.From, avoidWithSelf)
+	// not yet trusted). The self entry is added in place and removed after
+	// the search — TransferToState only reads the set.
+	hadSelf := avoid[ref]
+	avoid[ref] = true
+	transferInputs, ok := eng.TransferToState(ref.Machine, t.From, avoid)
+	if !hadSelf {
+		delete(avoid, ref)
+	}
 	if !ok {
 		// The candidate cannot be exercised without touching another
 		// candidate: its hypotheses stay unresolved.
@@ -444,7 +448,7 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 			}
 			return candidateOutcome{}, fmt.Errorf("core: execute %s: %w", test.Name, err)
 		}
-		expected, err := a.Spec.Run(test)
+		expected, err := specVar.Run(test)
 		if err != nil {
 			return candidateOutcome{}, fmt.Errorf("core: predict %s: %w", test.Name, err)
 		}

@@ -148,20 +148,27 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		Addresses:    make(map[cfsm.Ref][]int),
 	}
 
-	// Steps 1–3: expected outputs, symptoms, unique symptom transition, flag.
-	traces := make([][][]cfsm.Executed, len(suite))
-	for i, tc := range suite {
-		exp, steps, err := spec.RunTraced(tc, cfg.trace)
+	// Steps 1–5B run either on the engine, when it analyzes directly
+	// (AnalyzerEngine, the compiled path), or on the interpreted
+	// specification. The compiled path engages only with structured tracing
+	// off: the interpreted simulation additionally emits sim.* step events
+	// that the compiled one does not reproduce. Step 5C, the metrics and the
+	// analyze.* trace events are shared below, so the two paths cannot
+	// diverge on them.
+	analyzed := false
+	if ae, ok := cfg.engine.(AnalyzerEngine); ok && !cfg.trace.Enabled() {
+		done, err := ae.AnalyzeInto(a)
 		if err != nil {
-			return nil, fmt.Errorf("core: simulate %s on specification: %w", tc.Name, err)
+			return nil, err
 		}
-		if len(observed[i]) != len(exp) {
-			return nil, fmt.Errorf("core: %s: %d observations for %d inputs", tc.Name, len(observed[i]), len(exp))
-		}
-		a.Expected = append(a.Expected, exp)
-		traces[i] = steps
+		analyzed = done
 	}
-	a.findSymptoms(traces)
+	if !analyzed {
+		if err := a.analyzeInterpreted(cfg.trace); err != nil {
+			return nil, err
+		}
+	}
+
 	m.analyses.Inc()
 	m.symptoms.Add(int64(len(a.Symptoms)))
 	a.traceSymptoms(cfg.trace)
@@ -170,16 +177,8 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		tspan.End(trace.A("symptoms", "0"), trace.A("diagnoses", "0"))
 		return a, nil
 	}
-
-	// Step 4: conflict sets; Step 5A: initial tentative candidates.
-	a.buildConflictSets(traces)
-	a.intersectConflictSets()
 	a.traceConflicts(cfg.trace)
-
-	// Step 5B: split candidate sets and verify hypotheses.
-	a.splitCandidateSets()
 	a.traceCandidateSplit(cfg.trace)
-	a.verifyHypotheses()
 	a.traceHypotheses(cfg.trace)
 
 	// Step 5C: prune and emit diagnoses.
@@ -197,6 +196,40 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		trace.A("symptoms", itoa(len(a.Symptoms))),
 		trace.A("diagnoses", itoa(len(a.Diagnoses))))
 	return a, nil
+}
+
+// analyzeInterpreted runs Steps 1–5B against the string-keyed specification:
+// simulate the suite, extract symptoms, build and intersect conflict sets,
+// split the candidate sets and verify every hypothesis. It is the default
+// body of Analyze; AnalyzerEngine implementations replace it with an
+// equivalent computation on their own representation.
+func (a *Analysis) analyzeInterpreted(tr *trace.Tracer) error {
+	// Steps 1–3: expected outputs, symptoms, unique symptom transition, flag.
+	traces := make([][][]cfsm.Executed, len(a.Suite))
+	for i, tc := range a.Suite {
+		exp, steps, err := a.Spec.RunTraced(tc, tr)
+		if err != nil {
+			return fmt.Errorf("core: simulate %s on specification: %w", tc.Name, err)
+		}
+		if len(a.Observed[i]) != len(exp) {
+			return fmt.Errorf("core: %s: %d observations for %d inputs", tc.Name, len(a.Observed[i]), len(exp))
+		}
+		a.Expected = append(a.Expected, exp)
+		traces[i] = steps
+	}
+	a.findSymptoms(traces)
+	if !a.HasSymptoms() {
+		return nil
+	}
+
+	// Step 4: conflict sets; Step 5A: initial tentative candidates.
+	a.buildConflictSets(traces)
+	a.intersectConflictSets()
+
+	// Step 5B: split candidate sets and verify hypotheses.
+	a.splitCandidateSets()
+	a.verifyHypotheses()
+	return nil
 }
 
 // findSymptoms implements Step 3 and Definition 4.

@@ -43,6 +43,31 @@ type Engine interface {
 	Distinguish(a, b VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool)
 }
 
+// AnalyzerEngine is an optional Engine extension: an engine that can run
+// Steps 1–5B of the analysis on its own representation instead of the
+// interpreted default (Analysis.analyzeInterpreted). The compiled engine
+// implements it with integer/bitset structures over its transition indices.
+//
+// Analyze calls AnalyzeInto with the Analysis pre-initialized (Spec, Suite,
+// Observed, engine, and empty non-nil maps). The implementation must fill
+// Expected, Symptoms, FirstSymptom, UST/USO/Flag, Conflicts, ITC, UstSet,
+// FTCtr, FTCco and the verified EndStates/Outputs/StatOut sets exactly as
+// the interpreted path would — including entry presence, slice order and
+// nil-ness, since the Analysis is serialized byte-for-byte into reports and
+// server responses. Step 5C (emitDiagnoses), metrics and trace emission stay
+// in Analyze and are shared by both paths.
+//
+// AnalyzeInto returns done=false (and no error) to decline — e.g. when the
+// Analysis targets a different specification than the engine was built for —
+// in which case Analyze falls back to the interpreted path. Errors are
+// returned only for the analysis failures the interpreted path would also
+// report (simulation failure, observation-count mismatch), with identical
+// messages.
+type AnalyzerEngine interface {
+	Engine
+	AnalyzeInto(a *Analysis) (done bool, err error)
+}
+
 // Variant is one behavioural hypothesis — the specification or a rewired
 // copy — executable from its initial configuration.
 type Variant interface {

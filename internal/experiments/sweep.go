@@ -291,11 +291,17 @@ func runSweepFaults(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 
 	// Lower the specification once; every worker shares the immutable program
 	// and realizes mutants as one-cell overlays. A nil prog selects the
-	// interpreted path (forced, or state space too large to pack).
+	// interpreted path (forced, or state space too large to pack). The test
+	// suite is likewise compiled once per sweep — expected observations,
+	// symptom transitions and conflict prefixes precomputed — and the
+	// immutable result shared by every worker engine, so no mutant ever
+	// re-simulates the specification.
 	var prog *compiled.Program
+	var csuite *compiled.Suite
 	if !opts.Interpreted {
 		if p, err := compiled.Compile(spec); err == nil && p.Packable() {
 			prog = p
+			csuite = compiled.NewSuite(p, suite)
 		}
 	}
 
@@ -305,6 +311,7 @@ func runSweepFaults(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 			if err != nil {
 				return res, err // unreachable: Packable checked above
 			}
+			eng.SetSuite(csuite)
 			oracleR := prog.NewRunner()
 			for _, f := range faults {
 				ov, ok := prog.OverlayFor(f)
@@ -376,7 +383,8 @@ func runSweepFaults(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 		go func() {
 			defer wg.Done()
 			// Per-worker engine and oracle runner over the shared program:
-			// both reuse scratch buffers and must not cross goroutines.
+			// both reuse scratch buffers and must not cross goroutines. The
+			// compiled suite is immutable and shared by all workers.
 			var eng *compiled.Engine
 			var oracleR *compiled.Runner
 			if prog != nil {
@@ -384,6 +392,7 @@ func runSweepFaults(ctx context.Context, spec *cfsm.System, suite []cfsm.TestCas
 				if eng, err = compiled.EngineFor(prog); err != nil {
 					eng = nil // unreachable: Packable checked at selection
 				} else {
+					eng.SetSuite(csuite)
 					oracleR = prog.NewRunner()
 				}
 			}

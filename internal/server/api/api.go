@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Error codes of the v1 envelope. Every surface shares this vocabulary.
@@ -51,6 +52,19 @@ type ErrorDetail struct {
 // ErrorEnvelope is the uniform error response.
 type ErrorEnvelope struct {
 	Error ErrorDetail `json:"error"`
+}
+
+// RetryAfterSeconds converts a wait duration into the integer seconds of a
+// Retry-After header: rounded up, and never below 1. Truncating instead
+// (int(d/time.Second)) turns every sub-second wait into "Retry-After: 0",
+// which well-behaved clients read as "retry immediately" — exactly the
+// stampede the header exists to prevent.
+func RetryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	return secs
 }
 
 // WriteJSON writes v as the JSON response body with the given status.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func TestWriteErrorEnvelope(t *testing.T) {
@@ -106,6 +107,27 @@ func TestPageWindow(t *testing.T) {
 		lo, hi := tc.page.Window(tc.n)
 		if lo != tc.lo || hi != tc.hi {
 			t.Errorf("%+v.Window(%d) = %d,%d want %d,%d", tc.page, tc.n, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{90 * time.Second, 90},
+	} {
+		if got := RetryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
 		}
 	}
 }

@@ -124,11 +124,10 @@ func writeJobsErr(w http.ResponseWriter, mgr *jobs.Manager, err error) {
 		// Per-tenant rejection: same 429 as queue_full but a distinct code,
 		// and the Retry-After comes from the tenant's own bucket refill, not
 		// the shared backlog estimate.
-		w.Header().Set("Retry-After", strconv.Itoa(int(limited.RetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(httpapi.RetryAfterSeconds(limited.RetryAfter)))
 		writeErr(w, http.StatusTooManyRequests, codeTenantRateLimited, err)
 	case errors.Is(err, jobs.ErrQueueFull):
-		retry := mgr.Stats().RetryAfter()
-		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(httpapi.RetryAfterSeconds(mgr.Stats().RetryAfter())))
 		writeErr(w, http.StatusTooManyRequests, codeQueueFull, err)
 	case errors.Is(err, jobs.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, codeUnavailable, err)

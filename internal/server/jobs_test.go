@@ -586,3 +586,51 @@ func grepLines(text, needle string) string {
 	}
 	return sb.String()
 }
+
+// TestRetryAfterNeverZero pins the Retry-After arithmetic on both 429
+// taxonomies: a sub-second wait must not truncate to "Retry-After: 0"
+// (which clients read as "retry immediately" — the stampede the header
+// exists to prevent), and waits round up, never down.
+func TestRetryAfterNeverZero(t *testing.T) {
+	mgr, err := jobs.Open(jobs.Config{Workers: 1, QueueDepth: 1},
+		map[string]jobs.Executor{"noop": func(context.Context, json.RawMessage) (json.RawMessage, error) {
+			return json.RawMessage(`true`), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	}()
+
+	for _, tc := range []struct {
+		name     string
+		err      error
+		wantCode string
+		wantRA   string
+	}{
+		// The tenant bucket currently clamps its own wait to >= 1s, but the
+		// HTTP layer must not rely on producers: a raw sub-second refill
+		// estimate truncated to seconds is exactly the zero-second family.
+		{"tenant sub-second", &jobs.RateLimitError{Tenant: "t1", RetryAfter: 250 * time.Millisecond}, codeTenantRateLimited, "1"},
+		{"tenant rounds up", &jobs.RateLimitError{Tenant: "t1", RetryAfter: 1500 * time.Millisecond}, codeTenantRateLimited, "2"},
+		{"tenant zero", &jobs.RateLimitError{Tenant: "t1", RetryAfter: 0}, codeTenantRateLimited, "1"},
+		{"queue full", jobs.ErrQueueFull, codeQueueFull, "1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			writeJobsErr(rec, mgr, tc.err)
+			if rec.Code != http.StatusTooManyRequests {
+				t.Fatalf("status = %d, want 429", rec.Code)
+			}
+			if env := decodeEnvelope(t, rec.Body.Bytes()); env.Error.Code != tc.wantCode {
+				t.Fatalf("code = %s, want %s", env.Error.Code, tc.wantCode)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.wantRA {
+				t.Errorf("Retry-After = %q, want %q", got, tc.wantRA)
+			}
+		})
+	}
+}
