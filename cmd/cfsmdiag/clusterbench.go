@@ -79,6 +79,7 @@ func cmdClusterBench(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for the generated workload system")
 	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "lease TTL (bounds chaos recovery time)")
 	chaos := fs.Bool("chaos", true, "SIGKILL a lease-holding worker mid-sweep and verify the merged verdicts still match the local sweep")
+	minSpeedup := fs.Float64("min-speedup", 0, "gate: fail unless the 2-worker sweep reaches this speedup over 1 worker (0 = no gate; skipped with a note when the host lacks workers+1 CPUs)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -283,7 +284,40 @@ func cmdClusterBench(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *path)
-	return chaosErr
+	if chaosErr != nil {
+		return chaosErr
+	}
+	return gateScaling(out, &rec, *minSpeedup)
+}
+
+// gateScaling enforces the near-linear-scaling gate on a finished record:
+// the 2-worker row must reach minSpeedup over the 1-worker row. The gate
+// only judges hosts that can physically show process scaling (workers+1
+// CPUs for the single-threaded workers plus the coordinator); on smaller
+// hosts it reports itself skipped instead of failing on physics.
+func gateScaling(out io.Writer, rec *ClusterBenchRecord, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	var row2 *ClusterBenchRow
+	for i := range rec.Rows {
+		if rec.Rows[i].WorkerProcs == 2 {
+			row2 = &rec.Rows[i]
+		}
+	}
+	if row2 == nil {
+		return fmt.Errorf("scaling gate: no 2-worker row to judge (ran with -workers < 2?)")
+	}
+	if rec.Cpus < 3 {
+		fmt.Fprintf(out, "scaling gate: skipped — %d CPU(s) cannot run 2 single-threaded workers + coordinator concurrently\n", rec.Cpus)
+		return nil
+	}
+	if row2.SpeedupVsOne < minSpeedup {
+		return fmt.Errorf("scaling gate: 2-worker speedup %.2fx < required %.2fx (%.0f -> %.0f mutants/sec on %d CPUs)",
+			row2.SpeedupVsOne, minSpeedup, rec.Rows[0].MutantsPerSec, row2.MutantsPerSec, rec.Cpus)
+	}
+	fmt.Fprintf(out, "scaling gate: passed — 2-worker speedup %.2fx >= %.2fx\n", row2.SpeedupVsOne, minSpeedup)
+	return nil
 }
 
 // runClusterChaos creates sweeps until it catches the victim worker holding

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func scalingRecord(cpus int, speedup2 float64) *ClusterBenchRecord {
+	return &ClusterBenchRecord{
+		Cpus: cpus,
+		Rows: []ClusterBenchRow{
+			{WorkerProcs: 1, MutantsPerSec: 1000, SpeedupVsOne: 1},
+			{WorkerProcs: 2, MutantsPerSec: 1000 * speedup2, SpeedupVsOne: speedup2},
+		},
+	}
+}
+
+func TestGateScaling(t *testing.T) {
+	var out bytes.Buffer
+
+	// Disabled gate never fails.
+	if err := gateScaling(&out, scalingRecord(4, 1.0), 0); err != nil {
+		t.Fatalf("disabled gate: %v", err)
+	}
+
+	// Near-linear scaling on a parallel host passes.
+	out.Reset()
+	if err := gateScaling(&out, scalingRecord(4, 1.8), 1.5); err != nil {
+		t.Fatalf("1.8x on 4 CPUs: %v", err)
+	}
+	if !strings.Contains(out.String(), "scaling gate: passed") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	// Flat scaling on a parallel host fails.
+	if err := gateScaling(&out, scalingRecord(4, 1.05), 1.5); err == nil {
+		t.Fatalf("1.05x on 4 CPUs should fail the gate")
+	}
+
+	// A host that cannot physically scale is skipped, not failed.
+	out.Reset()
+	if err := gateScaling(&out, scalingRecord(2, 1.0), 1.5); err != nil {
+		t.Fatalf("2-CPU host should skip, got %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	// No 2-worker row is a usage error.
+	rec := &ClusterBenchRecord{Cpus: 4, Rows: []ClusterBenchRow{{WorkerProcs: 1, SpeedupVsOne: 1}}}
+	if err := gateScaling(&out, rec, 1.5); err == nil {
+		t.Fatalf("missing 2-worker row should fail")
+	}
+}

@@ -36,6 +36,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	gatePath := fs.String("gate", "", "baseline record to gate against; violations exit non-zero")
 	tolP99 := fs.Float64("tolerance-p99", loadgen.DefaultTolerance.P99Frac, "gate: allowed fractional p99 increase over baseline")
 	tolGoodput := fs.Float64("tolerance-goodput", loadgen.DefaultTolerance.GoodputFrac, "gate: allowed fractional knee/goodput decrease under baseline")
+	tolBody := fs.Float64("tolerance-body", loadgen.DefaultTolerance.BodyFrac, "gate: allowed CDF drop (fraction points) at any latency bucket bound")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -101,7 +102,7 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("gate baseline: %w", err)
 	}
-	tol := loadgen.Tolerance{P99Frac: *tolP99, GoodputFrac: *tolGoodput}
+	tol := loadgen.Tolerance{P99Frac: *tolP99, GoodputFrac: *tolGoodput, BodyFrac: *tolBody}
 	if violations := loadgen.Gate(baseline, rec, tol); len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintf(out, "SLO GATE: %s\n", v)

@@ -18,6 +18,8 @@
 //	                     /v1/cluster workers instead of local goroutines
 //	cfsmdiag inject      <system.json> -fault "M1.t7:output=c'"
 //	cfsmdiag diagnose    -spec s.json -iut i.json | -paper  [-suite t.json] [-report]
+//	                     [-ports portmap.json]  diagnose from per-port local
+//	                     projections only (distributed observation, E18)
 //	                     [-narrate] [-trace out.jsonl] [-chrome out.json] [-explain] [-stats]
 //	                     [-oracle-timeout d] [-oracle-retries N] [-oracle-votes K] [-oracle-seed S]
 //	                     [-chaos-drop p] [-chaos-garble p] [-chaos-transient p] [-chaos-seed S]
@@ -42,7 +44,8 @@
 //	                     bench runs the E13 throughput experiment in-process
 //	cfsmdiag loadgen     [-out BENCH_load.json] [-seed S] [-rates r1,r2,...]
 //	                     [-step d] [-base URL] [-gate f [-tolerance-p99 f]
-//	                     [-tolerance-goodput f]]  E16: seeded open-loop load
+//	                     [-tolerance-goodput f] [-tolerance-body f]]
+//	                     E16: seeded open-loop load
 //	                     harness; without -base it stands up the service
 //	                     in-process per ladder step and writes the saturation-
 //	                     knee record, with -gate it compares against a committed
@@ -99,6 +102,7 @@ import (
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/ports"
 	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/report"
 	"cfsmdiag/internal/resilient"
@@ -320,6 +324,7 @@ func cmdDiagnose(args []string, out io.Writer) error {
 	usePaper := fs.Bool("paper", false, "diagnose the built-in Figure 1 walkthrough (M3.t\"4 transfer fault) instead of -spec/-iut files")
 	asMarkdown := fs.Bool("report", false, "emit a Markdown diagnosis report instead of the plain walkthrough")
 	narrate := fs.Bool("narrate", false, "narrate the adaptive localization as it runs")
+	portsPath := fs.String("ports", "", "port-map JSON assigning machines to named observer sites ({\"M1\": \"site-a\", ...}); diagnosis then reasons over per-port local projections only")
 	tracePath := fs.String("trace", "", "write a structured JSONL trace to this path (replayable with `cfsmdiag replay`)")
 	chromePath := fs.String("chrome", "", "write a Chrome trace-event file to this path (load in Perfetto or chrome://tracing)")
 	explain := fs.Bool("explain", false, "append the Markdown explanation report (the paper's Section 4 narrative)")
@@ -355,6 +360,17 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("usage: cfsmdiag diagnose -spec <spec.json> -iut <iut.json> | -paper  [-suite <suite.json>] [-trace out.jsonl] [-explain]")
+	}
+	var pm ports.Map
+	usePorts := *portsPath != ""
+	if usePorts {
+		data, err := os.ReadFile(*portsPath)
+		if err != nil {
+			return fmt.Errorf("ports: %w", err)
+		}
+		if pm, err = ports.FromJSON(data, spec); err != nil {
+			return err
+		}
 	}
 	var suite []cfsm.TestCase
 	switch {
@@ -434,14 +450,41 @@ func cmdDiagnose(args []string, out io.Writer) error {
 	if err := replay.Record(tr, spec, suite, observed); err != nil {
 		return err
 	}
-	a, err := core.Analyze(spec, suite, observed, opts...)
+	// The ports layer composes outside the resilient chain: projections are
+	// taken of whatever the (possibly retried and voted) oracle reports.
+	portsOpts := func() []ports.Option {
+		po := []ports.Option{ports.WithCoreOptions(opts...)}
+		if collector != nil {
+			po = append(po, ports.WithRegistry(collector.reg))
+		}
+		if tr != nil {
+			po = append(po, ports.WithTrace(tr))
+		}
+		return po
+	}
+	var a *core.Analysis
+	var prep *ports.Report
+	if usePorts {
+		a, prep, err = ports.AnalyzeObserved(spec, suite, observed, pm, portsOpts()...)
+	} else {
+		a, err = core.Analyze(spec, suite, observed, opts...)
+	}
 	if err != nil {
 		return err
 	}
 	if *narrate {
 		opts = append(opts, core.WithTracer(&core.TextTracer{W: out, Spec: spec}))
 	}
-	loc, err := core.Localize(a, oracle, opts...)
+	var loc *core.Localization
+	if usePorts {
+		var lrep *ports.Report
+		loc, lrep, err = ports.Localize(a, oracle, pm, portsOpts()...)
+		if lrep != nil && prep != nil {
+			prep.LocallyAmbiguousCandidates = lrep.LocallyAmbiguousCandidates
+		}
+	} else {
+		loc, err = core.Localize(a, oracle, opts...)
+	}
 	if err != nil {
 		return err
 	}
@@ -455,6 +498,19 @@ func cmdDiagnose(args []string, out io.Writer) error {
 		fmt.Fprint(out, a.Report())
 		fmt.Fprint(out, loc.Report())
 		fmt.Fprintf(out, "cost: %d tests, %d inputs (suite: %d tests)\n", base.Tests, base.Inputs, len(suite))
+	}
+	if prep != nil && !prep.Single {
+		fmt.Fprintf(out, "ports: %d observers (%s); %d of %d cases ambiguous, %d consistent interleavings considered\n",
+			len(prep.Ports), strings.Join(prep.Ports, ", "),
+			prep.AmbiguousCases, prep.Cases, prep.InterleavingsExplored)
+		if len(prep.LocallyAmbiguousCandidates) > 0 {
+			var names []string
+			for _, r := range prep.LocallyAmbiguousCandidates {
+				names = append(names, spec.RefString(r))
+			}
+			fmt.Fprintf(out, "ports: %d candidates distinguishable only under global observation: %s\n",
+				len(names), strings.Join(names, ", "))
+		}
 	}
 	if injector != nil {
 		fmt.Fprintf(out, "chaos: %d faults injected (%s, seed %d)\n",

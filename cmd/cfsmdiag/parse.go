@@ -50,11 +50,19 @@ func parseSuite(data []byte) ([]cfsm.TestCase, error) {
 		return nil, fmt.Errorf("decode suite: %w", err)
 	}
 	var out []cfsm.TestCase
+	// Analysis keys its per-case maps by test-case name; a collision would
+	// silently attribute one case's observations to the other, so reject it
+	// here like the server's /v1 decoder does.
+	seen := make(map[string]bool, len(doc.TestCases))
 	for i, tj := range doc.TestCases {
 		tc := cfsm.TestCase{Name: tj.Name}
 		if tc.Name == "" {
 			tc.Name = fmt.Sprintf("tc%d", i+1)
 		}
+		if seen[tc.Name] {
+			return nil, fmt.Errorf("suite names two test cases %q; test-case names must be unique", tc.Name)
+		}
+		seen[tc.Name] = true
 		for _, tok := range tj.Inputs {
 			in, err := parseInput(tok)
 			if err != nil {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfsmdiag/internal/paper"
+)
+
+func writePortMap(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "portmap.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestDiagnosePortsFlag(t *testing.T) {
+	pm := writePortMap(t, `{"M1": "site-a", "M2": "site-b", "M3": "site-c"}`)
+	out, err := runCLI(t, "diagnose", "-paper", "-ports", pm)
+	if err != nil {
+		t.Fatalf("diagnose -ports: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ports: 3 observers (site-a, site-b, site-c)") {
+		t.Errorf("missing ports summary:\n%s", out)
+	}
+	// Soundness over precision: either the true fault is named or the run
+	// degrades honestly — never a different conviction.
+	if strings.Contains(out, "fault localized") && !strings.Contains(out, `M3.t"4`) {
+		t.Errorf("localized a wrong fault:\n%s", out)
+	}
+
+	// A single-observer map must leave the classical walkthrough untouched.
+	single := writePortMap(t, `{"M1": "hub", "M2": "hub", "M3": "hub"}`)
+	outSingle, err := runCLI(t, "diagnose", "-paper", "-ports", single)
+	if err != nil {
+		t.Fatalf("diagnose single-observer: %v", err)
+	}
+	outGlobal, err := runCLI(t, "diagnose", "-paper")
+	if err != nil {
+		t.Fatalf("diagnose global: %v", err)
+	}
+	if outSingle != outGlobal {
+		t.Errorf("single-observer output differs from the classical run:\n--- single\n%s\n--- global\n%s", outSingle, outGlobal)
+	}
+}
+
+func TestDiagnosePortsFlagInvalidMap(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown machine":    `{"M1": "a", "M2": "a", "M3": "a", "M9": "b"}`,
+		"unassigned machine": `{"M1": "a"}`,
+		"bad JSON":           `{`,
+	} {
+		pm := writePortMap(t, doc)
+		if _, err := runCLI(t, "diagnose", "-paper", "-ports", pm); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestParseSuiteDuplicateNames(t *testing.T) {
+	_, err := parseSuite([]byte(`{"testcases":[{"name":"T1","inputs":["R"]},{"name":"T1","inputs":["R"]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "T1") {
+		t.Errorf("duplicate names: err = %v", err)
+	}
+	// An unnamed case takes the tc%d slot; an explicit claim on it collides.
+	_, err = parseSuite([]byte(`{"testcases":[{"inputs":["R"]},{"name":"tc1","inputs":["R"]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "tc1") {
+		t.Errorf("auto-name collision: err = %v", err)
+	}
+	// The paper suite stays accepted.
+	if _, err := parseSuite(mustMarshalSuite(t)); err != nil {
+		t.Errorf("paper suite rejected: %v", err)
+	}
+}
+
+func mustMarshalSuite(t *testing.T) []byte {
+	t.Helper()
+	data, err := marshalSuite(paper.TestSuite())
+	if err != nil {
+		t.Fatalf("marshalSuite: %v", err)
+	}
+	return data
+}

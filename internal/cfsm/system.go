@@ -348,6 +348,18 @@ func (s *System) Machine(i int) *Machine { return s.machines[i] }
 // machines themselves are shared and immutable.
 func (s *System) Machines() []*Machine { return append([]*Machine(nil), s.machines...) }
 
+// MachineIndex resolves a machine's display name to its 0-based index. The
+// port-map layer (internal/ports) keys its JSON documents by machine name
+// and needs the reverse lookup of Machine(i).Name().
+func (s *System) MachineIndex(name string) (int, bool) {
+	for i, m := range s.machines {
+		if m.name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // NumTransitions returns the total number of transitions across all machines.
 func (s *System) NumTransitions() int {
 	n := 0

@@ -29,6 +29,28 @@ func (b Bits) And(o Bits) {
 	}
 }
 
+// Or unions o into b in place. The two sets must have equal capacity. The
+// distributed-observation layer (internal/ports) accumulates the conflict
+// closure — the union of the executed-transition sets over every consistent
+// interleaving of the per-port traces — on this primitive, so the closure
+// stays a handful of word-ORs per interleaving instead of a map merge.
+func (b Bits) Or(o Bits) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // CopyFrom overwrites b with o. The two sets must have equal capacity.
 func (b Bits) CopyFrom(o Bits) {
 	copy(b, o)

@@ -120,6 +120,12 @@ type Localization struct {
 	// produced a trustworthy observation (see ErrUnreliableObservation); when
 	// non-empty and no fault was convicted, Verdict is VerdictInconclusive.
 	Inconclusive []cfsm.Ref
+	// LocallyAmbiguous lists candidate transitions (observation-matcher runs
+	// only) for which a globally distinguishing additional test exists but no
+	// test whose difference is visible to the matcher could be found: the
+	// surviving hypotheses are separable by an omniscient observer yet not by
+	// the distributed ones. The affected hypotheses stay in Remaining.
+	LocallyAmbiguous []cfsm.Ref
 	// AdditionalTests logs every adaptively generated test.
 	AdditionalTests []AdditionalTest
 }
@@ -419,8 +425,15 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 		if cfg.maxAdditionalTests > 0 && len(loc.AdditionalTests) >= cfg.maxAdditionalTests {
 			break // test budget exhausted: remaining hypotheses stay open
 		}
-		test, ok := nextDiscriminatingTest(eng, live, prefix, avoid)
+		test, ok, globalOnly := nextDiscriminatingTest(eng, live, prefix, avoid, cfg.matcher)
 		if !ok {
+			if globalOnly {
+				// Honest degradation for distributed observation: the pair is
+				// distinguishable by a global observer but not in projection;
+				// record it so reports and metrics can say so instead of
+				// silently presenting the ambiguity as information-theoretic.
+				loc.LocallyAmbiguous = appendRefOnce(loc.LocallyAmbiguous, ref)
+			}
 			break
 		}
 		test.Name = fmt.Sprintf("diag-%s-%d", ref.Name, len(loc.AdditionalTests)+1)
@@ -454,7 +467,7 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 		}
 		before := len(live)
 		var elims []elimination
-		live, elims = filterVariants(live, test, observed)
+		live, elims = filterVariants(live, test, observed, cfg.matcher)
 		at := AdditionalTest{
 			Target:   ref,
 			Test:     test,
@@ -517,8 +530,12 @@ func testCandidate(a *Analysis, oracle Oracle, loc *Localization, ref cfsm.Ref, 
 // nextDiscriminatingTest builds the next additional diagnostic test for the
 // live variants: the fixed prefix, extended — when the prefix alone does not
 // already separate some pair — by a distinguishing suffix for the first
-// still-separable pair.
-func nextDiscriminatingTest(eng Engine, live []variant, prefix []cfsm.Input, avoid testgen.RefSet) (cfsm.TestCase, bool) {
+// still-separable pair. Observation sequences are compared through the
+// matcher when one is installed, so a test only counts as discriminating
+// when its difference is visible to the (possibly distributed) observers;
+// globalOnly then reports the honest failure mode where some pair remains
+// separable by a global observer but not through the matcher.
+func nextDiscriminatingTest(eng Engine, live []variant, prefix []cfsm.Input, avoid testgen.RefSet, m ObsMatcher) (tc cfsm.TestCase, ok, globalOnly bool) {
 	type run struct {
 		obs []cfsm.Observation
 		pos Position
@@ -527,35 +544,86 @@ func nextDiscriminatingTest(eng Engine, live []variant, prefix []cfsm.Input, avo
 	for i, v := range live {
 		obs, pos, err := v.h.RunInputs(prefix)
 		if err != nil {
-			return cfsm.TestCase{}, false
+			return cfsm.TestCase{}, false, false
 		}
 		runs[i] = run{obs: obs, pos: pos}
 	}
 	// If the prefix already separates a pair of variants, it is the test.
 	for i := 0; i < len(live); i++ {
 		for j := i + 1; j < len(live); j++ {
-			if !cfsm.ObsEqual(runs[i].obs, runs[j].obs) {
-				return cfsm.TestCase{Inputs: append([]cfsm.Input(nil), prefix...)}, true
+			if !matcherEqual(m, runs[i].obs, runs[j].obs) {
+				return cfsm.TestCase{Inputs: append([]cfsm.Input(nil), prefix...)}, true, false
 			}
 		}
 	}
 	// Otherwise search for a distinguishing suffix for some pair.
 	for i := 0; i < len(live); i++ {
 		for j := i + 1; j < len(live); j++ {
-			suffix, ok := eng.Distinguish(
-				VariantPos{V: live[i].h, Pos: runs[i].pos},
-				VariantPos{V: live[j].h, Pos: runs[j].pos},
-				avoid,
-			)
-			if !ok {
+			a := VariantPos{V: live[i].h, Pos: runs[i].pos}
+			b := VariantPos{V: live[j].h, Pos: runs[j].pos}
+			if m == nil {
+				suffix, ok := eng.Distinguish(a, b, avoid)
+				if !ok {
+					continue
+				}
+				inputs := append([]cfsm.Input(nil), prefix...)
+				inputs = append(inputs, suffix...)
+				return cfsm.TestCase{Inputs: inputs}, true, false
+			}
+			// Matcher mode: prefer an engine that searches for a visibly
+			// distinguishing suffix directly (the interpreted engine, via
+			// testgen.ProjectionDistinguish). Engines without the extension
+			// fall back to the global search plus a matcher check on the
+			// full predictions — sound, but it may miss visible suffixes
+			// the global BFS stops short of.
+			if pd, okPD := eng.(ProjectionDistinguisher); okPD {
+				suffix, found, global := pd.DistinguishProjected(a, b, avoid)
+				if found {
+					inputs := append([]cfsm.Input(nil), prefix...)
+					inputs = append(inputs, suffix...)
+					return cfsm.TestCase{Inputs: inputs}, true, false
+				}
+				globalOnly = globalOnly || global
+				continue
+			}
+			suffix, found := eng.Distinguish(a, b, avoid)
+			if !found {
 				continue
 			}
 			inputs := append([]cfsm.Input(nil), prefix...)
 			inputs = append(inputs, suffix...)
-			return cfsm.TestCase{Inputs: inputs}, true
+			pa, _, errA := live[i].h.RunInputs(inputs)
+			pb, _, errB := live[j].h.RunInputs(inputs)
+			if errA != nil || errB != nil {
+				continue
+			}
+			if !m.Equal(pa, pb) {
+				return cfsm.TestCase{Inputs: inputs}, true, false
+			}
+			globalOnly = true
 		}
 	}
-	return cfsm.TestCase{}, false
+	return cfsm.TestCase{}, false, globalOnly
+}
+
+// matcherEqual compares two observation sequences through the matcher,
+// defaulting to exact equality.
+func matcherEqual(m ObsMatcher, a, b []cfsm.Observation) bool {
+	if m == nil {
+		return cfsm.ObsEqual(a, b)
+	}
+	return m.Equal(a, b)
+}
+
+// appendRefOnce appends ref unless already present (candidates can be
+// retried across refinement rounds).
+func appendRefOnce(refs []cfsm.Ref, ref cfsm.Ref) []cfsm.Ref {
+	for _, r := range refs {
+		if r == ref {
+			return refs
+		}
+	}
+	return append(refs, ref)
 }
 
 // elimination records why one behavioural variant was refuted by a test: the
@@ -575,8 +643,9 @@ func (el elimination) describe(a *Analysis) string {
 }
 
 // filterVariants keeps the variants whose prediction for the test equals the
-// observed outputs, and reports why each dropped variant was eliminated.
-func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observation) ([]variant, []elimination) {
+// observed outputs — through the matcher when one is installed — and reports
+// why each dropped variant was eliminated.
+func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observation, m ObsMatcher) ([]variant, []elimination) {
 	var out []variant
 	var elims []elimination
 	for _, v := range live {
@@ -585,11 +654,15 @@ func filterVariants(live []variant, test cfsm.TestCase, observed []cfsm.Observat
 			elims = append(elims, elimination{fault: v.fault, reason: "prediction failed: " + err.Error()})
 			continue
 		}
-		if cfsm.ObsEqual(predicted, observed) {
+		if matcherEqual(m, predicted, observed) {
 			out = append(out, v)
 			continue
 		}
-		elims = append(elims, elimination{fault: v.fault, reason: mismatchReason(predicted, observed)})
+		reason := mismatchReason(predicted, observed)
+		if m != nil {
+			reason = m.Mismatch(predicted, observed)
+		}
+		elims = append(elims, elimination{fault: v.fault, reason: reason})
 	}
 	return out, elims
 }

@@ -115,6 +115,9 @@ type Analysis struct {
 	// variants, Step-6 searches); nil resolves to the interpreted default via
 	// Analysis.engine. See WithEngine.
 	eng Engine
+	// matcher generalizes predicted-vs-observed comparison; nil means exact
+	// equality. See WithObsMatcher.
+	matcher ObsMatcher
 }
 
 // HasSymptoms reports whether any test case revealed a difference.
@@ -140,6 +143,7 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 		Suite:        suite,
 		Observed:     observed,
 		eng:          cfg.engine,
+		matcher:      cfg.matcher,
 		FirstSymptom: make(map[int]int),
 		Conflicts:    make(map[int]MachineSets),
 		EndStates:    make(map[cfsm.Ref][]cfsm.State),
@@ -151,12 +155,12 @@ func Analyze(spec *cfsm.System, suite []cfsm.TestCase, observed [][]cfsm.Observa
 	// Steps 1–5B run either on the engine, when it analyzes directly
 	// (AnalyzerEngine, the compiled path), or on the interpreted
 	// specification. The compiled path engages only with structured tracing
-	// off: the interpreted simulation additionally emits sim.* step events
-	// that the compiled one does not reproduce. Step 5C, the metrics and the
-	// analyze.* trace events are shared below, so the two paths cannot
-	// diverge on them.
+	// off — the interpreted simulation additionally emits sim.* step events
+	// that the compiled one does not reproduce — and with no observation
+	// matcher installed: AnalyzeInto verifies hypotheses by exact equality
+	// on its own representation, which a matcher must override.
 	analyzed := false
-	if ae, ok := cfg.engine.(AnalyzerEngine); ok && !cfg.trace.Enabled() {
+	if ae, ok := cfg.engine.(AnalyzerEngine); ok && !cfg.trace.Enabled() && cfg.matcher == nil {
 		done, err := ae.AnalyzeInto(a)
 		if err != nil {
 			return nil, err

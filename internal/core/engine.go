@@ -43,6 +43,18 @@ type Engine interface {
 	Distinguish(a, b VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool)
 }
 
+// ProjectionDistinguisher is an optional Engine extension used by the
+// observation-matcher (distributed observation) mode of Step 6: it searches
+// for a shortest avoid-respecting suffix whose observation difference is
+// *visible* — at least one of the two differing observations is non-silent,
+// so some local observer records the difference (silence carries no port
+// information; two runs differing only in where their ε slots fall project
+// identically at every port). globalOnly reports that no visible difference
+// was found although a silence-only (global-observer) difference exists.
+type ProjectionDistinguisher interface {
+	DistinguishProjected(a, b VariantPos, avoid testgen.RefSet) (seq []cfsm.Input, ok, globalOnly bool)
+}
+
 // AnalyzerEngine is an optional Engine extension: an engine that can run
 // Steps 1–5B of the analysis on its own representation instead of the
 // interpreted default (Analysis.analyzeInterpreted). The compiled engine
@@ -146,6 +158,14 @@ func (e systemEngine) TransferToState(machine int, target cfsm.State, avoid test
 
 func (e systemEngine) Distinguish(a, b VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool) {
 	return testgen.Distinguish(
+		testgen.Variant{Sys: a.V.(systemVariant).sys, Cfg: a.Pos.(cfsm.Config)},
+		testgen.Variant{Sys: b.V.(systemVariant).sys, Cfg: b.Pos.(cfsm.Config)},
+		avoid,
+	)
+}
+
+func (e systemEngine) DistinguishProjected(a, b VariantPos, avoid testgen.RefSet) ([]cfsm.Input, bool, bool) {
+	return testgen.ProjectionDistinguish(
 		testgen.Variant{Sys: a.V.(systemVariant).sys, Cfg: a.Pos.(cfsm.Config)},
 		testgen.Variant{Sys: b.V.(systemVariant).sys, Cfg: b.Pos.(cfsm.Config)},
 		avoid,

@@ -29,21 +29,33 @@ func (a *Analysis) verifyHypotheses() {
 	// ustprocessing: with the flag false the unique symptom transition is
 	// checked for an output fault equal to the unique symptom output; with
 	// the flag true it is checked for combined (state, uso) faults.
+	//
+	// Under an observation matcher (distributed observation) the recorded
+	// symptom symbol no longer pins the faulty output — the observers may
+	// not agree on which event fell on the symptom slot — and the flag is
+	// computed from a canonical interleaving, so neither narrows soundly.
+	// The matcher path therefore checks the full combined space over every
+	// alternative output of the transition's class alphabet; verification
+	// through the matcher prunes it back down.
 	for _, r := range a.UstSet {
-		if a.Flag {
+		switch {
+		case a.matcher != nil:
+			a.StatOut[r] = a.statOutFor(r, a.Spec.AlternativeOutputs(r))
+		case a.Flag:
 			a.StatOut[r] = a.statOutFor(r, []cfsm.Symbol{a.USO})
-		} else {
+		default:
 			a.Outputs[r] = a.outputsFor(r, []cfsm.Symbol{a.USO})
 		}
 	}
 
 	// inttransproc over FTCco: internal-output transitions are checked for
 	// every alternative output in their class alphabet OIO_{i>j}; with the
-	// flag true, for combined (state, output) couples instead.
+	// flag true — or under a matcher, where the flag is unreliable — for
+	// combined (state, output) couples instead.
 	for m := 0; m < a.Spec.N(); m++ {
 		for _, r := range a.FTCco[m] {
 			alts := a.Spec.AlternativeOutputs(r)
-			if a.Flag {
+			if a.Flag || a.matcher != nil {
 				a.StatOut[r] = a.statOutFor(r, alts)
 			} else {
 				a.Outputs[r] = a.outputsFor(r, alts)
@@ -55,9 +67,29 @@ func (a *Analysis) verifyHypotheses() {
 // explains reports whether injecting the fault into the specification makes
 // the whole test suite reproduce the observed outputs. The check is delegated
 // to the analysis' execution engine (interpreted by default, dense compiled
-// tables via WithEngine).
+// tables via WithEngine). With an observation matcher installed the
+// comparison runs through it instead of exact equality: a hypothesis
+// survives iff its prediction is compatible with the recorded observations
+// (for per-port projections, iff some consistent interleaving of the
+// prediction matches the local traces).
 func (a *Analysis) explains(f fault.Fault) bool {
-	return a.engine().Explains(a.Suite, a.Observed, f)
+	if a.matcher == nil {
+		return a.engine().Explains(a.Suite, a.Observed, f)
+	}
+	v, err := a.engine().NewVariant(&f)
+	if err != nil {
+		return false
+	}
+	for i, tc := range a.Suite {
+		predicted, err := v.Run(tc)
+		if err != nil {
+			return false
+		}
+		if !a.matcher.Equal(predicted, a.Observed[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // endStatesFor computes EndStates(T_k): the states s ≠ NextState(T_k) such

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cfsmdiag/internal/cfsm"
 	"cfsmdiag/internal/obs"
 	"cfsmdiag/internal/trace"
 )
@@ -16,6 +17,7 @@ type settings struct {
 	registry           *obs.Registry // nil = observability disabled
 	trace              *trace.Tracer // nil = structured tracing disabled
 	engine             Engine        // nil = interpreted systemEngine
+	matcher            ObsMatcher    // nil = exact observation equality
 }
 
 func defaultSettings() settings {
@@ -56,6 +58,38 @@ func WithoutAddressEscalation() Option {
 // default — disables instrumentation at no cost to the hot path.
 func WithRegistry(r *obs.Registry) Option {
 	return func(s *settings) { s.registry = r }
+}
+
+// ObsMatcher generalizes the pipeline's "predicted equals observed" test.
+// The default (nil) is exact sequence equality — the classical single
+// omniscient observer. The distributed-observation layer (internal/ports)
+// supplies a matcher that compares per-port projections instead, realizing
+// "some interleaving consistent with the local observations matches the
+// prediction": with one deterministic prediction per variant, projection
+// equality of prediction and recorded sequence is exactly that condition.
+//
+// A matcher must be reflexive and symmetric, and must be implied by exact
+// equality (ObsEqual(a, b) ⇒ Equal(a, b)); hypothesis verification relies on
+// the widening, never on a narrowing.
+type ObsMatcher interface {
+	// Equal reports whether the predicted sequence is compatible with the
+	// recorded one. Both sequences answer the same input sequence, so they
+	// have equal length.
+	Equal(predicted, recorded []cfsm.Observation) bool
+	// Mismatch describes why Equal is false, for elimination evidence.
+	Mismatch(predicted, recorded []cfsm.Observation) string
+}
+
+// WithObsMatcher installs an observation matcher for the whole pipeline:
+// hypothesis verification (explains), Step-6 variant elimination and the
+// discriminating-test search all compare observation sequences through it.
+// Analyze additionally widens the unique-symptom-transition and internal-
+// output hypothesis spaces to the full combined (state, output) space, since
+// under a non-exact matcher the recorded symptom symbol no longer pins the
+// faulty output uniquely. A nil matcher (the default) keeps every code path
+// byte-identical to the classical pipeline.
+func WithObsMatcher(m ObsMatcher) Option {
+	return func(s *settings) { s.matcher = m }
 }
 
 // WithEngine selects the execution engine for the hot inner operations

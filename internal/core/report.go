@@ -103,6 +103,9 @@ func (l *Localization) Report() string {
 	for _, r := range l.Inconclusive {
 		fmt.Fprintf(&b, "  inconclusive: %s (no trustworthy observation)\n", l.Analysis.Spec.RefString(r))
 	}
+	for _, r := range l.LocallyAmbiguous {
+		fmt.Fprintf(&b, "  locally ambiguous: %s (distinguishable only under global observation)\n", l.Analysis.Spec.RefString(r))
+	}
 	fmt.Fprintf(&b, "Verdict: %s\n", l.Verdict)
 	if l.Fault != nil {
 		fmt.Fprintf(&b, "  fault: %s\n", l.Fault.Describe(l.Analysis.Spec))

@@ -84,7 +84,7 @@ func planCandidateTest(a *Analysis, ref cfsm.Ref, hyps []fault.Fault, avoid test
 	prefix := append([]cfsm.Input{cfsm.Reset()}, transferInputs...)
 	prefix = append(prefix, cfsm.Input{Port: ref.Machine, Sym: t.Input})
 
-	test, ok := nextDiscriminatingTest(eng, variants, prefix, avoid)
+	test, ok, _ := nextDiscriminatingTest(eng, variants, prefix, avoid, a.matcher)
 	if !ok {
 		return PlannedTest{}, false
 	}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/fault"
+	"cfsmdiag/internal/ports"
+	"cfsmdiag/internal/testgen"
+)
+
+// DistObsRow records one mutant's global-vs-distributed comparison in the
+// E18 experiment.
+type DistObsRow struct {
+	Fault string
+	// GlobalDiagnoses and LocalDiagnoses are the candidate-set sizes after
+	// Steps 1–5 under global and per-machine observation.
+	GlobalDiagnoses int
+	LocalDiagnoses  int
+	// GlobalVerdict and LocalVerdict are the Step 6 outcomes.
+	GlobalVerdict string
+	LocalVerdict  string
+	// GlobalTests and LocalTests count oracle executions end to end.
+	GlobalTests int
+	LocalTests  int
+	// Recovered reports that Step 6 still reached a sound localized verdict
+	// under distributed observation although Steps 1–5 left a strictly larger
+	// candidate set: the adaptive tests were projection-distinguishing.
+	Recovered bool
+}
+
+// DistObsResult aggregates the E18 distributed-observation experiment on one
+// system: every single-transition mutant is diagnosed twice, once from the
+// global observation sequence and once from per-machine local projections
+// only, and the localization cost and candidate precision are compared.
+type DistObsResult struct {
+	System  string
+	Mutants int
+	// Detected counts mutants whose suite run produced a symptom under global
+	// observation (the comparison is defined on these).
+	Detected int
+	// Enlarged counts detected mutants whose Steps 1–5 candidate set is
+	// strictly larger under per-machine observation — global order that the
+	// diagnosis was actually using.
+	Enlarged int
+	// Recovered counts enlarged mutants where adaptive Step 6 nevertheless
+	// converged to a sound localized verdict from projections alone.
+	Recovered int
+	// Degraded counts detected mutants where the distributed verdict is
+	// weaker than the global one (localized → ambiguous/inconclusive).
+	Degraded int
+	// LocallyAmbiguous totals candidates reported as distinguishable only
+	// under global observation.
+	LocallyAmbiguous int
+	// WrongConvictions counts distributed runs convicting a transition that
+	// is locally distinguishable from the true mutant — the soundness
+	// property demands zero.
+	WrongConvictions int
+	// GlobalTests and LocalTests total the oracle executions of both modes.
+	GlobalTests int
+	LocalTests  int
+	// Examples lists the first few enlarged cases for the report.
+	Examples []DistObsRow
+}
+
+// DistObsOptions tunes RunDistObs.
+type DistObsOptions struct {
+	// Workers is the number of goroutines diagnosing mutants concurrently
+	// (0 = serial). Each worker owns its mutant systems; the specification
+	// and suite are shared read-only.
+	Workers int
+	// MaxExamples bounds the Examples list (0 = 5).
+	MaxExamples int
+}
+
+// RunDistObs runs experiment E18 on one system: for every single-transition
+// mutant, diagnose once from the global observation sequence and once from
+// per-machine local projections (the finest port map), then compare
+// candidate-set sizes, verdicts and oracle cost. A distributed conviction of
+// a transition that some projection could still tell apart from the truth is
+// counted in WrongConvictions; the pipeline's guarantee is that this never
+// happens — ambiguity degrades to the inconclusive taxonomy instead.
+func RunDistObs(name string, spec *cfsm.System, suite []cfsm.TestCase, opts DistObsOptions) (DistObsResult, error) {
+	res := DistObsResult{System: name}
+	maxExamples := opts.MaxExamples
+	if maxExamples <= 0 {
+		maxExamples = 5
+	}
+	portOf := make([]string, spec.N())
+	for i := range portOf {
+		portOf[i] = fmt.Sprintf("site-%02d", i)
+	}
+	pm, err := ports.New(spec, portOf)
+	if err != nil {
+		return res, err
+	}
+	faults := fault.Enumerate(spec)
+	res.Mutants = len(faults)
+
+	rows := make([]*DistObsRow, len(faults))
+	errs := make([]error, len(faults))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i], errs[i] = distObsOne(spec, suite, pm, faults[i])
+			}
+		}()
+	}
+	for i := range faults {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", faults[i].Describe(spec), err)
+		}
+	}
+	for _, row := range rows {
+		if row == nil {
+			continue // undetected: no symptom to compare
+		}
+		res.Detected++
+		res.GlobalTests += row.GlobalTests
+		res.LocalTests += row.LocalTests
+		if row.LocalDiagnoses > row.GlobalDiagnoses {
+			res.Enlarged++
+			if row.Recovered {
+				res.Recovered++
+			}
+			if len(res.Examples) < maxExamples {
+				res.Examples = append(res.Examples, *row)
+			}
+		}
+		if row.LocalVerdict == "wrong" {
+			res.WrongConvictions++
+		}
+		if row.GlobalVerdict == core.VerdictLocalized.String() && row.LocalVerdict != core.VerdictLocalized.String() {
+			res.Degraded++
+		}
+	}
+	return res, nil
+}
+
+// distObsOne compares the two observation modes on one mutant. It returns
+// nil when the suite produces no symptom (nothing to diagnose in either
+// mode).
+func distObsOne(spec *cfsm.System, suite []cfsm.TestCase, pm ports.Map, f fault.Fault) (*DistObsRow, error) {
+	mut, err := f.Apply(spec)
+	if err != nil {
+		return nil, err
+	}
+	observed, err := mut.RunSuite(suite)
+	if err != nil {
+		return nil, err
+	}
+
+	// Global observation: the classical pipeline.
+	ag, err := core.Analyze(spec, suite, observed)
+	if err != nil {
+		return nil, err
+	}
+	if len(ag.Symptoms) == 0 {
+		return nil, nil
+	}
+	gOracle := &core.SystemOracle{Sys: mut}
+	locG, err := core.Localize(ag, gOracle)
+	if err != nil {
+		return nil, err
+	}
+
+	// Distributed observation: same recorded run, projections only.
+	al, _, err := ports.AnalyzeObserved(spec, suite, observed, pm)
+	if err != nil {
+		return nil, err
+	}
+	lOracle := &core.SystemOracle{Sys: mut}
+	locL, _, err := ports.Localize(al, lOracle, pm)
+	if err != nil {
+		return nil, err
+	}
+
+	row := &DistObsRow{
+		Fault:           f.Describe(spec),
+		GlobalDiagnoses: len(ag.Diagnoses),
+		LocalDiagnoses:  len(al.Diagnoses),
+		GlobalVerdict:   locG.Verdict.String(),
+		LocalVerdict:    locL.Verdict.String(),
+		GlobalTests:     gOracle.Tests,
+		LocalTests:      lOracle.Tests,
+	}
+	if locL.Verdict == core.VerdictLocalized {
+		sound := locL.Fault.Ref == f.Ref
+		if !sound {
+			// A differing conviction is sound only when no projection can
+			// separate the convicted variant from the true mutant.
+			convicted, err := locL.Fault.Apply(spec)
+			if err != nil {
+				return nil, err
+			}
+			_, distinguishable, _ := testgen.ProjectionDistinguish(
+				testgen.Variant{Sys: convicted, Cfg: convicted.InitialConfig()},
+				testgen.Variant{Sys: mut, Cfg: mut.InitialConfig()},
+				nil)
+			sound = !distinguishable
+		}
+		if sound {
+			row.Recovered = true
+		} else {
+			row.LocalVerdict = "wrong"
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/randgen"
+	"cfsmdiag/internal/testgen"
+)
+
+// TestRunDistObsFigure1 pins the E18 phenomenon on the paper's system: losing
+// global order strictly enlarges the Steps 1–5 candidate set for some
+// mutants, Step 6 recovers soundly via projection-distinguishing tests, and
+// no mutant is ever convicted wrongly.
+func TestRunDistObsFigure1(t *testing.T) {
+	res, err := RunDistObs("figure1", paper.MustFigure1(), paper.TestSuite(), DistObsOptions{})
+	if err != nil {
+		t.Fatalf("RunDistObs: %v", err)
+	}
+	if res.WrongConvictions != 0 {
+		t.Fatalf("wrong convictions = %d, want 0", res.WrongConvictions)
+	}
+	if res.Enlarged == 0 {
+		t.Fatalf("no mutant's candidate set was enlarged by distributed observation; result = %+v", res)
+	}
+	if res.Recovered == 0 {
+		t.Errorf("Step 6 recovered no enlarged case; result = %+v", res)
+	}
+	if res.Detected == 0 || res.Mutants == 0 {
+		t.Fatalf("empty sweep: %+v", res)
+	}
+	if len(res.Examples) == 0 {
+		t.Errorf("no examples recorded")
+	}
+	for _, ex := range res.Examples {
+		if ex.LocalDiagnoses <= ex.GlobalDiagnoses {
+			t.Errorf("example %s not enlarged: global %d local %d", ex.Fault, ex.GlobalDiagnoses, ex.LocalDiagnoses)
+		}
+	}
+}
+
+// TestRunDistObsParallel runs the sweep with concurrent workers — the -race
+// coverage of the port-aware analysis inside a parallel sweep — and checks
+// that the parallel result matches the serial one.
+func TestRunDistObsParallel(t *testing.T) {
+	spec := paper.MustFigure1()
+	suite := paper.TestSuite()
+	serial, err := RunDistObs("figure1", spec, suite, DistObsOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	par, err := RunDistObs("figure1", spec, suite, DistObsOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.Enlarged != par.Enlarged || serial.Detected != par.Detected ||
+		serial.WrongConvictions != par.WrongConvictions ||
+		serial.GlobalTests != par.GlobalTests || serial.LocalTests != par.LocalTests {
+		t.Errorf("parallel result differs from serial:\nserial   %+v\nparallel %+v", serial, par)
+	}
+}
+
+// TestRunDistObsRandom checks soundness on a generated system.
+func TestRunDistObsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := randgen.DefaultConfig()
+	cfg.Seed = 1
+	sys, err := randgen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	suite, _ := testgen.Tour(sys, 0)
+	res, err := RunDistObs("rand-1", sys, suite, DistObsOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("RunDistObs: %v", err)
+	}
+	if res.WrongConvictions != 0 {
+		t.Fatalf("wrong convictions = %d, want 0", res.WrongConvictions)
+	}
+}

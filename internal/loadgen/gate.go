@@ -101,12 +101,21 @@ type Tolerance struct {
 	// GoodputFrac allows the fresh knee rate and knee goodput to fall
 	// short of the baseline's by this fraction (0.25 = -25%).
 	GoodputFrac float64 `json:"goodput_frac"`
+	// BodyFrac allows the fresh interactive latency CDF at the knee to sit
+	// below the baseline's by this many fraction points at any bucket bound
+	// (0.15 = the share of requests completing within any given bound may
+	// drop by up to 15 points). This is the whole-distribution check: a run
+	// whose p99 still squeaks under the quantile tolerance but whose body
+	// shifted wholesale to slower buckets fails here. Zero selects
+	// DefaultTolerance's value when the baseline carries bucket data.
+	BodyFrac float64 `json:"body_frac,omitempty"`
 }
 
 // DefaultTolerance is deliberately loose: the gate exists to catch
 // step-function regressions (a lost knee step, p99 blowing through the
-// SLO), not single-digit-percent noise.
-var DefaultTolerance = Tolerance{P99Frac: 1.0, GoodputFrac: 0.4}
+// SLO, the latency body migrating to slower buckets), not
+// single-digit-percent noise.
+var DefaultTolerance = Tolerance{P99Frac: 1.0, GoodputFrac: 0.4, BodyFrac: 0.15}
 
 // Gate compares a fresh run against the committed baseline and returns
 // one violation string per broken objective; empty means the gate passes.
@@ -137,8 +146,64 @@ func Gate(baseline, fresh *Record, tol Tolerance) []string {
 				"interactive p99 at knee regressed: %.1fms > %.1fms (baseline %.1fms + %.0f%% tolerance)",
 				fi.P99MS, maxP99, bi.P99MS, tol.P99Frac*100))
 		}
+		violations = append(violations, gateBody(bi, fi, tol)...)
 	}
 	return violations
+}
+
+// gateBody compares the whole interactive latency distribution at the knee:
+// at every bucket bound shared by both records, the fraction of successful
+// requests completing within that bound must not drop by more than BodyFrac.
+// Three quantiles cannot see a body-wide shift that stays inside each
+// quantile's own tolerance; the CDF comparison can. Records without bucket
+// data (pre-histogram baselines) skip the check.
+func gateBody(baseline, fresh *ClassReport, tol Tolerance) []string {
+	body := tol.BodyFrac
+	if body <= 0 {
+		body = DefaultTolerance.BodyFrac
+	}
+	bc, bTotal := cumulativeFractions(baseline.LatencyBuckets)
+	fc, fTotal := cumulativeFractions(fresh.LatencyBuckets)
+	if bTotal == 0 || fTotal == 0 || len(bc) != len(fc) {
+		return nil // no bucket data, or layouts differ: quantile checks stand alone
+	}
+	var violations []string
+	for i := range bc {
+		if baseline.LatencyBuckets[i].LeMS != fresh.LatencyBuckets[i].LeMS {
+			return nil // different ladders are not comparable bucket-wise
+		}
+		if baseline.LatencyBuckets[i].LeMS < 0 {
+			continue // overflow bucket: its cumulative fraction is always 1
+		}
+		if fc[i] < bc[i]-body {
+			violations = append(violations, fmt.Sprintf(
+				"interactive latency body at knee regressed: %.0f%% of requests within %.0fms, baseline %.0f%% (tolerance %.0f points)",
+				fc[i]*100, baseline.LatencyBuckets[i].LeMS, bc[i]*100, body*100))
+			// One violation per comparison keeps the report readable: the
+			// first breached bound is where the body shift starts.
+			break
+		}
+	}
+	return violations
+}
+
+// cumulativeFractions converts per-bucket counts into the CDF sampled at the
+// bucket bounds. The second return is the total count (0 = no data).
+func cumulativeFractions(buckets []LatencyBucket) ([]float64, uint64) {
+	var total uint64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return nil, 0
+	}
+	out := make([]float64, len(buckets))
+	var cum uint64
+	for i, b := range buckets {
+		cum += b.Count
+		out[i] = float64(cum) / float64(total)
+	}
+	return out, total
 }
 
 // ReadRecord loads a committed BENCH_load.json.

@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// withBuckets attaches an interactive latency histogram (per-bucket counts
+// over the given ms ladder, overflow last with LeMS -1) to a synthetic
+// report's knee class.
+func withBuckets(r *Report, leMS []float64, counts []uint64) *Report {
+	ic := r.Class(ClassInteractive)
+	ic.LatencyBuckets = nil
+	for i, le := range leMS {
+		ic.LatencyBuckets = append(ic.LatencyBuckets, LatencyBucket{LeMS: le, Count: counts[i]})
+	}
+	return r
+}
+
+var bodyLadder = []float64{10, 50, 100, 250, -1}
+
+// TestGateCatchesBodyRegressionP99Passes is the reason the gate compares
+// whole histograms: the fresh run's p99 is identical to the baseline's, so
+// every quantile check passes, but the latency body migrated wholesale from
+// the 10ms bucket into the 50ms one — a 60-point CDF drop only the
+// bucket-wise comparison can see.
+func TestGateCatchesBodyRegressionP99Passes(t *testing.T) {
+	baseline := &Record{KneeRate: 100,
+		Knee: withBuckets(synthReport(100, 200, 0.99, 95), bodyLadder, []uint64{90, 5, 3, 2, 0})}
+	fresh := &Record{KneeRate: 100,
+		Knee: withBuckets(synthReport(100, 200, 0.99, 95), bodyLadder, []uint64{30, 65, 3, 2, 0})}
+
+	v := Gate(baseline, fresh, DefaultTolerance)
+	var sawBody, sawP99 bool
+	for _, s := range v {
+		if strings.Contains(s, "latency body at knee regressed") {
+			sawBody = true
+		}
+		if strings.Contains(s, "p99 at knee regressed") {
+			sawP99 = true
+		}
+	}
+	if sawP99 {
+		t.Fatalf("p99 was identical yet flagged: %v", v)
+	}
+	if !sawBody {
+		t.Fatalf("body regression not flagged: %v", v)
+	}
+}
+
+func TestGateBodyWithinToleranceAndCompat(t *testing.T) {
+	baseline := &Record{KneeRate: 100,
+		Knee: withBuckets(synthReport(100, 50, 0.99, 95), bodyLadder, []uint64{90, 5, 3, 2, 0})}
+
+	// A small shift inside BodyFrac passes.
+	fresh := &Record{KneeRate: 100,
+		Knee: withBuckets(synthReport(100, 50, 0.99, 95), bodyLadder, []uint64{85, 10, 3, 2, 0})}
+	if v := Gate(baseline, fresh, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("5-point shift inside tolerance flagged: %v", v)
+	}
+
+	// A fresh record without bucket data (old format) falls back to the
+	// quantile checks instead of failing spuriously.
+	noBuckets := &Record{KneeRate: 100, Knee: synthReport(100, 50, 0.99, 95)}
+	if v := Gate(baseline, noBuckets, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("bucket-less fresh record flagged: %v", v)
+	}
+	if v := Gate(noBuckets, &Record{KneeRate: 100,
+		Knee: withBuckets(synthReport(100, 50, 0.99, 95), bodyLadder, []uint64{10, 80, 5, 5, 0})}, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("bucket-less baseline flagged: %v", v)
+	}
+
+	// Mismatched ladders are not comparable bucket-wise.
+	otherLadder := []float64{5, 25, 100, 250, -1}
+	other := &Record{KneeRate: 100,
+		Knee: withBuckets(synthReport(100, 50, 0.99, 95), otherLadder, []uint64{10, 80, 5, 5, 0})}
+	if v := Gate(baseline, other, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("mismatched ladder flagged: %v", v)
+	}
+}
+
+// TestRunReportCarriesBuckets checks the harness actually records the
+// histogram the gate consumes.
+func TestRunReportCarriesBuckets(t *testing.T) {
+	srv := okStub()
+	defer srv.Close()
+	rep := mustRun(t, Config{
+		BaseURL:  srv.URL,
+		Seed:     11,
+		Rate:     1500,
+		Duration: 250 * time.Millisecond,
+		Factory:  passthroughFactory,
+	})
+	ic := rep.Class(ClassInteractive)
+	if ic == nil || len(ic.LatencyBuckets) == 0 {
+		t.Fatalf("interactive class carries no latency buckets: %+v", ic)
+	}
+	var total uint64
+	sawOverflow := false
+	for _, b := range ic.LatencyBuckets {
+		total += b.Count
+		if b.LeMS < 0 {
+			sawOverflow = true
+		}
+	}
+	if !sawOverflow {
+		t.Errorf("no overflow bucket in %+v", ic.LatencyBuckets)
+	}
+	if total != uint64(ic.OK) {
+		t.Errorf("bucket total %d != successful requests %d", total, ic.OK)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -144,6 +145,19 @@ type ClassReport struct {
 	MeanMS float64 `json:"mean_ms"`
 	// Throughput is successful requests per wall second.
 	Throughput float64 `json:"throughput_per_sec"`
+	// LatencyBuckets is the full latency histogram (per-bucket counts, not
+	// cumulative), so the regression gate can compare whole distributions
+	// instead of three quantiles. The overflow bucket is encoded with
+	// LeMS < 0 (JSON cannot carry +Inf).
+	LatencyBuckets []LatencyBucket `json:"latency_buckets,omitempty"`
+}
+
+// LatencyBucket is one histogram bucket of a ClassReport: requests whose
+// latency fell at or under LeMS milliseconds (and over the previous bucket's
+// bound). LeMS < 0 marks the overflow bucket.
+type LatencyBucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
 }
 
 // Report is one load run's result.
@@ -393,6 +407,13 @@ arrivals:
 		}
 		if n := rec.lat.Count(); n > 0 {
 			cr.MeanMS = rec.lat.Sum() / float64(n) * 1000
+		}
+		for _, b := range rec.lat.Buckets() {
+			lb := LatencyBucket{LeMS: b.UpperBound * 1000, Count: b.Count}
+			if math.IsInf(b.UpperBound, 1) {
+				lb.LeMS = -1
+			}
+			cr.LatencyBuckets = append(cr.LatencyBuckets, lb)
 		}
 		if len(rec.errCounts) > 0 {
 			cr.Errors = make(map[string]int64, len(rec.errCounts))

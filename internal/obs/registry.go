@@ -400,6 +400,33 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.upper[len(h.upper)-1]
 }
 
+// BucketSnapshot is one bucket of a histogram snapshot: the inclusive upper
+// bound and the number of observations that landed in the bucket (not
+// cumulative). The overflow bucket carries UpperBound = +Inf.
+type BucketSnapshot struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Buckets returns a point-in-time snapshot of the per-bucket counts,
+// overflow bucket last. Like Quantile, the snapshot is atomic per bucket but
+// not mutually consistent with concurrent Observe calls. Returns nil on the
+// nil histogram.
+func (h *Histogram) Buckets() []BucketSnapshot {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketSnapshot, len(h.counts))
+	for i := range h.counts {
+		ub := math.Inf(1)
+		if i < len(h.upper) {
+			ub = h.upper[i]
+		}
+		out[i] = BucketSnapshot{UpperBound: ub, Count: h.counts[i].Load()}
+	}
+	return out
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

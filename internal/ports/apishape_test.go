@@ -1,0 +1,227 @@
+package ports_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.golden from the current source")
+
+// TestExportedAPIShape pins the exported surface of the ports package —
+// every exported function and method signature, type definition (exported
+// struct fields included), constant and variable — against
+// testdata/api.golden, extending internal/core's guard to the
+// distributed-observation layer from day one. The server's port-map
+// endpoints, the CLI's -ports flag and the E18 experiment all consume these
+// shapes; an accidental change must fail loudly here, not downstream.
+// Intentional changes regenerate the golden with
+// `go test ./internal/ports -run TestExportedAPIShape -update-api`.
+func TestExportedAPIShape(t *testing.T) {
+	got, err := exportedAPI(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "api.golden")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-api)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported ports API changed (regenerate with -update-api if intentional):\n--- golden\n+++ current\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// exportedAPI renders the package's exported declarations, one per line
+// group, sorted for stability across file moves.
+func exportedAPI(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	pkg, ok := pkgs["ports"]
+	if !ok {
+		return "", fmt.Errorf("package ports not found in %s", dir)
+	}
+	var decls []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			decls = append(decls, renderExported(fset, decl)...)
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n", nil
+}
+
+// renderExported returns the printable exported content of one top-level
+// declaration: the emptied-body signature for functions and methods, the
+// specs with unexported struct fields and interface methods elided for
+// types, and the names for constants and variables.
+func renderExported(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || unexportedReceiver(d) {
+			return nil
+		}
+		cp := *d
+		cp.Doc = nil
+		cp.Body = nil
+		return []string{printNode(fset, &cp)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				cp := *s
+				cp.Doc = nil
+				cp.Comment = nil
+				cp.Type = elideUnexported(cp.Type)
+				out = append(out, "type "+printNode(fset, &cp))
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() {
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						out = append(out, kind+" "+name.Name)
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// unexportedReceiver reports whether a method hangs off an unexported type.
+func unexportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return !ident.IsExported()
+	}
+	return false
+}
+
+// elideUnexported strips unexported fields from struct types and unexported
+// methods from interface types; other types pass through unchanged.
+func elideUnexported(t ast.Expr) ast.Expr {
+	switch typ := t.(type) {
+	case *ast.StructType:
+		cp := *typ
+		fields := &ast.FieldList{}
+		for _, f := range typ.Fields.List {
+			kept := keepExportedNames(f)
+			if kept != nil {
+				fields.List = append(fields.List, kept)
+			}
+		}
+		cp.Fields = fields
+		return &cp
+	case *ast.InterfaceType:
+		cp := *typ
+		methods := &ast.FieldList{}
+		for _, m := range typ.Methods.List {
+			kept := keepExportedNames(m)
+			if kept != nil {
+				methods.List = append(methods.List, kept)
+			}
+		}
+		cp.Methods = methods
+		return &cp
+	}
+	return t
+}
+
+// keepExportedNames returns the field with only its exported names, nil when
+// none survive. Embedded (nameless) fields are kept.
+func keepExportedNames(f *ast.Field) *ast.Field {
+	cp := *f
+	cp.Doc = nil
+	cp.Comment = nil
+	if len(f.Names) == 0 {
+		return &cp
+	}
+	var names []*ast.Ident
+	for _, n := range f.Names {
+		if n.IsExported() {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	cp.Names = names
+	return &cp
+}
+
+func printNode(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<print error: %v>", err)
+	}
+	// Collapse the multi-line rendering to one logical line per declaration
+	// so the golden diffs stay readable and whitespace-insensitive.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// diffLines renders a minimal line diff for the failure message.
+func diffLines(want, got string) string {
+	wantL := strings.Split(want, "\n")
+	gotL := strings.Split(got, "\n")
+	wantSet := map[string]bool{}
+	for _, l := range wantL {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range gotL {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range wantL {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range gotL {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(line order changed)"
+	}
+	return b.String()
+}

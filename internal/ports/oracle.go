@@ -1,0 +1,72 @@
+package ports
+
+import (
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+)
+
+// Oracle models distributed observation over an implementation under test:
+// the inner oracle executes the test case and returns the true global
+// observation sequence, but the observers record only its per-port
+// projections. Execute hands the diagnoser the canonical re-interleaving of
+// those projections instead of the true sequence, so everything downstream
+// sees exactly the information a distributed tester would have — the true
+// global order is erased, its projections are preserved.
+//
+// Errors — including resilient.ErrUnreliableObservation from a wrapped retry
+// oracle — pass through untouched, so Oracle composes outside the resilience
+// layer: retries and fault injection happen on the real observation channel,
+// projection happens on whatever stable sequence survives them.
+type Oracle struct {
+	Inner core.Oracle
+	Map   Map
+}
+
+// Execute runs the test case through the inner oracle and returns the
+// canonical consistent re-interleaving of the observed projections.
+func (o *Oracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	global, err := o.Inner.Execute(tc)
+	if err != nil {
+		return nil, err
+	}
+	return Canonical(o.Map, tc, global), nil
+}
+
+// Canonical rebuilds a global observation sequence from the projection of
+// the given one: reset slots observe Null, every other slot eagerly takes
+// the next unconsumed event of the first (in observer-name order) observer
+// with events remaining, and ε fills the tail. The result is consistent with
+// the same projection as the input — Project(m, Canonical(m, tc, g)) equals
+// Project(m, g) — and is a pure function of that projection, which is the
+// whole point: two global sequences indistinguishable to the observers
+// canonicalize identically.
+//
+// A sequence whose length disagrees with the test case (a malformed oracle)
+// is returned unchanged for the core pipeline to reject.
+func Canonical(m Map, tc cfsm.TestCase, global []cfsm.Observation) []cfsm.Observation {
+	if len(global) != len(tc.Inputs) {
+		return global
+	}
+	p := Project(m, global)
+	next := make([]int, len(p))
+	out := make([]cfsm.Observation, 0, len(global))
+	for _, in := range tc.Inputs {
+		if in.IsReset() {
+			out = append(out, cfsm.Observation{Sym: cfsm.Null, Port: in.Port})
+			continue
+		}
+		placed := false
+		for i := range p {
+			if next[i] < len(p[i].Events) {
+				out = append(out, p[i].Events[next[i]])
+				next[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out = append(out, cfsm.Observation{Sym: cfsm.Epsilon, Port: in.Port})
+		}
+	}
+	return out
+}

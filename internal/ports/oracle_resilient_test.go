@@ -1,0 +1,78 @@
+// Composition test: ports.Oracle wraps OUTSIDE the resilience layer. Retries
+// and voting happen on the real observation channel; the projection erases
+// global order only on sequences that survived them, and hard failures
+// (core.ErrUnreliableObservation) pass through untouched so Step 6 still
+// degrades to the inconclusive-observation verdict instead of projecting a
+// sequence that was never trustworthy.
+package ports_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"cfsmdiag/internal/cfsm"
+	"cfsmdiag/internal/core"
+	"cfsmdiag/internal/paper"
+	"cfsmdiag/internal/ports"
+	"cfsmdiag/internal/resilient"
+)
+
+// flakyOracle wraps an inner oracle, failing the first failures calls of each
+// test case with a transient error before answering honestly.
+type flakyOracle struct {
+	mu       sync.Mutex
+	inner    core.Oracle
+	failures int
+	seen     map[string]int
+}
+
+func (o *flakyOracle) Execute(tc cfsm.TestCase) ([]cfsm.Observation, error) {
+	o.mu.Lock()
+	o.seen[tc.Name]++
+	n := o.seen[tc.Name]
+	o.mu.Unlock()
+	if n <= o.failures {
+		return nil, resilient.ErrTransient
+	}
+	return o.inner.Execute(tc)
+}
+
+func TestPortsOracleComposesWithRetryOracle(t *testing.T) {
+	fig, err := paper.Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	pm := perMachineMap(t, fig)
+	honest := &core.SystemOracle{Sys: fig}
+
+	// A flaky channel the retry layer can heal: the composed stack must
+	// answer with the canonical re-interleaving of the healed sequence.
+	flaky := &flakyOracle{inner: honest, failures: 2, seen: make(map[string]int)}
+	retry := resilient.NewRetryOracle(flaky, resilient.RetryConfig{Retries: 4})
+	stack := &ports.Oracle{Inner: retry, Map: pm}
+	for _, tc := range paper.TestSuite() {
+		got, err := stack.Execute(tc)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		truth, err := honest.Execute(tc)
+		if err != nil {
+			t.Fatalf("%s: honest oracle: %v", tc.Name, err)
+		}
+		want := ports.Canonical(pm, tc, truth)
+		if !cfsm.ObsEqual(got, want) {
+			t.Errorf("%s: composed stack = %v, want canonical %v", tc.Name, got, want)
+		}
+	}
+
+	// A channel the retry budget cannot heal: the unreliable-observation
+	// error must surface through the projection layer unchanged.
+	dead := &flakyOracle{inner: honest, failures: 1 << 20, seen: make(map[string]int)}
+	retry = resilient.NewRetryOracle(dead, resilient.RetryConfig{Retries: 1})
+	stack = &ports.Oracle{Inner: retry, Map: pm}
+	_, err = stack.Execute(paper.TestSuite()[0])
+	if !errors.Is(err, core.ErrUnreliableObservation) {
+		t.Fatalf("err = %v, want ErrUnreliableObservation to pass through", err)
+	}
+}

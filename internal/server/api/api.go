@@ -41,6 +41,14 @@ const (
 	CodeUnavailable       = "unavailable"
 	CodeGone              = "gone"
 	CodeLeaseExpired      = "lease_expired"
+	// CodeInvalidPortMap: the distributed-observation port map of a diagnose
+	// or analyze request failed validation (unknown machine, unassigned
+	// machine, empty observer name).
+	CodeInvalidPortMap = "invalid_port_map"
+	// CodeDuplicateTestCase: a submitted suite names two test cases
+	// identically; analysis keys its per-case maps by name, so the collision
+	// is rejected at decode time instead of silently merging cases.
+	CodeDuplicateTestCase = "duplicate_test_case"
 )
 
 // ErrorDetail is the envelope's body.

@@ -116,6 +116,7 @@ import (
 	"cfsmdiag/internal/fault"
 	"cfsmdiag/internal/jobs"
 	"cfsmdiag/internal/obs"
+	"cfsmdiag/internal/ports"
 	"cfsmdiag/internal/replay"
 	"cfsmdiag/internal/resilient"
 	httpapi "cfsmdiag/internal/server/api"
@@ -315,6 +316,7 @@ func NewService(cfg Config) (*Service, error) {
 	// (request latency, oracle queries, sweep durations, simulator steps)
 	// before the first diagnosis runs.
 	core.RegisterMetrics(cfg.Registry)
+	ports.RegisterMetrics(cfg.Registry)
 	experiments.RegisterSweepMetrics(cfg.Registry)
 	if cfg.resilientEnabled() {
 		resilient.RegisterMetrics(cfg.Registry)
@@ -494,6 +496,8 @@ const (
 	codeTenantRateLimited = httpapi.CodeTenantRateLimited
 	codeConflict          = httpapi.CodeConflict
 	codeUnavailable       = httpapi.CodeUnavailable
+	codeInvalidPortMap    = httpapi.CodeInvalidPortMap
+	codeDuplicateTestCase = httpapi.CodeDuplicateTestCase
 )
 
 type errorDetail = httpapi.ErrorDetail
@@ -508,10 +512,20 @@ func writeErr(w http.ResponseWriter, status int, code string, err error) {
 	httpapi.WriteError(w, status, code, err)
 }
 
+// invalidPortMapError tags a distributed-observation port-map validation
+// failure so the envelope can answer with its typed code.
+type invalidPortMapError struct{ err error }
+
+func (e invalidPortMapError) Error() string { return e.err.Error() }
+func (e invalidPortMapError) Unwrap() error { return e.err }
+
 // writePipelineErr maps a diagnosis-pipeline error onto the envelope:
-// timeouts and client disconnects get their own codes, everything else is a
-// semantic (unprocessable) failure.
+// timeouts and client disconnects get their own codes, malformed suites and
+// port maps their typed 422s, everything else is a semantic (unprocessable)
+// failure.
 func writePipelineErr(w http.ResponseWriter, err error) {
+	var dup duplicateTestCaseError
+	var pmErr invalidPortMapError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, codeTimeout, err)
@@ -519,6 +533,10 @@ func writePipelineErr(w http.ResponseWriter, err error) {
 		// 499 is the de-facto "client closed request" status; the client is
 		// usually gone, but the envelope keeps logs and tests uniform.
 		writeErr(w, 499, codeCanceled, err)
+	case errors.As(err, &dup):
+		writeErr(w, http.StatusUnprocessableEntity, codeDuplicateTestCase, err)
+	case errors.As(err, &pmErr):
+		writeErr(w, http.StatusUnprocessableEntity, codeInvalidPortMap, err)
 	default:
 		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 	}
@@ -663,13 +681,29 @@ type testCaseJSON struct {
 	Inputs []string `json:"inputs"`
 }
 
+// duplicateTestCaseError reports a suite naming two test cases identically.
+// The analysis layer keys its per-case result maps by test-case name, so a
+// collision would silently attribute one case's observations to the other;
+// suites are rejected at decode time with the typed duplicate_test_case code
+// instead.
+type duplicateTestCaseError struct{ name string }
+
+func (e duplicateTestCaseError) Error() string {
+	return fmt.Sprintf("suite names two test cases %q; test-case names must be unique", e.name)
+}
+
 func decodeSuite(cases []testCaseJSON) ([]cfsm.TestCase, error) {
 	var out []cfsm.TestCase
+	seen := make(map[string]bool, len(cases))
 	for i, tj := range cases {
 		tc := cfsm.TestCase{Name: tj.Name}
 		if tc.Name == "" {
 			tc.Name = fmt.Sprintf("tc%d", i+1)
 		}
+		if seen[tc.Name] {
+			return nil, duplicateTestCaseError{name: tc.Name}
+		}
+		seen[tc.Name] = true
 		for _, tok := range tj.Inputs {
 			in, err := cfsm.ParseInputToken(tok)
 			if err != nil {
@@ -791,6 +825,10 @@ type diagnoseRequest struct {
 	Suite   []testCaseJSON `json:"suite,omitempty"` // default: generated tour
 	// MaxAdditionalTests bounds the adaptive phase (0 = unbounded).
 	MaxAdditionalTests int `json:"maxAdditionalTests,omitempty"`
+	// Ports assigns machines to named observer ports for distributed
+	// observation (machine name → observer name, every machine assigned).
+	// Omitted or single-observer maps run the classical global pipeline.
+	Ports map[string]string `json:"ports,omitempty"`
 }
 
 type additionalTestJSON struct {
@@ -809,10 +847,18 @@ type diagnoseResponse struct {
 	// never produced a trustworthy observation (resilient retry/vote budget
 	// exhausted); non-empty iff Verdict is the inconclusive one.
 	Inconclusive    []string             `json:"inconclusive,omitempty"`
-	AdditionalTests []additionalTestJSON `json:"additionalTests,omitempty"`
-	SuiteCases      int                  `json:"suiteCases"`
-	TotalTests      int                  `json:"totalTests"`
-	TotalInputs     int                  `json:"totalInputs"`
+	// LocallyAmbiguous lists candidate transitions whose surviving
+	// hypotheses are separable under global observation but not in any
+	// per-port projection; only a multi-port (distributed observation)
+	// diagnosis can produce them.
+	LocallyAmbiguous []string             `json:"locallyAmbiguous,omitempty"`
+	AdditionalTests  []additionalTestJSON `json:"additionalTests,omitempty"`
+	SuiteCases       int                  `json:"suiteCases"`
+	TotalTests       int                  `json:"totalTests"`
+	TotalInputs      int                  `json:"totalInputs"`
+	// Ports summarizes the distributed-observation run when the request
+	// supplied a multi-observer port map.
+	Ports *portsReportJSON `json:"ports,omitempty"`
 	// Trace carries the structured trace of the run when the request asked
 	// for "?trace=1" and the server has tracing enabled. It includes the
 	// replay header events, so writing it to a file as JSON-lines yields a
@@ -827,6 +873,29 @@ func traceRequested(r *http.Request) bool {
 		return true
 	}
 	return false
+}
+
+// portsReportJSON is the wire rendering of a ports.Report.
+type portsReportJSON struct {
+	Observers             []string `json:"observers"`
+	Cases                 int      `json:"cases"`
+	AmbiguousCases        int      `json:"ambiguousCases"`
+	InterleavingsExplored uint64   `json:"interleavingsExplored"`
+}
+
+// portMapFor resolves a request's port assignments against the
+// specification; a validation failure carries the typed invalid_port_map
+// code through writePipelineErr. The second return is false when the request
+// carried no assignments at all.
+func portMapFor(assignments map[string]string, spec *cfsm.System) (ports.Map, bool, error) {
+	if len(assignments) == 0 {
+		return ports.Map{}, false, nil
+	}
+	pm, err := ports.FromAssignments(assignments, spec)
+	if err != nil {
+		return ports.Map{}, true, invalidPortMapError{err: err}
+	}
+	return pm, true, nil
 }
 
 // prepareDiagnose decodes a diagnosis request's systems and resolves its
@@ -908,6 +977,9 @@ func encodeLocalization(spec *cfsm.System, suite []cfsm.TestCase, base *core.Sys
 	for _, ref := range loc.Inconclusive {
 		resp.Inconclusive = append(resp.Inconclusive, spec.RefString(ref))
 	}
+	for _, ref := range loc.LocallyAmbiguous {
+		resp.LocallyAmbiguous = append(resp.LocallyAmbiguous, spec.RefString(ref))
+	}
 	for _, at := range loc.AdditionalTests {
 		resp.AdditionalTests = append(resp.AdditionalTests, additionalTestJSON{
 			Target:   spec.RefString(at.Target),
@@ -926,7 +998,27 @@ func (s *api) runDiagnose(ctx context.Context, req diagnoseRequest) (*diagnoseRe
 	if err != nil {
 		return nil, err
 	}
+	pm, hasPorts, err := portMapFor(req.Ports, spec)
+	if err != nil {
+		return nil, err
+	}
 	oracle, base := s.oracleFor(iut)
+	if hasPorts {
+		loc, rep, err := ports.DiagnoseContext(ctx, spec, suite, oracle, pm,
+			ports.WithCoreOptions(s.diagnoseOpts(req)...),
+			ports.WithRegistry(s.cfg.Registry))
+		if err != nil {
+			return nil, err
+		}
+		resp := encodeLocalization(spec, suite, base, loc)
+		resp.Ports = &portsReportJSON{
+			Observers:             rep.Ports,
+			Cases:                 rep.Cases,
+			AmbiguousCases:        rep.AmbiguousCases,
+			InterleavingsExplored: rep.InterleavingsExplored,
+		}
+		return &resp, nil
+	}
 	loc, err := core.DiagnoseContext(ctx, spec, suite, oracle, s.diagnoseOpts(req)...)
 	if err != nil {
 		return nil, err
@@ -964,6 +1056,21 @@ func (s *api) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	spec, iut, suite, err := s.prepareDiagnose(req)
 	if err != nil {
 		writePipelineErr(w, err)
+		return
+	}
+	// The traced path records a replayable global run; under a genuinely
+	// distributed port map the global order is exactly what the observers do
+	// not have, so the combination is refused rather than recording a trace
+	// that overstates what was observed. A degenerate single-observer map is
+	// the classical pipeline and traces fine.
+	pm, hasPorts, err := portMapFor(req.Ports, spec)
+	if err != nil {
+		writePipelineErr(w, err)
+		return
+	}
+	if hasPorts && !pm.Single() {
+		writeErr(w, http.StatusNotImplemented, codeNotImplemented,
+			fmt.Errorf("?trace=1 is not supported with a multi-port observation map; drop the ports field or the trace flag"))
 		return
 	}
 	oracle, base := s.oracleFor(iut)
@@ -1016,6 +1123,9 @@ type analyzeRequest struct {
 	SpecRef      string         `json:"specRef,omitempty"`
 	Suite        []testCaseJSON `json:"suite"`
 	Observations [][]string     `json:"observations"`
+	// Ports assigns machines to named observer ports for distributed
+	// observation; empty keeps the classical single global observer.
+	Ports map[string]string `json:"ports,omitempty"`
 }
 
 type plannedTestJSON struct {
@@ -1029,6 +1139,9 @@ type analyzeResponse struct {
 	Diagnoses []string          `json:"diagnoses"`
 	Planned   []plannedTestJSON `json:"plannedTests,omitempty"`
 	Report    string            `json:"report"`
+	// Ports summarizes the distributed-observation analysis when the request
+	// carried a port map.
+	Ports *portsReportJSON `json:"ports,omitempty"`
 }
 
 func (s *api) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -1049,7 +1162,7 @@ func (s *api) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	suite, err := decodeSuite(req.Suite)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
+		writePipelineErr(w, err)
 		return
 	}
 	observed, err := decodeObservations(req.Observations)
@@ -1057,12 +1170,35 @@ func (s *api) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, codeUnprocessable, err)
 		return
 	}
-	a, err := core.Analyze(spec, suite, observed, core.WithRegistry(s.cfg.Registry))
+	pm, hasPorts, err := portMapFor(req.Ports, spec)
+	if err != nil {
+		writePipelineErr(w, err)
+		return
+	}
+	var (
+		a   *core.Analysis
+		rep *ports.Report
+	)
+	if hasPorts {
+		a, rep, err = ports.AnalyzeObserved(spec, suite, observed, pm,
+			ports.WithCoreOptions(core.WithRegistry(s.cfg.Registry)),
+			ports.WithRegistry(s.cfg.Registry))
+	} else {
+		a, err = core.Analyze(spec, suite, observed, core.WithRegistry(s.cfg.Registry))
+	}
 	if err != nil {
 		writePipelineErr(w, err)
 		return
 	}
 	resp := analyzeResponse{Symptoms: len(a.Symptoms), Report: a.Report()}
+	if rep != nil {
+		resp.Ports = &portsReportJSON{
+			Observers:             rep.Ports,
+			Cases:                 rep.Cases,
+			AmbiguousCases:        rep.AmbiguousCases,
+			InterleavingsExplored: rep.InterleavingsExplored,
+		}
+	}
 	for _, d := range a.Diagnoses {
 		resp.Diagnoses = append(resp.Diagnoses, d.Describe(spec))
 	}

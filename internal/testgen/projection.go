@@ -1,0 +1,80 @@
+package testgen
+
+import (
+	"cfsmdiag/internal/cfsm"
+)
+
+// silentObs reports an observation invisible to every local observer: ε (no
+// output) or the Null reset output. Mirrors ports.Silent; testgen cannot
+// import internal/ports (core sits between them), so the two-line predicate
+// is duplicated here and pinned equal by the ports test suite.
+func silentObs(o cfsm.Observation) bool {
+	return o.Sym == cfsm.Epsilon || o.Sym == cfsm.Null
+}
+
+// ProjectionDistinguish finds a shortest input sequence whose observation
+// difference between the two variants is visible under distributed
+// observation: the sequences differ at a step where at least one side emits
+// a real (non-silent) output. Such a difference is final for every port map
+// — truncating the test at that step leaves either two conflicting events at
+// the same observer, or an event one observer records that the other run
+// never produces there — whereas a step where both sides stay silent (e.g.
+// ε at different ports) is invisible to every local observer, however the
+// machines are grouped. The search therefore needs no port map: it is the
+// distinguishing-sequence problem of van den Bos & Vaandrager's distributed
+// state-identification setting, specialized to the synchronized-input model.
+//
+// globalOnly reports the honest failure mode: no visibly distinguishing
+// sequence was found within the exploration limit, but a silence-only
+// difference (visible to a hypothetical global observer with a clock)
+// exists. Callers surface it instead of conflating "locally ambiguous" with
+// "equivalent".
+func ProjectionDistinguish(a, b Variant, avoid RefSet) (seq []cfsm.Input, ok, globalOnly bool) {
+	return ProjectionDistinguishOver(a, b, AllInputs(a.Sys), avoid)
+}
+
+// ProjectionDistinguishOver is ProjectionDistinguish over a restricted input
+// universe, mirroring DistinguishOver.
+func ProjectionDistinguishOver(a, b Variant, inputs []cfsm.Input, avoid RefSet) (seq []cfsm.Input, ok, globalOnly bool) {
+	if a.Sys.N() != b.Sys.N() {
+		return nil, false, false
+	}
+	type node struct {
+		ca, cb cfsm.Config
+		path   []cfsm.Input
+	}
+	key := func(ca, cb cfsm.Config) string { return ca.Key() + "||" + cb.Key() }
+	seen := map[string]bool{key(a.Cfg, b.Cfg): true}
+	frontier := []node{{ca: a.Cfg, cb: b.Cfg}}
+	for len(frontier) > 0 && len(seen) < searchLimit {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, in := range inputs {
+			nextA, obsA, traceA, errA := a.Sys.Apply(n.ca, in)
+			nextB, obsB, traceB, errB := b.Sys.Apply(n.cb, in)
+			if errA != nil || errB != nil {
+				continue
+			}
+			if hitsAvoid(avoid, traceA) || hitsAvoid(avoid, traceB) {
+				continue
+			}
+			path := append(append([]cfsm.Input(nil), n.path...), in)
+			if obsA != obsB {
+				if !(silentObs(obsA) && silentObs(obsB)) {
+					return path, true, false
+				}
+				// A silence-only difference: no observer sees it, but the
+				// runs have diverged globally. Keep exploring through it —
+				// the divergence may surface as an event difference later.
+				globalOnly = true
+			}
+			k := key(nextA, nextB)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			frontier = append(frontier, node{ca: nextA, cb: nextB, path: path})
+		}
+	}
+	return nil, false, globalOnly
+}

@@ -67,6 +67,13 @@ const (
 	// Chaos-injection events (internal/resilient fault injector).
 	KindChaosInject Kind = "chaos.inject" // one injected observation fault
 
+	// Distributed-observation events (internal/ports): per-port projection of
+	// the observed outputs and the interleaving-consistency match against the
+	// specification's expectation.
+	KindPortsProject Kind = "ports.project" // one case projected onto its port map
+	KindPortsMatch   Kind = "ports.match"   // maximal consistent prefix vs the expectation
+	KindPortsClosure Kind = "ports.closure" // bounded interleaving-closure sweep of one case
+
 	// Experiment events.
 	KindSweepMutant Kind = "sweep.mutant" // span: traced diagnosis of one mutant
 
@@ -91,6 +98,7 @@ func Kinds() []Kind {
 		KindEscalation, KindInconclusive, KindVerdict,
 		KindOracleRetry, KindOracleTimeout, KindOracleVote, KindOracleUnreliable,
 		KindChaosInject,
+		KindPortsProject, KindPortsMatch, KindPortsClosure,
 		KindSweepMutant,
 		KindJobSubmit, KindJobRun, KindJobCacheHit, KindJobReplay, KindJobDrain,
 	}
